@@ -1,0 +1,269 @@
+// Package bsub is a Go implementation of B-SUB, the Bloom-filter-based
+// content-based publish-subscribe system for human networks (HUNETs) of
+// Zhao and Wu, "B-SUB: A Practical Bloom-Filter-Based Publish-Subscribe
+// System for Human Networks" (ICDCS 2010), together with the full
+// simulation substrate its evaluation runs on.
+//
+// The package re-exports the public surface of the internal modules:
+//
+//   - TCBF — the Temporal Counting Bloom Filter, the paper's core data
+//     structure: counting Bloom filter with time-decaying counters,
+//     additive and maximum merges, and preferential queries.
+//   - Protocol — the B-SUB routing protocol (broker election, interest
+//     propagation, preferential forwarding) plus the PUSH and PULL
+//     baselines.
+//   - Simulator — a deterministic, bandwidth-aware contact-trace replay
+//     engine with the paper's evaluation metrics.
+//   - Traces — contact-trace modelling, text I/O, statistics, and
+//     synthetic generators calibrated to the Haggle (Infocom'06) and MIT
+//     Reality datasets.
+//   - Analysis — the closed-form model of Eq. 1–10 (FPR, fill ratio,
+//     decaying factor, joint FPR, memory, optimal filter allocation).
+//
+// Quick start: build a fixture, run the three protocols, print a report.
+//
+//	fixture, err := bsub.NewSmallFixture(1)
+//	if err != nil { ... }
+//	report, err := bsub.Simulate(fixture, bsub.NewBSub(bsub.DefaultProtocolConfig(0.1)), 4*time.Hour)
+//	fmt.Println(report)
+//
+// See the examples/ directory for complete programs and EXPERIMENTS.md for
+// the paper-reproduction results.
+package bsub
+
+import (
+	"time"
+
+	"bsub/internal/analysis"
+	"bsub/internal/bloom"
+	"bsub/internal/core"
+	"bsub/internal/experiments"
+	"bsub/internal/livenode"
+	"bsub/internal/metrics"
+	"bsub/internal/protocol"
+	"bsub/internal/sim"
+	"bsub/internal/tcbf"
+	"bsub/internal/trace"
+	"bsub/internal/tracegen"
+	"bsub/internal/workload"
+)
+
+// --- Filters ---------------------------------------------------------------
+
+type (
+	// BloomFilter is the classic Bloom filter of Section III.
+	BloomFilter = bloom.Filter
+	// CountingBloomFilter is the Counting Bloom filter of Section III.
+	CountingBloomFilter = bloom.CountingFilter
+	// TCBF is the Temporal Counting Bloom Filter of Section IV.
+	TCBF = tcbf.Filter
+	// TCBFConfig parameterizes a TCBF.
+	TCBFConfig = tcbf.Config
+	// TCBFPool is the dynamic multi-filter allocation of Section VI-D.
+	TCBFPool = tcbf.Pool
+	// PartitionedTCBF hash-routes keys across h sub-filters (Section VI-D
+	// made protocol-usable); ProtocolConfig.RelayPartitions applies it to
+	// B-SUB's relay filters.
+	PartitionedTCBF = tcbf.Partitioned
+	// CounterMode selects the wire encoding of a TCBF's counters.
+	CounterMode = tcbf.CounterMode
+)
+
+// Counter wire modes (Section VI-C optimizations).
+const (
+	CountersNone    = tcbf.CountersNone
+	CountersUniform = tcbf.CountersUniform
+	CountersFull    = tcbf.CountersFull
+)
+
+// NewBloomFilter returns an empty classic Bloom filter.
+func NewBloomFilter(m, k int) (*BloomFilter, error) { return bloom.NewFilter(m, k) }
+
+// NewCountingBloomFilter returns an empty Counting Bloom filter.
+func NewCountingBloomFilter(m, k int) (*CountingBloomFilter, error) { return bloom.NewCounting(m, k) }
+
+// NewTCBF returns an empty Temporal Counting Bloom Filter with its clock at
+// now.
+func NewTCBF(cfg TCBFConfig, now time.Duration) (*TCBF, error) { return tcbf.New(cfg, now) }
+
+// DecodeTCBF reconstructs a TCBF from its wire form.
+func DecodeTCBF(data []byte, cfg TCBFConfig, now time.Duration) (*TCBF, error) {
+	return tcbf.Decode(data, cfg, now)
+}
+
+// NewTCBFPool returns a dynamic TCBF pool that allocates a fresh filter
+// when the fill ratio exceeds threshold.
+func NewTCBFPool(cfg TCBFConfig, threshold float64, now time.Duration) (*TCBFPool, error) {
+	return tcbf.NewPool(cfg, threshold, now)
+}
+
+// NewPartitionedTCBF returns an empty partitioned TCBF with h partitions.
+func NewPartitionedTCBF(cfg TCBFConfig, h int, now time.Duration) (*PartitionedTCBF, error) {
+	return tcbf.NewPartitioned(cfg, h, now)
+}
+
+// Preference runs the preferential query of Section IV-A.
+func Preference(key string, peer, self *TCBF, now time.Duration) (float64, error) {
+	return tcbf.Preference(key, peer, self, now)
+}
+
+// --- Protocols ---------------------------------------------------------------
+
+type (
+	// Protocol is a routing scheme runnable by the simulator.
+	Protocol = sim.Protocol
+	// BSubProtocol is the B-SUB protocol of Section V.
+	BSubProtocol = core.BSub
+	// ProtocolConfig holds B-SUB's tunables.
+	ProtocolConfig = core.Config
+)
+
+// Decaying-factor policies (Sections VI-B and VII-B).
+const (
+	// DFFixed uses ProtocolConfig.DecayPerMinute unchanged.
+	DFFixed = core.DFFixed
+	// DFOnlineEq5 lets each broker recompute its DF from its own contact
+	// history via Eq. 5.
+	DFOnlineEq5 = core.DFOnlineEq5
+	// DFFeedback steers the DF toward ProtocolConfig.TargetFPR.
+	DFFeedback = core.DFFeedback
+)
+
+// NewBSub returns a B-SUB protocol instance.
+func NewBSub(cfg ProtocolConfig) *BSubProtocol { return core.New(cfg) }
+
+// DefaultProtocolConfig returns the paper's evaluation parameters with the
+// given decaying factor (per minute).
+func DefaultProtocolConfig(decayPerMinute float64) ProtocolConfig {
+	return core.DefaultConfig(decayPerMinute)
+}
+
+// NewPush returns the epidemic-flooding baseline.
+func NewPush() Protocol { return protocol.NewPush() }
+
+// NewPull returns the one-hop pulling baseline.
+func NewPull() Protocol { return protocol.NewPull() }
+
+// --- Traces -------------------------------------------------------------------
+
+type (
+	// Trace is a contact trace.
+	Trace = trace.Trace
+	// Contact is one pairwise meeting.
+	Contact = trace.Contact
+	// NodeID identifies a node in a trace.
+	NodeID = trace.NodeID
+	// TraceStats summarizes a trace (Table I).
+	TraceStats = trace.Stats
+	// TraceGenConfig parameterizes the synthetic generator.
+	TraceGenConfig = tracegen.Config
+)
+
+// NewTrace validates and sorts contacts into a Trace.
+func NewTrace(name string, nodes int, contacts []Contact) (*Trace, error) {
+	return trace.New(name, nodes, contacts)
+}
+
+// GenerateTrace synthesizes a contact trace.
+func GenerateTrace(cfg TraceGenConfig) (*Trace, error) { return tracegen.Generate(cfg) }
+
+// HaggleConfig returns the generator preset for the Haggle (Infocom'06)
+// stand-in.
+func HaggleConfig(seed int64) TraceGenConfig { return tracegen.HaggleInfocom06(seed) }
+
+// MITRealityConfig returns the generator preset for the MIT Reality
+// stand-in.
+func MITRealityConfig(seed int64) TraceGenConfig { return tracegen.MITRealityFull(seed) }
+
+// SmallTraceConfig returns the compact 20-node preset.
+func SmallTraceConfig(seed int64) TraceGenConfig { return tracegen.Small(seed) }
+
+// --- Workload -------------------------------------------------------------------
+
+type (
+	// Key identifies message content.
+	Key = workload.Key
+	// Message is a content-addressed message.
+	Message = workload.Message
+	// KeySet is a weighted key population.
+	KeySet = workload.KeySet
+)
+
+// NewTrendKeySet returns the paper's 38-key Twitter-Trend workload.
+func NewTrendKeySet() *KeySet { return workload.NewTrendKeySet() }
+
+// --- Simulation -----------------------------------------------------------------
+
+type (
+	// SimConfig assembles one simulation run.
+	SimConfig = sim.Config
+	// Failure is a node outage window for failure-injection runs.
+	Failure = sim.Failure
+	// Report is a metrics summary.
+	Report = metrics.Report
+	// Fixture bundles a trace with its workload.
+	Fixture = experiments.Fixture
+)
+
+// Run replays cfg against proto.
+func Run(cfg SimConfig, proto Protocol) (Report, error) { return sim.Run(cfg, proto) }
+
+// NewHaggleFixture builds the Haggle evaluation fixture.
+func NewHaggleFixture(seed int64) (*Fixture, error) { return experiments.NewHaggleFixture(seed) }
+
+// NewMITFixture builds the MIT Reality evaluation fixture (busiest 3-day
+// window).
+func NewMITFixture(seed int64) (*Fixture, error) { return experiments.NewMITFixture(seed) }
+
+// NewSmallFixture builds the compact test fixture.
+func NewSmallFixture(seed int64) (*Fixture, error) { return experiments.NewSmallFixture(seed) }
+
+// Simulate runs proto over a fixture with the given TTL.
+func Simulate(f *Fixture, proto Protocol, ttl time.Duration) (Report, error) {
+	return sim.Run(sim.Config{
+		Trace:     f.Trace,
+		Interests: f.Interests,
+		Messages:  f.Messages,
+		TTL:       ttl,
+		Seed:      f.Seed,
+	}, proto)
+}
+
+// --- Live prototype ---------------------------------------------------------------
+
+type (
+	// LiveNode is a wire-level B-SUB node running over real TCP — the
+	// prototype HUNET system the paper names as future work.
+	LiveNode = livenode.Node
+	// LiveNodeConfig parameterizes a LiveNode.
+	LiveNodeConfig = livenode.Config
+	// LiveDelivery is a message that reached a LiveNode's subscriptions.
+	LiveDelivery = livenode.Delivery
+)
+
+// ListenNode starts a live B-SUB node serving contact sessions on addr.
+func ListenNode(addr string, cfg LiveNodeConfig) (*LiveNode, error) {
+	return livenode.Listen(addr, cfg)
+}
+
+// --- Analysis --------------------------------------------------------------------
+
+// FPR returns the Eq. 1 false-positive rate of an (m, k) Bloom filter
+// holding n keys.
+func FPR(m, k, n int) float64 { return analysis.FPR(m, k, n) }
+
+// DecayFactor derives the Eq. 5 decaying factor.
+func DecayFactor(initial float64, nKeys, m, k int, tMinutes, delta float64) (float64, error) {
+	return analysis.DecayFactor(initial, nKeys, m, k, tMinutes, delta)
+}
+
+// OptimalAllocation solves the Eq. 9–10 filter-allocation problem.
+func OptimalAllocation(m, k, n int, maxBits float64) (analysis.Allocation, error) {
+	return analysis.OptimalAllocation(m, k, n, maxBits)
+}
+
+// GeometryFor recommends the smallest (m, k) whose Eq. 1 FPR at n keys
+// stays within targetFPR — the design-time sizing helper.
+func GeometryFor(n int, targetFPR float64) (analysis.Geometry, error) {
+	return analysis.GeometryFor(n, targetFPR)
+}

@@ -1,0 +1,119 @@
+// Command bsub-sim runs one simulation of a protocol over a contact trace
+// and prints the Section VII metrics.
+//
+// Usage:
+//
+//	bsub-sim -protocol bsub -ttl 2h -df 0.138 trace.txt
+//	bsub-sim -protocol push -preset haggle -ttl 10h
+//
+// The trace comes either from a file argument (the repository's text
+// format, see cmd/tracegen) or from a -preset. The workload follows the
+// paper: one weighted Twitter-Trend interest per node, message rates
+// proportional to centrality, sizes up to 140 bytes.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bsub/internal/core"
+	"bsub/internal/experiments"
+	"bsub/internal/protocol"
+	"bsub/internal/sim"
+	"bsub/internal/trace"
+	"bsub/internal/tracegen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bsub-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		protoName = flag.String("protocol", "bsub", "protocol: bsub | push | pull")
+		preset    = flag.String("preset", "", "trace preset: haggle | mit3day | small (alternative to a trace file)")
+		ttl       = flag.Duration("ttl", 2*time.Hour, "message TTL (= maximum tolerable delay)")
+		df        = flag.Float64("df", -1, "B-SUB decaying factor per minute (-1 = derive from TTL via Eq. 5)")
+		bandwidth = flag.Int("bandwidth", sim.DefaultBandwidthBps, "effective link rate in bits/s")
+		seed      = flag.Int64("seed", 1, "random seed for workload and protocol")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*preset, flag.Arg(0), *seed)
+	if err != nil {
+		return err
+	}
+	fixture, err := experiments.NewFixture(tr.Name, tr, *seed)
+	if err != nil {
+		return err
+	}
+
+	var proto sim.Protocol
+	switch *protoName {
+	case "push":
+		proto = protocol.NewPush()
+	case "pull":
+		proto = protocol.NewPull()
+	case "bsub":
+		var cfg core.Config
+		if *df >= 0 {
+			cfg = core.DefaultConfig(*df)
+		} else {
+			cfg = fixture.BSubConfig(*ttl)
+			fmt.Fprintf(os.Stderr, "derived DF = %.4f/min for TTL %v (Eq. 5)\n", cfg.DecayPerMinute, *ttl)
+		}
+		proto = core.New(cfg)
+	default:
+		return fmt.Errorf("unknown protocol %q", *protoName)
+	}
+
+	report, err := sim.Run(sim.Config{
+		Trace:        fixture.Trace,
+		Interests:    fixture.Interests,
+		Messages:     fixture.Messages,
+		TTL:          *ttl,
+		BandwidthBps: *bandwidth,
+		Seed:         *seed,
+	}, proto)
+	if err != nil {
+		return err
+	}
+
+	s := tr.Stats()
+	fmt.Printf("trace:     %s (%d nodes, %d contacts, span %v)\n",
+		s.Name, s.Nodes, s.Contacts, s.Span.Round(time.Minute))
+	fmt.Printf("workload:  %d messages, TTL %v\n", len(fixture.Messages), *ttl)
+	fmt.Printf("result:    %s\n", report)
+	fmt.Printf("traffic:   control %d B, data %d B\n", report.ControlBytes, report.DataBytes)
+	return nil
+}
+
+func loadTrace(preset, path string, seed int64) (*trace.Trace, error) {
+	switch {
+	case preset != "" && path != "":
+		return nil, errors.New("give either -preset or a trace file, not both")
+	case preset == "" && path == "":
+		return nil, errors.New("need a trace: pass a file or -preset haggle|mit3day|small")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	case preset == "haggle":
+		return tracegen.Generate(tracegen.HaggleInfocom06(seed))
+	case preset == "mit3day":
+		return tracegen.Generate(tracegen.MITReality3Day(seed))
+	case preset == "small":
+		return tracegen.Generate(tracegen.Small(seed))
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bsub/internal/trace"
+	"bsub/internal/tracegen"
+)
+
+func TestLoadTracePresets(t *testing.T) {
+	tr, err := loadTrace("small", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 20 {
+		t.Errorf("small preset nodes = %d", tr.Nodes)
+	}
+}
+
+func TestLoadTraceFromFile(t *testing.T) {
+	gen, err := tracegen.Generate(tracegen.Small(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadTrace("", path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != gen.Nodes || len(got.Contacts) != len(gen.Contacts) {
+		t.Errorf("loaded %d/%d, want %d/%d",
+			got.Nodes, len(got.Contacts), gen.Nodes, len(gen.Contacts))
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	if _, err := loadTrace("", "", 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadTrace("small", "also-a-file", 1); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadTrace("bogus", "", 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := loadTrace("", "/nonexistent/file", 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}

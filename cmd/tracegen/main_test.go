@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"bsub/internal/tracegen"
+)
+
+func TestBuildPresets(t *testing.T) {
+	custom := tracegen.Small(1)
+	tests := []struct {
+		preset    string
+		wantNodes int
+	}{
+		{preset: "", wantNodes: custom.Nodes},
+		{preset: "small", wantNodes: 20},
+		{preset: "mit3day", wantNodes: 97},
+	}
+	for _, tt := range tests {
+		t.Run("preset="+tt.preset, func(t *testing.T) {
+			tr, err := build(tt.preset, custom, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Nodes != tt.wantNodes {
+				t.Errorf("nodes = %d, want %d", tr.Nodes, tt.wantNodes)
+			}
+		})
+	}
+}
+
+func TestBuildFullPresets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("haggle/mit generation in -short mode")
+	}
+	for preset, wantNodes := range map[string]int{"haggle": 79, "mit": 97} {
+		tr, err := build(preset, tracegen.Config{}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if tr.Nodes != wantNodes {
+			t.Errorf("%s nodes = %d, want %d", preset, tr.Nodes, wantNodes)
+		}
+	}
+}
+
+func TestBuildUnknownPreset(t *testing.T) {
+	if _, err := build("bogus", tracegen.Config{}, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestBuildInvalidCustom(t *testing.T) {
+	bad := tracegen.Small(1)
+	bad.Span = -time.Hour
+	if _, err := build("", bad, 1); err == nil {
+		t.Error("invalid custom config accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package bsub_test
+
+import (
+	"fmt"
+	"time"
+
+	"bsub"
+)
+
+// The TCBF's defining behaviour: inserted keys decay away unless
+// reinforced.
+func ExampleNewTCBF() {
+	cfg := bsub.TCBFConfig{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	filter, err := bsub.NewTCBF(cfg, 0)
+	if err != nil {
+		panic(err)
+	}
+	if err := filter.Insert("coffee", 0); err != nil {
+		panic(err)
+	}
+	for _, at := range []time.Duration{0, 9 * time.Minute, 11 * time.Minute} {
+		ok, err := filter.Contains("coffee", at)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("t=%v contains=%v\n", at, ok)
+	}
+	// Output:
+	// t=0s contains=true
+	// t=9m0s contains=true
+	// t=11m0s contains=false
+}
+
+// A-merge reinforces counters; M-merge caps them — the asymmetry that
+// prevents bogus counters between brokers (Fig. 6 of the paper).
+func ExampleTCBF_AMerge() {
+	cfg := bsub.TCBFConfig{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	relay, _ := bsub.NewTCBF(cfg, 0)
+
+	for meeting := 0; meeting < 3; meeting++ {
+		genuine, _ := bsub.NewTCBF(cfg, 0)
+		if err := genuine.Insert("news", 0); err != nil {
+			panic(err)
+		}
+		if err := relay.AMerge(genuine, 0); err != nil {
+			panic(err)
+		}
+	}
+	counter, _ := relay.MinCounter("news", 0)
+	fmt.Printf("after 3 meetings the interest counter is %.0f\n", counter)
+	// Output:
+	// after 3 meetings the interest counter is 30
+}
+
+// The preferential query drives broker-to-broker forwarding: positive
+// preference means the peer is the better carrier.
+func ExamplePreference() {
+	cfg := bsub.TCBFConfig{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	self, _ := bsub.NewTCBF(cfg, 0)
+	peer, _ := bsub.NewTCBF(cfg, 0)
+
+	// The peer broker has seen two consumers interested in "transit";
+	// we have seen none.
+	for i := 0; i < 2; i++ {
+		g, _ := bsub.NewTCBF(cfg, 0)
+		if err := g.Insert("transit", 0); err != nil {
+			panic(err)
+		}
+		if err := peer.AMerge(g, 0); err != nil {
+			panic(err)
+		}
+	}
+	pref, err := bsub.Preference("transit", peer, self, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peer preference %.0f: hand the message over\n", pref)
+	// Output:
+	// peer preference 20: hand the message over
+}
+
+// The Eq. 1 false-positive rate at the paper's evaluation geometry.
+func ExampleFPR() {
+	fmt.Printf("FPR(m=256, k=4, n=38) = %.4f\n", bsub.FPR(256, 4, 38))
+	// Output:
+	// FPR(m=256, k=4, n=38) = 0.0402
+}
+
+// Splitting a key population across several TCBFs under a storage bound
+// (Eq. 9-10).
+func ExampleOptimalAllocation() {
+	alloc, err := bsub.OptimalAllocation(256, 4, 38, 500*8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("filters=%d joint FPR=%.6f\n", alloc.Filters, alloc.JointFPR)
+	// Output:
+	// filters=38 joint FPR=0.000002
+}
+
+// Running a full protocol comparison on a synthetic human network.
+func ExampleSimulate() {
+	fixture, err := bsub.NewSmallFixture(42)
+	if err != nil {
+		panic(err)
+	}
+	report, err := bsub.Simulate(fixture, bsub.NewPull(), 4*time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	// PULL forwards exactly once per delivered message instance.
+	fmt.Printf("PULL fwd/delivered = %.2f\n", report.ForwardingsPerDelivered())
+	// Output:
+	// PULL fwd/delivered = 1.00
+}

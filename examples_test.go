@@ -1,0 +1,56 @@
+package bsub_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end so the
+// documentation cannot rot. Each must exit zero and print its expected
+// marker. Skipped in -short mode (each run takes a few seconds).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full programs")
+	}
+	tests := []struct {
+		dir    string
+		args   []string
+		marker string
+	}{
+		{dir: "./examples/quickstart", marker: "decayed away"},
+		{dir: "./examples/trendfeed", args: []string{"-small"}, marker: "Fig. 7 story"},
+		{dir: "./examples/tuning", marker: "joint FPR"},
+		{dir: "./examples/citybus", marker: "bridge lines"},
+		{dir: "./examples/livemesh", marker: "real TCP connection"},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(strings.TrimPrefix(tt.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", tt.dir}, tt.args...)
+			cmd := exec.Command("go", args...)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				defer close(done)
+				out, err = cmd.CombinedOutput()
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				<-done
+				t.Fatalf("%s timed out", tt.dir)
+			}
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", tt.dir, err, out)
+			}
+			if !strings.Contains(string(out), tt.marker) {
+				t.Errorf("%s output missing marker %q:\n%s", tt.dir, tt.marker, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module bsub
+
+go 1.22

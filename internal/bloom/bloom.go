@@ -1,0 +1,154 @@
+// Package bloom implements the classic Bloom filter and the Counting Bloom
+// filter described in Section III of the B-SUB paper.
+//
+// A Bloom filter (BF) is a randomized set representation supporting
+// probabilistic membership queries: a query for a contained key always
+// returns true, while a query for an absent key returns true with the
+// false-positive rate of Eq. 1, (1 - e^(-kn/m))^k.
+//
+// The Counting Bloom filter (CBF) associates a counter with every bit so
+// that keys can be deleted; a bit is reset once its counter reaches zero.
+//
+// In B-SUB, plain BFs are exchanged during message forwarding (a consumer
+// reports its interests to a producer or broker as a counter-less BF to save
+// bandwidth, Section V-D); the temporal variant used for interest
+// propagation lives in package tcbf.
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"bsub/internal/hashkit"
+)
+
+// Filter is a classic Bloom filter over string keys.
+type Filter struct {
+	hasher  hashkit.Hasher
+	bits    []uint64
+	scratch []uint32
+}
+
+// NewFilter returns an empty Bloom filter with an m-bit vector and k hash
+// functions.
+func NewFilter(m, k int) (*Filter, error) {
+	hasher, err := hashkit.New(m, k)
+	if err != nil {
+		return nil, fmt.Errorf("bloom: %w", err)
+	}
+	return &Filter{
+		hasher:  hasher,
+		bits:    make([]uint64, (m+63)/64),
+		scratch: make([]uint32, 0, k),
+	}, nil
+}
+
+// MustNewFilter is NewFilter for parameters known to be valid; it panics on
+// invalid input.
+func MustNewFilter(m, k int) *Filter {
+	f, err := NewFilter(m, k)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// M returns the bit-vector length.
+func (f *Filter) M() int { return f.hasher.M() }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.hasher.K() }
+
+// Insert adds key to the filter.
+func (f *Filter) Insert(key string) {
+	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	for _, p := range f.scratch {
+		f.bits[p/64] |= 1 << (p % 64)
+	}
+}
+
+// Contains reports whether key may be in the filter. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(key string) bool {
+	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	for _, p := range f.scratch {
+		if f.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge ORs other into f. The paper: "To merge multiple BFs, we do a
+// bit-wise OR on them." Filters must share geometry.
+func (f *Filter) Merge(other *Filter) error {
+	if f.M() != other.M() || f.K() != other.K() {
+		return fmt.Errorf("bloom: geometry mismatch: (%d,%d) vs (%d,%d)",
+			f.M(), f.K(), other.M(), other.K())
+	}
+	for i, w := range other.bits {
+		f.bits[i] |= w
+	}
+	return nil
+}
+
+// SetBits returns the number of set bits.
+func (f *Filter) SetBits() int {
+	n := 0
+	for _, w := range f.bits {
+		n += popcount(w)
+	}
+	return n
+}
+
+// FillRatio returns the ratio of set bits to vector length (Eq. 3's
+// observable counterpart).
+func (f *Filter) FillRatio() float64 {
+	return float64(f.SetBits()) / float64(f.M())
+}
+
+// EstimatedFPR estimates the current false-positive rate from the observed
+// fill ratio: a query misses only if all k probed bits are set, so the rate
+// is FillRatio^k.
+func (f *Filter) EstimatedFPR() float64 {
+	return math.Pow(f.FillRatio(), float64(f.K()))
+}
+
+// Reset clears the filter to empty.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the filter.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{
+		hasher:  f.hasher,
+		bits:    make([]uint64, len(f.bits)),
+		scratch: make([]uint32, 0, f.K()),
+	}
+	copy(c.bits, f.bits)
+	return c
+}
+
+// Bit reports whether bit position p is set. It is used by the wire
+// encoders and by tests; p must be in [0, M).
+func (f *Filter) Bit(p int) bool {
+	return f.bits[p/64]&(1<<(uint(p)%64)) != 0
+}
+
+// SetBit sets bit position p. Used by decoders reconstructing a filter from
+// its wire form; p must be in [0, M).
+func (f *Filter) SetBit(p int) {
+	f.bits[p/64] |= 1 << (uint(p) % 64)
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}

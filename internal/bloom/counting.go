@@ -1,0 +1,123 @@
+package bloom
+
+import (
+	"errors"
+	"fmt"
+
+	"bsub/internal/hashkit"
+)
+
+// ErrAbsent is returned by CountingFilter.Delete when the key's bits are not
+// all set, i.e. the key cannot have been inserted.
+var ErrAbsent = errors.New("bloom: key not present")
+
+// CountingFilter is the Counting Bloom filter of Section III ([22] in the
+// paper): each bit carries a counter holding the number of keys associated
+// with it, enabling deletion. Counters saturate at the maximum uint16 value
+// rather than overflowing.
+type CountingFilter struct {
+	hasher   hashkit.Hasher
+	counters []uint16
+	scratch  []uint32
+}
+
+// NewCounting returns an empty Counting Bloom filter with an m-counter
+// vector and k hash functions.
+func NewCounting(m, k int) (*CountingFilter, error) {
+	hasher, err := hashkit.New(m, k)
+	if err != nil {
+		return nil, fmt.Errorf("bloom: %w", err)
+	}
+	return &CountingFilter{
+		hasher:   hasher,
+		counters: make([]uint16, m),
+		scratch:  make([]uint32, 0, k),
+	}, nil
+}
+
+// MustNewCounting is NewCounting for parameters known to be valid; it panics
+// on invalid input.
+func MustNewCounting(m, k int) *CountingFilter {
+	f, err := NewCounting(m, k)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// M returns the counter-vector length.
+func (f *CountingFilter) M() int { return f.hasher.M() }
+
+// K returns the number of hash functions.
+func (f *CountingFilter) K() int { return f.hasher.K() }
+
+// Insert adds key, incrementing the counters of its hashed bits. When
+// double hashing maps a key to the same position more than once the counter
+// is incremented once per hash, matching the delete path.
+func (f *CountingFilter) Insert(key string) {
+	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	for _, p := range f.scratch {
+		if f.counters[p] < ^uint16(0) {
+			f.counters[p]++
+		}
+	}
+}
+
+// Delete removes one insertion of key, decrementing the counters of its
+// hashed bits. A bit is reset once its counter reaches 0. Deleting a key
+// whose bits are not all set returns ErrAbsent and leaves the filter
+// unchanged.
+func (f *CountingFilter) Delete(key string) error {
+	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	for _, p := range f.scratch {
+		if f.counters[p] == 0 {
+			return fmt.Errorf("delete %q: %w", key, ErrAbsent)
+		}
+	}
+	for _, p := range f.scratch {
+		f.counters[p]--
+	}
+	return nil
+}
+
+// Contains reports whether key may be in the filter.
+func (f *CountingFilter) Contains(key string) bool {
+	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	for _, p := range f.scratch {
+		if f.counters[p] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the counter value at position p; p must be in [0, M).
+func (f *CountingFilter) Counter(p int) uint16 { return f.counters[p] }
+
+// SetBits returns the number of positions with non-zero counters.
+func (f *CountingFilter) SetBits() int {
+	n := 0
+	for _, c := range f.counters {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FillRatio returns the ratio of non-zero counters to vector length.
+func (f *CountingFilter) FillRatio() float64 {
+	return float64(f.SetBits()) / float64(f.M())
+}
+
+// ToFilter projects the counting filter onto a plain Bloom filter with the
+// same geometry ("ripping the counters", Section V-D).
+func (f *CountingFilter) ToFilter() *Filter {
+	out := MustNewFilter(f.M(), f.K())
+	for p, c := range f.counters {
+		if c > 0 {
+			out.SetBit(p)
+		}
+	}
+	return out
+}

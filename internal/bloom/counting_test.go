@@ -1,0 +1,154 @@
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountingInsertContainsDelete(t *testing.T) {
+	f := MustNewCounting(256, 4)
+	f.Insert("k0")
+	f.Insert("k1")
+	if !f.Contains("k0") || !f.Contains("k1") {
+		t.Fatal("counting filter lost inserted keys")
+	}
+	if err := f.Delete("k0"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if !f.Contains("k1") {
+		t.Error("deleting k0 removed k1")
+	}
+}
+
+func TestCountingDeleteAbsent(t *testing.T) {
+	f := MustNewCounting(256, 4)
+	f.Insert("present")
+	err := f.Delete("definitely-absent-key")
+	if err == nil {
+		// Possible only via false positive; with one key in 256 bits this
+		// would be astronomically unlikely for this fixed probe.
+		t.Fatal("delete of absent key succeeded")
+	}
+	if !errors.Is(err, ErrAbsent) {
+		t.Errorf("error %v does not wrap ErrAbsent", err)
+	}
+	if !f.Contains("present") {
+		t.Error("failed delete corrupted the filter")
+	}
+}
+
+func TestCountingDeleteRestoresEmpty(t *testing.T) {
+	f := MustNewCounting(128, 3)
+	keys := []string{"a", "b", "c", "d"}
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	for _, k := range keys {
+		if err := f.Delete(k); err != nil {
+			t.Fatalf("delete %q: %v", k, err)
+		}
+	}
+	if f.SetBits() != 0 {
+		t.Errorf("after deleting all keys, %d counters remain non-zero", f.SetBits())
+	}
+}
+
+func TestCountingMultiInsert(t *testing.T) {
+	f := MustNewCounting(64, 2)
+	f.Insert("dup")
+	f.Insert("dup")
+	if err := f.Delete("dup"); err != nil {
+		t.Fatalf("first delete: %v", err)
+	}
+	if !f.Contains("dup") {
+		t.Error("one of two insertions should survive a single delete")
+	}
+	if err := f.Delete("dup"); err != nil {
+		t.Fatalf("second delete: %v", err)
+	}
+	if f.Contains("dup") {
+		t.Error("key survives after deleting both insertions")
+	}
+}
+
+func TestCountingToFilter(t *testing.T) {
+	cf := MustNewCounting(256, 4)
+	cf.Insert("x")
+	cf.Insert("y")
+	bf := cf.ToFilter()
+	if !bf.Contains("x") || !bf.Contains("y") {
+		t.Error("projected filter lost keys")
+	}
+	if bf.SetBits() != cf.SetBits() {
+		t.Errorf("projection changed set-bit count: %d vs %d", bf.SetBits(), cf.SetBits())
+	}
+}
+
+func TestCountingSaturation(t *testing.T) {
+	f := MustNewCounting(1, 1)
+	for i := 0; i < 70000; i++ {
+		f.Insert("k")
+	}
+	if f.Counter(0) != ^uint16(0) {
+		t.Errorf("counter = %d, want saturation at %d", f.Counter(0), ^uint16(0))
+	}
+}
+
+// Property: insert followed by delete of the same key leaves the set-bit
+// population unchanged.
+func TestCountingInsertDeleteInverseProperty(t *testing.T) {
+	prop := func(base []string, key string) bool {
+		f := MustNewCounting(512, 4)
+		for _, k := range base {
+			f.Insert(k)
+		}
+		before := make([]uint16, 512)
+		for i := range before {
+			before[i] = f.Counter(i)
+		}
+		f.Insert(key)
+		if err := f.Delete(key); err != nil {
+			return false
+		}
+		for i := range before {
+			if f.Counter(i) != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no false negatives for the counting variant either.
+func TestCountingNoFalseNegativesProperty(t *testing.T) {
+	prop := func(keys []string) bool {
+		f := MustNewCounting(512, 4)
+		for _, k := range keys {
+			f.Insert(k)
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCountingInsertDelete(b *testing.B) {
+	f := MustNewCounting(256, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i%32)
+		f.Insert(key)
+		_ = f.Delete(key)
+	}
+}

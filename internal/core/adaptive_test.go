@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bsub/internal/sim"
+	"bsub/internal/tcbf"
+	"bsub/internal/tracegen"
+	"bsub/internal/workload"
+)
+
+func adaptiveFixture(t *testing.T, seed int64) sim.Config {
+	t.Helper()
+	tr, err := tracegen.Generate(tracegen.Small(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := workload.NewTrendKeySet()
+	rng := rand.New(rand.NewSource(seed))
+	interests := workload.Interests(ks, tr.Nodes, rng)
+	rates, err := workload.Rates(tr.Centrality(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{
+		Trace:     tr,
+		Interests: interests,
+		Messages:  workload.GenerateMessages(ks, rates, tr.Span(), rng),
+		TTL:       4 * time.Hour,
+		Seed:      seed,
+	}
+}
+
+func TestDFModeValidation(t *testing.T) {
+	cfg := DefaultConfig(0.1)
+	cfg.DFMode = DFFeedback // without TargetFPR
+	b := New(cfg)
+	if err := b.Init(&fakeEnv{nodes: 2, ttl: time.Hour}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("DFFeedback without a target FPR accepted")
+	}
+	cfg = DefaultConfig(0.1)
+	cfg.DFMode = DFMode(99)
+	b = New(cfg)
+	if err := b.Init(&fakeEnv{nodes: 2, ttl: time.Hour}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unknown DF mode accepted")
+	}
+}
+
+func TestDFOnlineEq5EndToEnd(t *testing.T) {
+	// The online Eq. 5 mode (Section VII-B) must run a full simulation
+	// sanely and stay in the same delivery regime as a hand-tuned fixed
+	// DF.
+	simCfg := adaptiveFixture(t, 61)
+
+	fixed, err := sim.Run(simCfg, New(DefaultConfig(0.05)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveCfg := DefaultConfig(0) // DF recomputed per broker online
+	adaptiveCfg.DFMode = DFOnlineEq5
+	adaptive, err := sim.Run(simCfg, New(adaptiveCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Delivered == 0 {
+		t.Fatal("online-Eq.5 mode delivered nothing")
+	}
+	if adaptive.DeliveryRatio() < fixed.DeliveryRatio()*0.7 {
+		t.Errorf("online-Eq.5 delivery %.3f far below fixed-DF %.3f",
+			adaptive.DeliveryRatio(), fixed.DeliveryRatio())
+	}
+	t.Logf("fixed:    %s", fixed)
+	t.Logf("adaptive: %s", adaptive)
+}
+
+func TestDFFeedbackEndToEnd(t *testing.T) {
+	simCfg := adaptiveFixture(t, 62)
+	cfg := DefaultConfig(0)
+	cfg.DFMode = DFFeedback
+	cfg.TargetFPR = 0.02
+	rep, err := sim.Run(simCfg, New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("feedback mode delivered nothing")
+	}
+	t.Logf("feedback: %s", rep)
+}
+
+func TestRetuneDFFeedbackDirection(t *testing.T) {
+	// White-box: a saturated relay filter must raise the DF; an empty one
+	// must lower it toward the baseline. Start well above the C/TTL floor
+	// so both directions are observable.
+	cfg := DefaultConfig(1.0)
+	cfg.DFMode = DFFeedback
+	cfg.TargetFPR = 0.002
+	p := New(cfg)
+	if err := p.Init(&fakeEnv{nodes: 2, ttl: time.Hour}, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	n := p.nodes[0]
+	p.promote(n, 0)
+
+	// Saturate the relay filter well past the target FPR.
+	genuine := tcbf.MustNewPartitioned(p.filterCfg, 1, 0)
+	for _, k := range workload.NewTrendKeySet().Keys() {
+		if err := genuine.Insert(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.relay.AMerge(genuine, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := n.relay.Config().DecayPerMinute
+	p.retuneDF(n, 0)
+	after := n.relay.Config().DecayPerMinute
+	if after <= before {
+		t.Errorf("saturated filter: DF %g -> %g, want increase", before, after)
+	}
+
+	// Drain the filter (huge decay interval) and retune: DF must shrink
+	// back toward the baseline.
+	if err := n.relay.Advance(100 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	before = n.relay.Config().DecayPerMinute
+	p.retuneDF(n, 100*time.Hour)
+	after = n.relay.Config().DecayPerMinute
+	if after >= before {
+		t.Errorf("empty filter: DF %g -> %g, want decrease", before, after)
+	}
+}
+
+func TestRetuneDFOnlineScalesWithDegree(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.DFMode = DFOnlineEq5
+	p := New(cfg)
+	if err := p.Init(&fakeEnv{nodes: 12, ttl: time.Hour}, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	quiet := p.nodes[0]
+	busy := p.nodes[1]
+	p.promote(quiet, 0)
+	p.promote(busy, 0)
+	now := 30 * time.Minute
+	for i := 2; i < 12; i++ {
+		busy.meetings[p.nodes[i].id] = now
+	}
+	p.retuneDF(quiet, now)
+	p.retuneDF(busy, now)
+	dfQuiet := quiet.relay.Config().DecayPerMinute
+	dfBusy := busy.relay.Config().DecayPerMinute
+	if dfBusy <= dfQuiet {
+		t.Errorf("busy broker DF %g not above quiet broker DF %g "+
+			"(more collected keys -> faster decay per Eq. 5)", dfBusy, dfQuiet)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV exporters mirror the text writers so the figures can be re-plotted
+// with any tool. One row per x-position, one column per series, matching
+// the paper's axes.
+
+// WriteTTLSweepCSV emits a Fig. 7/8 sweep as CSV.
+func WriteTTLSweepCSV(w io.Writer, points []TTLPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"ttl_minutes",
+		"push_delivery", "bsub_delivery", "pull_delivery",
+		"push_delay_minutes", "bsub_delay_minutes", "pull_delay_minutes",
+		"push_fwd_per_delivered", "bsub_fwd_per_delivered", "pull_fwd_per_delivered",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, p := range points {
+		row := []string{
+			ftoa(p.TTL.Minutes()),
+			ftoa(p.Push.DeliveryRatio()), ftoa(p.BSub.DeliveryRatio()), ftoa(p.Pull.DeliveryRatio()),
+			ftoa(p.Push.MeanDelay().Minutes()), ftoa(p.BSub.MeanDelay().Minutes()), ftoa(p.Pull.MeanDelay().Minutes()),
+			ftoa(p.Push.ForwardingsPerDelivered()), ftoa(p.BSub.ForwardingsPerDelivered()), ftoa(p.Pull.ForwardingsPerDelivered()),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDFSweepCSV emits a Fig. 9 sweep as CSV.
+func WriteDFSweepCSV(w io.Writer, points []DFPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"df_per_minute", "delivery", "delay_minutes", "fwd_per_delivered", "fpr", "injection_fpr",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, p := range points {
+		row := []string{
+			ftoa(p.DF),
+			ftoa(p.Report.DeliveryRatio()),
+			ftoa(p.Report.MeanDelay().Minutes()),
+			ftoa(p.Report.ForwardingsPerDelivered()),
+			ftoa(p.Report.FPR()),
+			ftoa(p.Report.InjectionFPR()),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAblationCSV emits an ablation comparison as CSV.
+func WriteAblationCSV(w io.Writer, results []AblationResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"variant", "delivery", "delay_minutes", "fwd_per_delivered", "fpr", "injection_fpr", "control_bytes"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, r := range results {
+		row := []string{
+			r.Variant,
+			ftoa(r.Report.DeliveryRatio()),
+			ftoa(r.Report.MeanDelay().Minutes()),
+			ftoa(r.Report.ForwardingsPerDelivered()),
+			ftoa(r.Report.FPR()),
+			ftoa(r.Report.InjectionFPR()),
+			strconv.FormatInt(r.Report.ControlBytes, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallFixture(t *testing.T) *Fixture {
+	t.Helper()
+	f, err := NewSmallFixture(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFixtureWellFormed(t *testing.T) {
+	f := smallFixture(t)
+	if f.Trace == nil || len(f.Interests) != f.Trace.Nodes {
+		t.Fatalf("fixture malformed: %d interests for %d nodes", len(f.Interests), f.Trace.Nodes)
+	}
+	if len(f.Messages) == 0 {
+		t.Fatal("fixture has no messages")
+	}
+	for i := 1; i < len(f.Messages); i++ {
+		if f.Messages[i].CreatedAt < f.Messages[i-1].CreatedAt {
+			t.Fatal("messages not sorted")
+		}
+	}
+}
+
+func TestFixtureDeterministic(t *testing.T) {
+	a, err := NewSmallFixture(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSmallFixture(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Messages) != len(b.Messages) {
+		t.Fatalf("message counts differ: %d vs %d", len(a.Messages), len(b.Messages))
+	}
+	for i := range a.Messages {
+		if !reflect.DeepEqual(a.Messages[i], b.Messages[i]) {
+			t.Fatalf("message %d differs", i)
+		}
+	}
+}
+
+func TestBSubConfigDFScalesWithTTL(t *testing.T) {
+	f := smallFixture(t)
+	short := f.BSubConfig(time.Hour)
+	long := f.BSubConfig(10 * time.Hour)
+	if short.DecayPerMinute <= long.DecayPerMinute {
+		t.Errorf("DF should fall as TTL grows: DF(1h)=%g DF(10h)=%g",
+			short.DecayPerMinute, long.DecayPerMinute)
+	}
+	if short.DecayPerMinute <= 0 {
+		t.Error("derived DF not positive")
+	}
+}
+
+func TestTTLSweepSmall(t *testing.T) {
+	f := smallFixture(t)
+	ttls := []time.Duration{30 * time.Minute, 4 * time.Hour}
+	points, err := TTLSweep(f, ttls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Delivery ratio must not fall as TTL rises, for every protocol.
+	for _, get := range []func(TTLPoint) float64{
+		func(p TTLPoint) float64 { return p.Push.DeliveryRatio() },
+		func(p TTLPoint) float64 { return p.Pull.DeliveryRatio() },
+	} {
+		if get(points[1]) < get(points[0])-0.02 {
+			t.Errorf("delivery ratio fell with longer TTL: %.3f -> %.3f",
+				get(points[0]), get(points[1]))
+		}
+	}
+	// Fig. 7 ordering at the long-TTL point.
+	p := points[1]
+	if p.Push.DeliveryRatio() < p.BSub.DeliveryRatio()-1e-9 {
+		t.Errorf("PUSH %.3f below B-SUB %.3f", p.Push.DeliveryRatio(), p.BSub.DeliveryRatio())
+	}
+	if p.Push.ForwardingsPerDelivered() <= p.BSub.ForwardingsPerDelivered() {
+		t.Errorf("PUSH overhead %.2f not above B-SUB %.2f",
+			p.Push.ForwardingsPerDelivered(), p.BSub.ForwardingsPerDelivered())
+	}
+	if p.BSub.ForwardingsPerDelivered() < p.Pull.ForwardingsPerDelivered()-0.1 {
+		t.Errorf("B-SUB overhead %.2f below PULL %.2f (PULL is minimal)",
+			p.BSub.ForwardingsPerDelivered(), p.Pull.ForwardingsPerDelivered())
+	}
+}
+
+func TestDFSweepSmall(t *testing.T) {
+	f := smallFixture(t)
+	points, err := DFSweep(f, []float64{0, 2}, 4*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 9: a huge DF reduces both delivery and overhead relative to
+	// DF=0 (flood-like interest spread).
+	if points[1].Report.ForwardingsPerDelivered() > points[0].Report.ForwardingsPerDelivered()+0.5 {
+		t.Errorf("overhead rose with DF: %.2f -> %.2f",
+			points[0].Report.ForwardingsPerDelivered(),
+			points[1].Report.ForwardingsPerDelivered())
+	}
+	if points[1].Report.DeliveryRatio() > points[0].Report.DeliveryRatio()+0.05 {
+		t.Errorf("delivery rose sharply with huge DF: %.3f -> %.3f",
+			points[0].Report.DeliveryRatio(), points[1].Report.DeliveryRatio())
+	}
+}
+
+func TestTheoreticalWorstFPR(t *testing.T) {
+	got := TheoreticalWorstFPR()
+	if math.Abs(got-0.04) > 0.01 {
+		t.Errorf("worst-case FPR = %.4f, want the paper's ~0.04", got)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows := Table2(4)
+	want := []float64{0.132, 0.103, 0.0887, 0.0739}
+	for i, r := range rows {
+		if math.Abs(r.Weight-want[i]) > 1e-9 {
+			t.Errorf("row %d weight = %g, want %g", i, r.Weight, want[i])
+		}
+	}
+	if len(Table2(1000)) != 38 {
+		t.Error("Table2 over-requests keys")
+	}
+}
+
+func TestMemoryComparison(t *testing.T) {
+	m, err := MemoryComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Keys != 38 {
+		t.Fatalf("keys = %d", m.Keys)
+	}
+	// "at most, 5 bytes are used to encode a single key"
+	if m.PerKeyTCBFBytes > 5+1e-9 {
+		t.Errorf("per-key TCBF bytes = %g, paper says at most 5", m.PerKeyTCBFBytes)
+	}
+	// The TCBF representation must beat raw strings substantially
+	// ("the TCBF uses half of the space used by the raw strings").
+	perKeyRaw := m.RawBytes / float64(m.Keys)
+	if m.PerKeyTCBFBytes > perKeyRaw*0.6 {
+		t.Errorf("TCBF per key %g B not well below raw %g B", m.PerKeyTCBFBytes, perKeyRaw)
+	}
+	if m.FilterActualBytes <= 0 {
+		t.Error("actual encoding empty")
+	}
+	// The whole 38-key filter should also undercut the raw list.
+	if float64(m.FilterActualBytes) > m.RawBytes {
+		t.Errorf("full filter %d B exceeds raw strings %.0f B", m.FilterActualBytes, m.RawBytes)
+	}
+}
+
+func TestAllocationSweep(t *testing.T) {
+	points, err := AllocationSweep([]int{250, 500, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Allocation.Filters < points[i-1].Allocation.Filters {
+			t.Errorf("filter count fell with a larger bound")
+		}
+		if points[i].Allocation.JointFPR > points[i-1].Allocation.JointFPR+1e-12 {
+			t.Errorf("joint FPR rose with a larger bound")
+		}
+	}
+	if _, err := AllocationSweep([]int{1}); err == nil {
+		t.Error("infeasible bound accepted")
+	}
+}
+
+func TestWriters(t *testing.T) {
+	f := smallFixture(t)
+	points, err := TTLSweep(f, []time.Duration{time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTTLSweep(&buf, "Fig 7 (small)", points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TTL(min)") {
+		t.Error("TTL sweep output missing header")
+	}
+
+	dfp, err := DFSweep(f, []float64{0.5}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteDFSweep(&buf, "Fig 9 (small)", dfp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FPR") {
+		t.Error("DF sweep output missing header")
+	}
+
+	buf.Reset()
+	if err := WriteTable2(&buf, Table2(4)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NewMoon") {
+		t.Error("Table II output missing top key")
+	}
+
+	m, err := MemoryComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteMemory(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "raw strings") {
+		t.Error("memory output malformed")
+	}
+
+	ap, err := AllocationSweep([]int{400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteAllocation(&buf, ap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "joint FPR") {
+		t.Error("allocation output malformed")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 generates both full traces")
+	}
+	rows, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Nodes != 79 || rows[1].Nodes != 97 {
+		t.Errorf("node counts: %d, %d; want 79, 97", rows[0].Nodes, rows[1].Nodes)
+	}
+	if math.Abs(float64(rows[0].Contacts)-67360)/67360 > 0.15 {
+		t.Errorf("haggle contacts %d off target", rows[0].Contacts)
+	}
+	if math.Abs(float64(rows[1].Contacts)-54667)/54667 > 0.15 {
+		t.Errorf("mit contacts %d off target", rows[1].Contacts)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Haggle") {
+		t.Error("Table I output malformed")
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	f := smallFixture(t)
+	points, err := TTLSweep(f, []time.Duration{time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTTLSweepCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("TTL sweep CSV does not parse: %v", err)
+	}
+	if len(rows) != 2 || len(rows[0]) != 10 {
+		t.Errorf("TTL sweep CSV shape %dx%d, want 2x10", len(rows), len(rows[0]))
+	}
+	if rows[1][0] != "60.000000" {
+		t.Errorf("ttl column = %q", rows[1][0])
+	}
+
+	dfp, err := DFSweep(f, []float64{0.5}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteDFSweepCSV(&buf, dfp); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = csv.NewReader(&buf).ReadAll()
+	if err != nil || len(rows) != 2 || len(rows[0]) != 6 {
+		t.Errorf("DF sweep CSV malformed: %v rows=%d", err, len(rows))
+	}
+
+	ab, err := AblateCopyLimit(f, ablationTTL, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteAblationCSV(&buf, ab); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = csv.NewReader(&buf).ReadAll()
+	if err != nil || len(rows) != 2 || rows[1][0] != "C=3" {
+		t.Errorf("ablation CSV malformed: %v %v", err, rows)
+	}
+}
+
+func TestDefaultAxes(t *testing.T) {
+	ttls := DefaultTTLs()
+	if len(ttls) != 7 || ttls[0] != 10*time.Minute || ttls[6] != 1000*time.Minute {
+		t.Errorf("DefaultTTLs = %v", ttls)
+	}
+	dfs := DefaultDFs()
+	if len(dfs) != 8 || dfs[0] != 0 || dfs[1] != 0.138 {
+		t.Errorf("DefaultDFs = %v", dfs)
+	}
+}

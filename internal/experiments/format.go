@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTTLSweep renders a TTL sweep as the three series of Fig. 7/8:
+// delivery ratio, delay, and forwardings per delivered message.
+func WriteTTLSweep(w io.Writer, title string, points []TTLPoint) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %28s %31s %28s\n", "TTL(min)",
+		"delivery(PUSH/B-SUB/PULL)", "delay-min(PUSH/B-SUB/PULL)", "fwd(PUSH/B-SUB/PULL)"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		_, err := fmt.Fprintf(w, "%-12.0f %8.3f %8.3f %8.3f  %9.1f %9.1f %9.1f  %8.2f %8.2f %8.2f\n",
+			p.TTL.Minutes(),
+			p.Push.DeliveryRatio(), p.BSub.DeliveryRatio(), p.Pull.DeliveryRatio(),
+			p.Push.MeanDelay().Minutes(), p.BSub.MeanDelay().Minutes(), p.Pull.MeanDelay().Minutes(),
+			p.Push.ForwardingsPerDelivered(), p.BSub.ForwardingsPerDelivered(), p.Pull.ForwardingsPerDelivered())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDFSweep renders a DF sweep as the four series of Fig. 9.
+func WriteDFSweep(w io.Writer, title string, points []DFPoint) error {
+	if _, err := fmt.Fprintf(w, "%s (TTL=%v, theoretical worst FPR %.4f)\n",
+		title, Fig9TTL, TheoreticalWorstFPR()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %10s %12s %8s %8s %8s\n",
+		"DF(/min)", "delivery", "delay(min)", "fwd", "FPR", "injFPR"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		_, err := fmt.Fprintf(w, "%-10.3f %10.3f %12.1f %8.2f %8.4f %8.4f\n",
+			p.DF, p.Report.DeliveryRatio(), p.Report.MeanDelay().Minutes(),
+			p.Report.ForwardingsPerDelivered(), p.Report.FPR(), p.Report.InjectionFPR())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable1 renders the Table I trace parameters.
+func WriteTable1(w io.Writer, rows []Table1Row) error {
+	if _, err := fmt.Fprintf(w, "Table I: parameters of two data sets\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-20s %-8s %-10s %10s %8s %10s\n",
+		"Data Set", "Device", "Method", "Days", "Nodes", "Contacts"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		_, err := fmt.Fprintf(w, "%-20s %-8s %-10s %10.0f %8d %10d\n",
+			r.Name, r.Device, r.Method, r.Days, r.Nodes, r.Contacts)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable2 renders the Table II key distribution head.
+func WriteTable2(w io.Writer, rows []Table2Row) error {
+	if _, err := fmt.Fprintf(w, "Table II: distribution of the top %d keys\n", len(rows)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-20s %.4f\n", r.Key, r.Weight); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMemory renders the M1 interest-storage comparison.
+func WriteMemory(w io.Writer, m MemoryResult) error {
+	_, err := fmt.Fprintf(w,
+		`M1: interest storage, %d keys (m=256, k=4)
+raw strings (incl. 2B control/key): %8.1f B  (mean key %.1f B)
+TCBF per key (paper bound):         %8.1f B
+TCBF full filter (Eq. 8):           %8.1f B
+TCBF full filter (this encoder):    %8d B
+per-key ratio TCBF/raw:             %8.2f
+`,
+		m.Keys, m.RawBytes, m.MeanKeyBytes, m.PerKeyTCBFBytes,
+		m.FilterPaperBytes, m.FilterActualBytes,
+		m.PerKeyTCBFBytes/(m.RawBytes/float64(m.Keys)))
+	return err
+}
+
+// WriteAllocation renders the A2 optimal-allocation sweep.
+func WriteAllocation(w io.Writer, points []AllocationPoint) error {
+	if _, err := fmt.Fprintf(w, "A2: optimal TCBF allocation (m=256, k=4, n=38 keys)\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %8s %14s %12s %12s\n",
+		"bound(B)", "filters", "keys/filter", "fill-thresh", "joint FPR"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		_, err := fmt.Fprintf(w, "%-12d %8d %14.1f %12.3f %12.6f\n",
+			p.MaxBytes, p.Allocation.Filters, p.Allocation.KeysPerFilter,
+			p.Allocation.FillThreshold, p.Allocation.JointFPR)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

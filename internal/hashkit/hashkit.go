@@ -1,0 +1,87 @@
+// Package hashkit derives the k independent bit positions that every
+// Bloom-filter variant in this repository uses to map a key onto a
+// bit-vector.
+//
+// The paper (Section III) assumes k hash functions that independently hash a
+// key to an integer in [0, m-1]. We realize them with the standard
+// Kirsch–Mitzenmacher double-hashing construction: a single 64-bit FNV-1a
+// digest is split into two 32-bit halves h1 and h2, and position i is
+// (h1 + i*h2) mod m. This preserves the asymptotic false-positive behaviour
+// of k independent hashes while hashing the key only once.
+package hashkit
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// MaxK bounds the number of hash functions a Hasher will derive. The paper
+// uses k = 2 in its worked examples and k = 4 in the evaluation; 64 leaves
+// generous headroom for parameter studies.
+const MaxK = 64
+
+// Hasher derives k bit positions in [0, m) for string keys.
+//
+// The zero value is not usable; construct with New.
+type Hasher struct {
+	m uint32
+	k int
+}
+
+// New returns a Hasher that derives k positions over an m-bit vector.
+func New(m, k int) (Hasher, error) {
+	if m <= 0 {
+		return Hasher{}, fmt.Errorf("hashkit: bit-vector length must be positive, got %d", m)
+	}
+	if k <= 0 || k > MaxK {
+		return Hasher{}, fmt.Errorf("hashkit: hash count must be in [1, %d], got %d", MaxK, k)
+	}
+	return Hasher{m: uint32(m), k: k}, nil
+}
+
+// MustNew is New for parameters known to be valid at compile time; it panics
+// on invalid input and is intended for package-level defaults and tests.
+func MustNew(m, k int) Hasher {
+	h, err := New(m, k)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// M returns the bit-vector length this Hasher targets.
+func (h Hasher) M() int { return int(h.m) }
+
+// K returns the number of positions derived per key.
+func (h Hasher) K() int { return h.k }
+
+// Positions appends the k bit positions for key to dst and returns the
+// extended slice. Positions may repeat for distinct i (the paper explicitly
+// "omit[s] the probability that multiple hash functions return the same
+// location"); callers that need distinct positions must deduplicate.
+func (h Hasher) Positions(dst []uint32, key string) []uint32 {
+	h1, h2 := mix(key)
+	// Force h2 odd so the stride cycles through all residues when m is a
+	// power of two, avoiding degenerate single-position keys.
+	h2 |= 1
+	pos := h1 % h.m
+	step := h2 % h.m
+	for i := 0; i < h.k; i++ {
+		dst = append(dst, pos)
+		pos += step
+		if pos >= h.m {
+			pos -= h.m
+		}
+	}
+	return dst
+}
+
+// mix hashes key once with FNV-1a/64 and splits the digest into the two
+// 32-bit halves used by double hashing.
+func mix(key string) (h1, h2 uint32) {
+	f := fnv.New64a()
+	// hash.Hash64 writes never fail.
+	_, _ = f.Write([]byte(key))
+	sum := f.Sum64()
+	return uint32(sum), uint32(sum >> 32)
+}

@@ -1,0 +1,77 @@
+package livenode
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"bsub/internal/workload"
+)
+
+// FuzzDecodeMessage hardens the message decoder against adversarial peers.
+func FuzzDecodeMessage(f *testing.F) {
+	seed, err := encodeMessage(workload.Message{
+		ID:        77,
+		Key:       "alpha",
+		Extra:     []workload.Key{"beta"},
+		Origin:    3,
+		CreatedAt: time.Minute,
+	}, []byte("payload"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 25))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, payload, err := decodeMessage(data)
+		if err != nil {
+			return
+		}
+		if len(msg.MatchKeys()) == 0 {
+			t.Fatal("decoded message without keys")
+		}
+		if msg.Size != len(payload) {
+			t.Fatalf("size %d != payload %d", msg.Size, len(payload))
+		}
+		// A successfully decoded message must re-encode.
+		if _, err := encodeMessage(msg, payload); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzReadFrame hardens the frame reader.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameHello, []byte("body")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{frameMessage, 0, 0, 0, 5, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(body) > maxFrameBytes {
+			t.Fatalf("frame type %d with oversized body %d", typ, len(body))
+		}
+	})
+}
+
+// FuzzDecodeHello hardens the handshake decoder.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(hello{ID: 9, Broker: true, Degree: 4}.encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHello(data)
+		if err != nil {
+			return
+		}
+		if got := h.encode(); !bytes.Equal(got, data) {
+			t.Fatalf("hello round trip changed bytes: %v vs %v", got, data)
+		}
+	})
+}

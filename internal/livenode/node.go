@@ -1,0 +1,388 @@
+package livenode
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bsub/internal/core"
+	"bsub/internal/tcbf"
+	"bsub/internal/workload"
+)
+
+// Delivery is a message that reached this node's subscriptions.
+type Delivery struct {
+	Message workload.Message
+	Payload []byte
+	// Direct reports whether the message arrived straight from its
+	// producer (true) or through a broker (false).
+	Direct bool
+}
+
+// Config parameterizes a live node. The protocol parameters reuse
+// core.Config (the paper's Section V/VII values via core.DefaultConfig).
+type Config struct {
+	// ID must be unique across the mesh.
+	ID uint32
+	// Protocol holds the B-SUB parameters.
+	Protocol core.Config
+	// TTL is the message lifetime.
+	TTL time.Duration
+	// Clock returns the current time as an offset on a basis shared by
+	// all nodes in the mesh (defaults to Unix wall time). Injected for
+	// tests.
+	Clock func() time.Duration
+	// OnDeliver, when set, receives each delivered message exactly once.
+	// It is called from session goroutines; implementations must be fast
+	// or dispatch to their own queue.
+	OnDeliver func(Delivery)
+}
+
+type storedMessage struct {
+	msg       workload.Message
+	payload   []byte
+	expiresAt time.Duration
+	copies    int
+	sent      map[uint32]struct{} // peers this copy was directly served to
+}
+
+// Node is one live B-SUB device. Create with Listen, connect contacts with
+// Meet, publish with Publish, and stop with Close.
+type Node struct {
+	cfg       Config
+	filterCfg tcbf.Config
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+
+	// mu guards all protocol state; a contact session holds it end to end
+	// (contacts are short and sequential in HUNETs).
+	mu        sync.Mutex
+	interests []workload.Key
+	broker    bool
+	relay     *tcbf.Filter
+	produced  map[int]*storedMessage
+	carried   map[int]*storedMessage
+	delivered map[int]struct{}
+	meetings  map[uint32]time.Duration
+	sightings map[uint32]brokerSighting
+	nextSeq   uint32
+}
+
+type brokerSighting struct {
+	at     time.Duration
+	degree int
+}
+
+// Listen starts a node serving contact sessions on addr (e.g.
+// "127.0.0.1:0").
+func Listen(addr string, cfg Config) (*Node, error) {
+	if cfg.TTL <= 0 {
+		return nil, fmt.Errorf("livenode: TTL must be positive, got %v", cfg.TTL)
+	}
+	if err := validateProtocol(cfg.Protocol); err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		epoch := time.Unix(0, 0)
+		cfg.Clock = func() time.Duration { return time.Since(epoch) }
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("livenode: listen: %w", err)
+	}
+	n := &Node{
+		cfg: cfg,
+		filterCfg: tcbf.Config{
+			M:              cfg.Protocol.FilterM,
+			K:              cfg.Protocol.FilterK,
+			Initial:        cfg.Protocol.InitialCounter,
+			DecayPerMinute: cfg.Protocol.DecayPerMinute,
+		},
+		listener:  ln,
+		closed:    make(chan struct{}),
+		produced:  make(map[int]*storedMessage),
+		carried:   make(map[int]*storedMessage),
+		delivered: make(map[int]struct{}),
+		meetings:  make(map[uint32]time.Duration),
+		sightings: make(map[uint32]brokerSighting),
+	}
+	n.wg.Add(1)
+	go n.serve()
+	return n, nil
+}
+
+// validateProtocol re-checks the core parameters livenode depends on
+// (core validates them on Init inside the simulator; here there is no
+// simulator).
+func validateProtocol(c core.Config) error {
+	switch {
+	case c.FilterM <= 0 || c.FilterK <= 0:
+		return fmt.Errorf("livenode: filter geometry (%d,%d) invalid", c.FilterM, c.FilterK)
+	case c.InitialCounter <= 0:
+		return fmt.Errorf("livenode: initial counter must be positive, got %g", c.InitialCounter)
+	case c.DecayPerMinute < 0:
+		return fmt.Errorf("livenode: decay factor must be non-negative, got %g", c.DecayPerMinute)
+	case c.CopyLimit < 1:
+		return fmt.Errorf("livenode: copy limit must be at least 1, got %d", c.CopyLimit)
+	case c.BrokerLow < 0 || c.BrokerHigh < c.BrokerLow:
+		return fmt.Errorf("livenode: broker thresholds (%d,%d) invalid", c.BrokerLow, c.BrokerHigh)
+	case c.Window <= 0:
+		return fmt.Errorf("livenode: window must be positive, got %v", c.Window)
+	case c.RelayPartitions > 1:
+		return fmt.Errorf("livenode: partitioned relay filters (%d) are not supported by the prototype", c.RelayPartitions)
+	}
+	return nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.listener.Addr().String() }
+
+// ID returns the node's mesh-unique identifier.
+func (n *Node) ID() uint32 { return n.cfg.ID }
+
+// Close stops the listener and waits for in-flight sessions.
+func (n *Node) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	err := n.listener.Close()
+	n.wg.Wait()
+	return err
+}
+
+// Subscribe adds interest keys. In B-SUB terms, they enter the node's
+// genuine filter and will be pushed to brokers on future contacts.
+func (n *Node) Subscribe(keys ...workload.Key) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range keys {
+		dup := false
+		for _, have := range n.interests {
+			if have == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n.interests = append(n.interests, k)
+		}
+	}
+}
+
+// Interests returns a copy of the node's subscriptions.
+func (n *Node) Interests() []workload.Key {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]workload.Key(nil), n.interests...)
+}
+
+// Publish stores a message for dissemination and returns its mesh-wide ID.
+// keys[0] is the primary content key; extras follow (multi-key extension).
+func (n *Node) Publish(payload []byte, keys ...workload.Key) (int, error) {
+	if len(keys) == 0 {
+		return 0, errors.New("livenode: publish requires at least one key")
+	}
+	if len(payload) > workload.MaxMessageBytes {
+		return 0, fmt.Errorf("livenode: payload %d bytes exceeds the %d-byte cap",
+			len(payload), workload.MaxMessageBytes)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.cfg.Clock()
+	id := int(uint64(n.cfg.ID)<<32 | uint64(n.nextSeq))
+	n.nextSeq++
+	msg := workload.Message{
+		ID:        id,
+		Key:       keys[0],
+		Origin:    int(n.cfg.ID),
+		Size:      len(payload),
+		CreatedAt: now,
+	}
+	if len(keys) > 1 {
+		msg.Extra = append([]workload.Key(nil), keys[1:]...)
+	}
+	n.produced[id] = &storedMessage{
+		msg:       msg,
+		payload:   append([]byte(nil), payload...),
+		expiresAt: now + n.cfg.TTL,
+		copies:    n.cfg.Protocol.CopyLimit,
+	}
+	return id, nil
+}
+
+// IsBroker reports whether the node currently serves as a broker.
+func (n *Node) IsBroker() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.broker
+}
+
+// CarriedCount returns how many relayed copies the node holds.
+func (n *Node) CarriedCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.carried)
+}
+
+// serve accepts inbound contact sessions until Close.
+func (n *Node) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+				continue // transient accept error
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			// One session at a time: a busy node refuses the contact, like
+			// a device whose radio is occupied. TryLock (never a blocking
+			// Lock) on both the dialing and accepting side is what makes
+			// simultaneous mutual dials deadlock-free.
+			if !n.mu.TryLock() {
+				return
+			}
+			defer n.mu.Unlock()
+			_ = conn.SetDeadline(time.Now().Add(sessionDeadline))
+			_ = n.runSession(conn, false)
+		}()
+	}
+}
+
+// sessionDeadline bounds one contact session; HUNET contacts are short,
+// and a hung peer must not pin a node's radio forever.
+const sessionDeadline = 10 * time.Second
+
+// ErrBusy is returned by Meet when this node is already in a contact
+// session; the caller may retry, as a device whose radio was occupied.
+var ErrBusy = errors.New("livenode: node busy in another contact")
+
+// Meet dials a peer and runs one contact session, mirroring two devices
+// coming into Bluetooth range. If this node is already in a session it
+// returns ErrBusy rather than queueing — blocking here could deadlock two
+// nodes dialing each other simultaneously.
+func (n *Node) Meet(addr string) error {
+	if !n.mu.TryLock() {
+		return ErrBusy
+	}
+	defer n.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("livenode: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(sessionDeadline))
+	return n.runSession(conn, true)
+}
+
+// --- State helpers (mu held) -------------------------------------------------
+
+func (n *Node) degreeLocked(now time.Duration) int {
+	d := 0
+	window := n.cfg.Protocol.Window
+	for peer, at := range n.meetings {
+		if now-at <= window {
+			d++
+		} else {
+			delete(n.meetings, peer)
+		}
+	}
+	return d
+}
+
+func (n *Node) brokersInWindowLocked(now time.Duration) (count int, meanDegree float64) {
+	sum := 0
+	window := n.cfg.Protocol.Window
+	for id, s := range n.sightings {
+		if now-s.at > window {
+			delete(n.sightings, id)
+			continue
+		}
+		count++
+		sum += s.degree
+	}
+	if count > 0 {
+		meanDegree = float64(sum) / float64(count)
+	}
+	return count, meanDegree
+}
+
+func (n *Node) becomeBroker(now time.Duration) {
+	if n.broker {
+		return
+	}
+	n.broker = true
+	n.relay = tcbf.MustNew(n.filterCfg, now)
+}
+
+func (n *Node) becomeUser() {
+	n.broker = false
+	n.relay = nil
+}
+
+// genuineFilterLocked builds a fresh TCBF holding the node's interests.
+func (n *Node) genuineFilterLocked(now time.Duration) (*tcbf.Filter, error) {
+	f, err := tcbf.New(n.filterCfg, now)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.InsertAll(n.interests, now); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// purgeLocked drops expired messages.
+func (n *Node) purgeLocked(now time.Duration) {
+	for id, s := range n.produced {
+		if now > s.expiresAt {
+			delete(n.produced, id)
+		}
+	}
+	for id, s := range n.carried {
+		if now > s.expiresAt {
+			delete(n.carried, id)
+		}
+	}
+}
+
+// deliverLocked surfaces a message to the application once. A node never
+// delivers its own message to itself, even when a broker carries a copy
+// back to the producer.
+func (n *Node) deliverLocked(msg workload.Message, payload []byte, direct bool) {
+	if msg.Origin == int(n.cfg.ID) {
+		return
+	}
+	if _, dup := n.delivered[msg.ID]; dup {
+		return
+	}
+	n.delivered[msg.ID] = struct{}{}
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(Delivery{Message: msg, Payload: payload, Direct: direct})
+	}
+}
+
+// wantsLocked reports whether the message matches the node's interests.
+func (n *Node) wantsLocked(msg *workload.Message) bool {
+	for _, want := range n.interests {
+		for _, k := range msg.MatchKeys() {
+			if k == want {
+				return true
+			}
+		}
+	}
+	return false
+}

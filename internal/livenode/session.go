@@ -1,0 +1,481 @@
+package livenode
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bsub/internal/core"
+	"bsub/internal/tcbf"
+	"bsub/internal/workload"
+)
+
+// runSession executes one contact session over conn. The caller holds
+// n.mu for the whole session; initiator selects which side of the
+// half-duplex lockstep this node plays. Phases mirror Section V:
+//
+//  0. HELLO exchange (identity, role, degree)
+//  1. election (PROMOTE/DEMOTE per the Section V-B rules)
+//  2. genuine filters (consumer -> broker interest propagation)
+//  3. relay filters + preferential forwarding (broker <-> broker)
+//  4. interest-BF pulls (direct delivery + producer->broker replication)
+//  5. BYE
+func (n *Node) runSession(conn io.ReadWriter, initiator bool) error {
+	now := n.cfg.Clock()
+	n.purgeLocked(now)
+
+	// Phase 0: HELLO.
+	self := hello{ID: n.cfg.ID, Broker: n.broker, Degree: uint16(min(n.degreeLocked(now), 1<<16-1))}
+	var peer hello
+	err := n.lockstep(conn, initiator,
+		func() error { return writeFrame(conn, frameHello, self.encode()) },
+		func() error {
+			body, err := expectFrame(conn, frameHello)
+			if err != nil {
+				return err
+			}
+			peer, err = decodeHello(body)
+			return err
+		})
+	if err != nil {
+		return err
+	}
+	if peer.ID == n.cfg.ID {
+		return fmt.Errorf("%w: peer claims our ID %d", ErrProtocol, peer.ID)
+	}
+	n.meetings[peer.ID] = now
+
+	// Phase 1: election. Each side announces one action for the peer.
+	myAction := n.electLocked(peer, now)
+	var peerAction byte
+	err = n.lockstep(conn, initiator,
+		func() error { return writeFrame(conn, frameElection, []byte{myAction}) },
+		func() error {
+			body, err := expectFrame(conn, frameElection)
+			if err != nil {
+				return err
+			}
+			if len(body) != 1 || body[0] > electDemote {
+				return fmt.Errorf("%w: bad election frame", ErrProtocol)
+			}
+			peerAction = body[0]
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	switch peerAction {
+	case electPromote:
+		n.becomeBroker(now)
+	case electDemote:
+		n.becomeUser()
+	}
+	peerBroker := peer.Broker
+	switch myAction {
+	case electPromote:
+		peerBroker = true
+		n.sightings[peer.ID] = brokerSighting{at: now, degree: int(peer.Degree)}
+	case electDemote:
+		peerBroker = false
+		delete(n.sightings, peer.ID)
+	}
+
+	// Phase 2: genuine filters.
+	genuine, err := n.genuineFilterLocked(now)
+	if err != nil {
+		return err
+	}
+	gBytes, err := genuine.Encode(tcbf.CountersUniform)
+	if err != nil {
+		return err
+	}
+	err = n.lockstep(conn, initiator,
+		func() error { return writeFrame(conn, frameGenuine, gBytes) },
+		func() error {
+			body, err := expectFrame(conn, frameGenuine)
+			if err != nil {
+				return err
+			}
+			peerGenuine, err := tcbf.Decode(body, n.filterCfg, now)
+			if err != nil {
+				return err
+			}
+			if n.broker && n.relay != nil {
+				return n.relay.AMerge(peerGenuine, now)
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+
+	// Phase 3: relay exchange between brokers.
+	if n.broker && peerBroker && n.relay != nil {
+		if err := n.relayPhase(conn, initiator, now); err != nil {
+			return err
+		}
+	}
+
+	// Phase 4: interest pulls, initiator first.
+	first, second := initiator, !initiator
+	for _, phase := range []struct {
+		asker bool // does this node ask (vs answer)?
+	}{{first}, {second}} {
+		if phase.asker {
+			if err := n.askDelivery(conn, peer.ID, now); err != nil {
+				return err
+			}
+			if n.broker && n.relay != nil {
+				if err := n.askReplication(conn, now); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := n.answerDelivery(conn, peer.ID, now); err != nil {
+				return err
+			}
+			if peerBroker {
+				if err := n.answerReplication(conn, now); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Phase 5: BYE.
+	return n.lockstep(conn, initiator,
+		func() error { return writeFrame(conn, frameBye, nil) },
+		func() error {
+			_, err := expectFrame(conn, frameBye)
+			return err
+		})
+}
+
+// lockstep runs send/recv in initiator-first order.
+func (n *Node) lockstep(_ io.ReadWriter, initiator bool, send, recv func() error) error {
+	if initiator {
+		if err := send(); err != nil {
+			return err
+		}
+		return recv()
+	}
+	if err := recv(); err != nil {
+		return err
+	}
+	return send()
+}
+
+// Election actions.
+const (
+	electNone byte = iota
+	electPromote
+	electDemote
+)
+
+// electLocked runs the Section V-B allocation step against the peer and
+// returns the action to announce. Brokers themselves do not perform it.
+func (n *Node) electLocked(peer hello, now time.Duration) byte {
+	if n.broker {
+		return electNone
+	}
+	if peer.Broker {
+		n.sightings[peer.ID] = brokerSighting{at: now, degree: int(peer.Degree)}
+	}
+	count, meanDegree := n.brokersInWindowLocked(now)
+	switch {
+	case count < n.cfg.Protocol.BrokerLow && !peer.Broker:
+		return electPromote
+	case count > n.cfg.Protocol.BrokerHigh && peer.Broker &&
+		float64(peer.Degree) < meanDegree:
+		delete(n.sightings, peer.ID)
+		return electDemote
+	}
+	return electNone
+}
+
+// relayPhase exchanges relay filters, runs preferential forwarding both
+// ways, then merges (M-merge by default).
+func (n *Node) relayPhase(conn io.ReadWriter, initiator bool, now time.Duration) error {
+	if err := n.relay.Advance(now); err != nil {
+		return err
+	}
+	rBytes, err := n.relay.Encode(tcbf.CountersFull)
+	if err != nil {
+		return err
+	}
+	var peerRelay *tcbf.Filter
+	err = n.lockstep(conn, initiator,
+		func() error { return writeFrame(conn, frameRelay, rBytes) },
+		func() error {
+			body, err := expectFrame(conn, frameRelay)
+			if err != nil {
+				return err
+			}
+			peerRelay, err = tcbf.Decode(body, n.filterCfg, now)
+			return err
+		})
+	if err != nil {
+		return err
+	}
+
+	// Forwarding decisions use the pre-merge filters; initiator sends its
+	// candidates first.
+	sendCands := func() error {
+		for id, s := range n.carried {
+			best := 0.0
+			for _, k := range s.msg.MatchKeys() {
+				pref, err := tcbf.Preference(k, peerRelay, n.relay, now)
+				if err != nil {
+					return err
+				}
+				if pref > best {
+					best = pref
+				}
+			}
+			if best <= 0 {
+				continue
+			}
+			body, err := encodeMessage(s.msg, s.payload)
+			if err != nil {
+				return err
+			}
+			if err := writeFrame(conn, frameMessage, body); err != nil {
+				return err
+			}
+			delete(n.carried, id)
+		}
+		return writeFrame(conn, frameEndMessages, nil)
+	}
+	recvCands := func() error {
+		for {
+			typ, body, err := readFrame(conn)
+			if err != nil {
+				return err
+			}
+			if typ == frameEndMessages {
+				return nil
+			}
+			if typ != frameMessage {
+				return fmt.Errorf("%w: frame %d during relay forwarding", ErrProtocol, typ)
+			}
+			msg, payload, err := decodeMessage(body)
+			if err != nil {
+				return err
+			}
+			n.acceptCarried(msg, payload, now)
+		}
+	}
+	if err := n.lockstep(conn, initiator, sendCands, recvCands); err != nil {
+		return err
+	}
+
+	if n.cfg.Protocol.BrokerMerge == core.BrokerMergeAdditive {
+		return n.relay.AMerge(peerRelay, now)
+	}
+	return n.relay.MMerge(peerRelay, now)
+}
+
+// acceptCarried stores a relayed copy (and claims it if we want it).
+func (n *Node) acceptCarried(msg workload.Message, payload []byte, now time.Duration) {
+	if now > msg.CreatedAt+n.cfg.TTL {
+		return
+	}
+	if n.wantsLocked(&msg) {
+		n.deliverLocked(msg, payload, false)
+	}
+	if _, dup := n.carried[msg.ID]; dup {
+		return
+	}
+	n.carried[msg.ID] = &storedMessage{
+		msg:       msg,
+		payload:   payload,
+		expiresAt: msg.CreatedAt + n.cfg.TTL,
+	}
+}
+
+// Interest-BF purposes.
+const (
+	pullDelivery byte = iota + 1
+	pullReplication
+)
+
+// askDelivery requests messages matching our interests and ingests the
+// response.
+func (n *Node) askDelivery(conn io.ReadWriter, peerID uint32, now time.Duration) error {
+	genuine, err := n.genuineFilterLocked(now)
+	if err != nil {
+		return err
+	}
+	fBytes, err := genuine.Encode(tcbf.CountersNone)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, frameInterestBF, append([]byte{pullDelivery}, fBytes...)); err != nil {
+		return err
+	}
+	for {
+		typ, body, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		if typ == frameEndMessages {
+			return nil
+		}
+		if typ != frameMessage {
+			return fmt.Errorf("%w: frame %d during delivery pull", ErrProtocol, typ)
+		}
+		msg, payload, err := decodeMessage(body)
+		if err != nil {
+			return err
+		}
+		if now > msg.CreatedAt+n.cfg.TTL {
+			continue
+		}
+		// The match was probabilistic (Bloom filter); deliver only if we
+		// really want it — a mismatch is a false-positive transfer.
+		if n.wantsLocked(&msg) {
+			n.deliverLocked(msg, payload, msg.Origin == int(peerID))
+		}
+	}
+}
+
+// answerDelivery serves the peer's delivery request from our produced
+// messages (direct) and carried copies (broker-mediated; removed after
+// forwarding, per Section V-D).
+func (n *Node) answerDelivery(conn io.ReadWriter, peerID uint32, now time.Duration) error {
+	filter, err := n.readInterestBF(conn, pullDelivery, now)
+	if err != nil {
+		return err
+	}
+	bf := filter.ToBloom()
+	for _, s := range n.produced {
+		if now > s.expiresAt || s.sentTo(peerID) {
+			continue
+		}
+		if !anyWireKeyIn(&s.msg, bf.Contains) {
+			continue
+		}
+		body, err := encodeMessage(s.msg, s.payload)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(conn, frameMessage, body); err != nil {
+			return err
+		}
+		s.markSent(peerID)
+	}
+	for id, s := range n.carried {
+		if now > s.expiresAt {
+			continue
+		}
+		if !anyWireKeyIn(&s.msg, bf.Contains) {
+			continue
+		}
+		body, err := encodeMessage(s.msg, s.payload)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(conn, frameMessage, body); err != nil {
+			return err
+		}
+		delete(n.carried, id)
+	}
+	return writeFrame(conn, frameEndMessages, nil)
+}
+
+// askReplication advertises our relay filter and stores the returned
+// copies.
+func (n *Node) askReplication(conn io.ReadWriter, now time.Duration) error {
+	if err := n.relay.Advance(now); err != nil {
+		return err
+	}
+	fBytes, err := n.relay.Encode(tcbf.CountersNone)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, frameInterestBF, append([]byte{pullReplication}, fBytes...)); err != nil {
+		return err
+	}
+	for {
+		typ, body, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		if typ == frameEndMessages {
+			return nil
+		}
+		if typ != frameMessage {
+			return fmt.Errorf("%w: frame %d during replication pull", ErrProtocol, typ)
+		}
+		msg, payload, err := decodeMessage(body)
+		if err != nil {
+			return err
+		}
+		n.acceptCarried(msg, payload, now)
+	}
+}
+
+// answerReplication replicates matching produced messages to the broker,
+// bounded by the copy limit; a message leaves our memory when its copies
+// are exhausted.
+func (n *Node) answerReplication(conn io.ReadWriter, now time.Duration) error {
+	filter, err := n.readInterestBF(conn, pullReplication, now)
+	if err != nil {
+		return err
+	}
+	bf := filter.ToBloom()
+	for id, s := range n.produced {
+		if now > s.expiresAt || s.copies == 0 {
+			continue
+		}
+		if !anyWireKeyIn(&s.msg, bf.Contains) {
+			continue
+		}
+		body, err := encodeMessage(s.msg, s.payload)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(conn, frameMessage, body); err != nil {
+			return err
+		}
+		s.copies--
+		if s.copies == 0 {
+			delete(n.produced, id)
+		}
+	}
+	return writeFrame(conn, frameEndMessages, nil)
+}
+
+// readInterestBF reads and validates an interest-BF frame of the expected
+// purpose.
+func (n *Node) readInterestBF(conn io.Reader, purpose byte, now time.Duration) (*tcbf.Filter, error) {
+	body, err := expectFrame(conn, frameInterestBF)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 1 || body[0] != purpose {
+		return nil, fmt.Errorf("%w: interest BF purpose mismatch", ErrProtocol)
+	}
+	return tcbf.Decode(body[1:], n.filterCfg, now)
+}
+
+func anyWireKeyIn(m *workload.Message, contains func(string) bool) bool {
+	for _, k := range m.MatchKeys() {
+		if contains(k) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *storedMessage) sentTo(peer uint32) bool {
+	_, ok := s.sent[peer]
+	return ok
+}
+
+func (s *storedMessage) markSent(peer uint32) {
+	if s.sent == nil {
+		s.sent = make(map[uint32]struct{})
+	}
+	s.sent[peer] = struct{}{}
+}

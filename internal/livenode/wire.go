@@ -1,0 +1,196 @@
+// Package livenode is the prototype HUNET system the paper leaves as
+// future work ("A prototype HUNET system will be our future work"): a
+// live, wire-level implementation of a B-SUB node that runs the protocol
+// over real TCP connections instead of inside the simulator.
+//
+// Each process owns one node. When two devices come into contact (the
+// caller dials Meet), the pair runs one half-duplex contact session that
+// mirrors Section V:
+//
+//	HELLO exchange          identity, role, degree
+//	election step           PROMOTE / DEMOTE per the Section V-B rules
+//	genuine filters         consumer interests, A-merged by brokers
+//	relay filters           broker<->broker, preferential forwarding,
+//	                        then M-merge
+//	interest BF + messages  direct and broker-mediated delivery
+//
+// All filters travel in the Section VI-C compact encoding (package tcbf's
+// wire format); messages are length-prefixed binary frames.
+package livenode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"bsub/internal/workload"
+)
+
+// Frame types of the contact-session protocol.
+const (
+	frameHello byte = iota + 1
+	frameElection
+	frameGenuine
+	frameRelay
+	frameInterestBF
+	frameMessage
+	frameEndMessages
+	frameBye
+)
+
+// maxFrameBytes bounds a frame body; filters are tens of bytes and
+// messages are capped at 140 B payloads, so 64 KiB is generous.
+const maxFrameBytes = 64 * 1024
+
+var (
+	// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+	ErrFrameTooLarge = errors.New("livenode: frame exceeds size limit")
+	// ErrProtocol is returned on any wire-protocol violation.
+	ErrProtocol = errors.New("livenode: protocol violation")
+)
+
+// writeFrame sends one type-tagged, length-prefixed frame.
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	if len(body) > maxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("livenode: write frame header: %w", err)
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return fmt.Errorf("livenode: write frame body: %w", err)
+		}
+	}
+	return nil
+}
+
+// readFrame receives one frame.
+func readFrame(r io.Reader) (typ byte, body []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("livenode: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	body = make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("livenode: read frame body: %w", err)
+	}
+	return hdr[0], body, nil
+}
+
+// expectFrame reads a frame and verifies its type.
+func expectFrame(r io.Reader, want byte) ([]byte, error) {
+	typ, body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, fmt.Errorf("%w: got frame %d, want %d", ErrProtocol, typ, want)
+	}
+	return body, nil
+}
+
+// hello is the identity handshake payload.
+type hello struct {
+	ID     uint32
+	Broker bool
+	Degree uint16
+}
+
+func (h hello) encode() []byte {
+	out := make([]byte, 7)
+	binary.BigEndian.PutUint32(out, h.ID)
+	if h.Broker {
+		out[4] = 1
+	}
+	binary.BigEndian.PutUint16(out[5:], h.Degree)
+	return out
+}
+
+func decodeHello(body []byte) (hello, error) {
+	if len(body) != 7 {
+		return hello{}, fmt.Errorf("%w: hello is %d bytes", ErrProtocol, len(body))
+	}
+	return hello{
+		ID:     binary.BigEndian.Uint32(body),
+		Broker: body[4] == 1,
+		Degree: binary.BigEndian.Uint16(body[5:]),
+	}, nil
+}
+
+// encodeMessage serializes a message with its payload for the wire.
+func encodeMessage(m workload.Message, payload []byte) ([]byte, error) {
+	keys := m.MatchKeys()
+	if len(keys) > 255 {
+		return nil, fmt.Errorf("%w: %d keys", ErrProtocol, len(keys))
+	}
+	out := make([]byte, 0, 32+len(payload))
+	out = binary.BigEndian.AppendUint64(out, uint64(m.ID))
+	out = binary.BigEndian.AppendUint32(out, uint32(m.Origin))
+	out = binary.BigEndian.AppendUint64(out, uint64(m.CreatedAt))
+	out = append(out, byte(len(keys)))
+	for _, k := range keys {
+		if len(k) > 255 {
+			return nil, fmt.Errorf("%w: key of %d bytes", ErrProtocol, len(k))
+		}
+		out = append(out, byte(len(k)))
+		out = append(out, k...)
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return out, nil
+}
+
+// decodeMessage parses a wire message.
+func decodeMessage(body []byte) (workload.Message, []byte, error) {
+	var m workload.Message
+	if len(body) < 21 {
+		return m, nil, fmt.Errorf("%w: short message frame", ErrProtocol)
+	}
+	m.ID = int(binary.BigEndian.Uint64(body))
+	m.Origin = int(binary.BigEndian.Uint32(body[8:]))
+	m.CreatedAt = time.Duration(binary.BigEndian.Uint64(body[12:]))
+	nKeys := int(body[20])
+	if nKeys == 0 {
+		return m, nil, fmt.Errorf("%w: message without keys", ErrProtocol)
+	}
+	rest := body[21:]
+	keys := make([]workload.Key, 0, nKeys)
+	for i := 0; i < nKeys; i++ {
+		if len(rest) < 1 {
+			return m, nil, fmt.Errorf("%w: truncated key table", ErrProtocol)
+		}
+		kl := int(rest[0])
+		rest = rest[1:]
+		if len(rest) < kl {
+			return m, nil, fmt.Errorf("%w: truncated key", ErrProtocol)
+		}
+		keys = append(keys, workload.Key(rest[:kl]))
+		rest = rest[kl:]
+	}
+	if len(rest) < 4 {
+		return m, nil, fmt.Errorf("%w: missing payload length", ErrProtocol)
+	}
+	pl := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != pl {
+		return m, nil, fmt.Errorf("%w: payload length mismatch", ErrProtocol)
+	}
+	m.Key = keys[0]
+	if len(keys) > 1 {
+		m.Extra = keys[1:]
+	}
+	m.Size = pl
+	payload := make([]byte, pl)
+	copy(payload, rest)
+	return m, payload, nil
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEmptyReport(t *testing.T) {
+	r := NewCollector("x").Report()
+	if r.DeliveryRatio() != 0 || r.MeanDelay() != 0 || r.ForwardingsPerDelivered() != 0 || r.FPR() != 0 {
+		t.Errorf("empty report has non-zero derived metrics: %s", r)
+	}
+}
+
+func TestDeliveryRatioPerMessage(t *testing.T) {
+	c := NewCollector("x")
+	c.MessageCreated(true)
+	c.MessageCreated(true)
+	c.MessageCreated(false) // nobody subscribed: excluded from denominator
+	c.GenuineDelivery(0, 100, time.Minute)
+	r := c.Report()
+	if got := r.DeliveryRatio(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("delivery ratio = %g, want 0.5", got)
+	}
+	if r.Created != 3 || r.Deliverable != 2 {
+		t.Errorf("created/deliverable = %d/%d, want 3/2", r.Created, r.Deliverable)
+	}
+}
+
+func TestFirstDeliveryDefinesDelay(t *testing.T) {
+	c := NewCollector("x")
+	c.MessageCreated(true)
+	c.GenuineDelivery(0, 100, time.Minute)
+	c.GenuineDelivery(0, 100, 5*time.Minute) // later consumer: ignored
+	r := c.Report()
+	if r.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", r.Delivered)
+	}
+	if r.MeanDelay() != time.Minute {
+		t.Errorf("mean delay = %v, want the first delivery's 1m", r.MeanDelay())
+	}
+}
+
+func TestMeanDelayAveragesMessages(t *testing.T) {
+	c := NewCollector("x")
+	c.MessageCreated(true)
+	c.MessageCreated(true)
+	c.GenuineDelivery(0, 100, time.Minute)
+	c.GenuineDelivery(1, 101, 3*time.Minute)
+	if got := c.Report().MeanDelay(); got != 2*time.Minute {
+		t.Errorf("mean delay = %v, want 2m", got)
+	}
+}
+
+func TestForwardingsPerDelivered(t *testing.T) {
+	c := NewCollector("x")
+	c.MessageCreated(true)
+	c.MessageCreated(true)
+	for i := 0; i < 6; i++ {
+		c.Forwarding()
+	}
+	c.GenuineDelivery(0, 100, time.Minute)
+	c.GenuineDelivery(1, 101, time.Minute)
+	if got := c.Report().ForwardingsPerDelivered(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("fwd/delivered = %g, want 3", got)
+	}
+}
+
+func TestFPRCountsMessagesOnce(t *testing.T) {
+	c := NewCollector("x")
+	for i := 0; i < 4; i++ {
+		c.MessageCreated(true)
+	}
+	c.GenuineDelivery(0, 100, time.Minute)
+	c.GenuineDelivery(1, 101, time.Minute)
+	c.GenuineDelivery(2, 102, time.Minute)
+	c.FalseDelivery(3)
+	c.FalseDelivery(3) // second false consumer of same message: once
+	r := c.Report()
+	if r.FalseDeliveries != 1 {
+		t.Fatalf("false deliveries = %d, want 1", r.FalseDeliveries)
+	}
+	if got := r.FPR(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("FPR = %g, want 1/4", got)
+	}
+}
+
+func TestMessageBothGenuineAndFalse(t *testing.T) {
+	c := NewCollector("x")
+	c.MessageCreated(true)
+	c.GenuineDelivery(0, 100, time.Minute)
+	c.FalseDelivery(0)
+	r := c.Report()
+	if r.Delivered != 1 || r.FalseDeliveries != 1 {
+		t.Errorf("delivered/false = %d/%d, want 1/1", r.Delivered, r.FalseDeliveries)
+	}
+	if got := r.FPR(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FPR = %g, want 0.5", got)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	c := NewCollector("x")
+	c.ControlBytes(10)
+	c.ControlBytes(5)
+	c.DataBytes(140)
+	c.LateDrop()
+	r := c.Report()
+	if r.ControlBytes != 15 || r.DataBytes != 140 || r.LateDrops != 1 {
+		t.Errorf("bytes: %+v", r)
+	}
+}
+
+func TestStringIncludesProtocol(t *testing.T) {
+	r := NewCollector("B-SUB").Report()
+	if got := r.String(); len(got) == 0 || got[:5] != "B-SUB" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDelayPercentile(t *testing.T) {
+	c := NewCollector("x")
+	for i := 1; i <= 10; i++ {
+		c.MessageCreated(true)
+		c.GenuineDelivery(i, 100+i, time.Duration(i)*time.Minute)
+	}
+	r := c.Report()
+	if got := r.DelayPercentile(0); got != time.Minute {
+		t.Errorf("p0 = %v, want 1m", got)
+	}
+	if got := r.DelayPercentile(0.5); got != 6*time.Minute {
+		t.Errorf("p50 = %v, want 6m", got)
+	}
+	if got := r.DelayPercentile(0.9); got != 10*time.Minute {
+		t.Errorf("p90 = %v, want 10m", got)
+	}
+	if got := r.DelayPercentile(1); got != 10*time.Minute {
+		t.Errorf("p100 = %v, want 10m", got)
+	}
+	if got := (Report{}).DelayPercentile(0.5); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+}

@@ -1,0 +1,141 @@
+// Package msgstore provides the per-node message buffer shared by every
+// protocol implementation: a keyed store of message copies with lazy
+// TTL-based expiry and deterministic (ID-ordered) iteration.
+//
+// Live is called once or twice per contact on hot simulation paths, so the
+// store maintains an ID-ordered index incrementally: new IDs accumulate in
+// a small pending list that is sorted and merged into the main index on
+// the next read, instead of re-sorting the whole buffer every contact.
+package msgstore
+
+import (
+	"sort"
+	"time"
+
+	"bsub/internal/workload"
+)
+
+type entry struct {
+	msg       workload.Message
+	expiresAt time.Duration
+	copies    int
+}
+
+// Store holds message copies for one node. The zero value is not usable;
+// construct with New. Not safe for concurrent use.
+type Store struct {
+	entries map[int]entry
+	// sorted is an ascending index of (possibly stale) message IDs; stale
+	// entries are dropped during Live's sweep.
+	sorted []int
+	// pending are IDs added since the last Live call.
+	pending []int
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{entries: make(map[int]entry)} }
+
+// Add inserts (or replaces) a copy of msg expiring at expiresAt, with the
+// given replication budget (producer-side copy counter; pass 0 when the
+// copy itself will not be replicated further).
+func (s *Store) Add(msg workload.Message, expiresAt time.Duration, copies int) {
+	if _, exists := s.entries[msg.ID]; !exists {
+		s.pending = append(s.pending, msg.ID)
+	}
+	s.entries[msg.ID] = entry{msg: msg, expiresAt: expiresAt, copies: copies}
+}
+
+// Has reports whether the store holds message id (possibly expired).
+func (s *Store) Has(id int) bool {
+	_, ok := s.entries[id]
+	return ok
+}
+
+// Remove drops message id if present. The index entry is swept lazily.
+func (s *Store) Remove(id int) { delete(s.entries, id) }
+
+// Len returns the number of stored messages, including not-yet-purged
+// expired ones.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Copies returns the remaining replication budget for message id, or zero
+// if absent.
+func (s *Store) Copies(id int) int { return s.entries[id].copies }
+
+// DecrementCopies lowers the replication budget for message id and reports
+// the remaining count. The caller removes the message when it hits zero if
+// the protocol requires ("the message is removed from the producer's
+// memory after its copy number reaches the limit").
+func (s *Store) DecrementCopies(id int) int {
+	e, ok := s.entries[id]
+	if !ok || e.copies == 0 {
+		return 0
+	}
+	e.copies--
+	s.entries[id] = e
+	return e.copies
+}
+
+// Live returns the unexpired messages sorted by ID, purging expired
+// entries (and sweeping stale index slots) as a side effect. The returned
+// slice is valid until the next Store call.
+func (s *Store) Live(now time.Duration) []workload.Message {
+	s.settleIndex()
+	out := make([]workload.Message, 0, len(s.entries))
+	kept := s.sorted[:0]
+	for _, id := range s.sorted {
+		e, ok := s.entries[id]
+		if !ok {
+			continue // removed: sweep
+		}
+		if now > e.expiresAt {
+			delete(s.entries, id)
+			continue
+		}
+		kept = append(kept, id)
+		out = append(out, e.msg)
+	}
+	s.sorted = kept
+	return out
+}
+
+// Purge drops expired entries without returning the survivors.
+func (s *Store) Purge(now time.Duration) {
+	for id, e := range s.entries {
+		if now > e.expiresAt {
+			delete(s.entries, id)
+		}
+	}
+}
+
+// settleIndex merges pending IDs into the sorted index.
+func (s *Store) settleIndex() {
+	if len(s.pending) == 0 {
+		return
+	}
+	sort.Ints(s.pending)
+	if len(s.sorted) == 0 {
+		s.sorted = append(s.sorted, s.pending...)
+		s.pending = s.pending[:0]
+		return
+	}
+	merged := make([]int, 0, len(s.sorted)+len(s.pending))
+	i, j := 0, 0
+	for i < len(s.sorted) && j < len(s.pending) {
+		switch {
+		case s.sorted[i] < s.pending[j]:
+			merged = append(merged, s.sorted[i])
+			i++
+		case s.sorted[i] > s.pending[j]:
+			merged = append(merged, s.pending[j])
+			j++
+		default: // re-added ID already indexed
+			merged = append(merged, s.sorted[i])
+			i, j = i+1, j+1
+		}
+	}
+	merged = append(merged, s.sorted[i:]...)
+	merged = append(merged, s.pending[j:]...)
+	s.sorted = merged
+	s.pending = s.pending[:0]
+}

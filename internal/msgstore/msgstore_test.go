@@ -1,0 +1,146 @@
+package msgstore
+
+import (
+	"testing"
+	"time"
+
+	"bsub/internal/workload"
+)
+
+func msg(id int) workload.Message {
+	return workload.Message{ID: id, Key: "k", Origin: 0, Size: 10, CreatedAt: 0}
+}
+
+func TestAddHasRemove(t *testing.T) {
+	s := New()
+	if s.Has(1) {
+		t.Fatal("empty store has message")
+	}
+	s.Add(msg(1), time.Hour, 3)
+	if !s.Has(1) {
+		t.Fatal("store lost message")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Remove(1)
+	if s.Has(1) {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestLiveSortedAndPurges(t *testing.T) {
+	s := New()
+	s.Add(msg(3), time.Hour, 0)
+	s.Add(msg(1), time.Hour, 0)
+	s.Add(msg(2), time.Minute, 0) // expires early
+	live := s.Live(30 * time.Minute)
+	if len(live) != 2 || live[0].ID != 1 || live[1].ID != 3 {
+		t.Fatalf("live = %+v", live)
+	}
+	if s.Has(2) {
+		t.Error("expired entry not purged")
+	}
+}
+
+func TestLiveAtExactExpiry(t *testing.T) {
+	s := New()
+	s.Add(msg(1), time.Hour, 0)
+	if got := s.Live(time.Hour); len(got) != 1 {
+		t.Error("message expired at exactly TTL boundary; should still be live")
+	}
+	if got := s.Live(time.Hour + 1); len(got) != 0 {
+		t.Error("message survived past expiry")
+	}
+}
+
+func TestCopies(t *testing.T) {
+	s := New()
+	s.Add(msg(1), time.Hour, 3)
+	if s.Copies(1) != 3 {
+		t.Fatalf("copies = %d", s.Copies(1))
+	}
+	if left := s.DecrementCopies(1); left != 2 {
+		t.Fatalf("after decrement: %d", left)
+	}
+	s.DecrementCopies(1)
+	if left := s.DecrementCopies(1); left != 0 {
+		t.Fatalf("final decrement: %d", left)
+	}
+	if left := s.DecrementCopies(1); left != 0 {
+		t.Fatalf("decrement below zero: %d", left)
+	}
+	if s.Copies(99) != 0 {
+		t.Error("absent message has copies")
+	}
+	if s.DecrementCopies(99) != 0 {
+		t.Error("decrement of absent message")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	s := New()
+	s.Add(msg(1), time.Minute, 0)
+	s.Add(msg(2), time.Hour, 0)
+	s.Purge(30 * time.Minute)
+	if s.Has(1) || !s.Has(2) {
+		t.Errorf("purge wrong: has1=%v has2=%v", s.Has(1), s.Has(2))
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	s := New()
+	s.Add(msg(1), time.Minute, 1)
+	s.Add(msg(1), time.Hour, 5)
+	if s.Copies(1) != 5 {
+		t.Errorf("replace did not update copies: %d", s.Copies(1))
+	}
+	if len(s.Live(30*time.Minute)) != 1 {
+		t.Error("replaced entry expired early")
+	}
+}
+
+func TestLiveOrderAfterChurn(t *testing.T) {
+	s := New()
+	// Interleave adds, removes, re-adds, and Live calls to exercise the
+	// incremental index.
+	s.Add(msg(5), time.Hour, 0)
+	s.Add(msg(2), time.Hour, 0)
+	if got := s.Live(0); len(got) != 2 || got[0].ID != 2 || got[1].ID != 5 {
+		t.Fatalf("live = %+v", got)
+	}
+	s.Add(msg(9), time.Hour, 0)
+	s.Add(msg(1), time.Hour, 0)
+	s.Remove(5)
+	s.Add(msg(5), time.Hour, 0) // re-add while index slot is stale
+	s.Add(msg(3), time.Hour, 0)
+	got := s.Live(0)
+	want := []int{1, 2, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("live = %+v", got)
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("live[%d] = %d, want %d", i, got[i].ID, id)
+		}
+	}
+}
+
+func TestLiveManyRandomOrderStable(t *testing.T) {
+	s := New()
+	ids := []int{77, 3, 41, 12, 9, 55, 23, 8, 99, 0}
+	for _, id := range ids {
+		s.Add(msg(id), time.Hour, 0)
+		// Interleave reads so merging happens in several rounds.
+		_ = s.Live(0)
+	}
+	got := s.Live(0)
+	for i := 1; i < len(got); i++ {
+		if got[i].ID <= got[i-1].ID {
+			t.Fatalf("live not strictly ascending at %d: %v", i, got)
+		}
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("live lost entries: %d vs %d", len(got), len(ids))
+	}
+}

@@ -1,0 +1,152 @@
+// Package protocol implements the two baselines B-SUB is evaluated
+// against in Section VII:
+//
+//   - PUSH: epidemic flooding — "a node replicates an event it stores to
+//     every node it encounters that has not received a copy". Its delivery
+//     ratio and delay are the best achievable; its overhead is the worst.
+//   - PULL: one-hop interest pulling — "a node only collects messages that
+//     it is interested in from its directly encountered neighbors". Its
+//     overhead is minimal (one forwarding per delivery) but delivery ratio
+//     and delay suffer.
+package protocol
+
+import (
+	"math/rand"
+
+	"bsub/internal/msgstore"
+	"bsub/internal/sim"
+	"bsub/internal/trace"
+	"bsub/internal/workload"
+)
+
+// matches reports whether any of the message's keys is in node n's
+// interest set (multi-key extension; reduces to equality for the paper's
+// one-key workload).
+func matches(env sim.Env, m *workload.Message, n trace.NodeID) bool {
+	for _, want := range env.InterestSet(n) {
+		for _, k := range m.MatchKeys() {
+			if k == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Push is the epidemic flooding baseline.
+type Push struct {
+	env    sim.Env
+	stores []*msgstore.Store
+}
+
+var _ sim.Protocol = (*Push)(nil)
+
+// NewPush returns a PUSH instance.
+func NewPush() *Push { return &Push{} }
+
+// Name implements sim.Protocol.
+func (p *Push) Name() string { return "PUSH" }
+
+// Init implements sim.Protocol.
+func (p *Push) Init(env sim.Env, _ *rand.Rand) error {
+	p.env = env
+	p.stores = make([]*msgstore.Store, env.Nodes())
+	for i := range p.stores {
+		p.stores[i] = msgstore.New()
+	}
+	return nil
+}
+
+// OnMessage stores the new message at its origin.
+func (p *Push) OnMessage(msg workload.Message) {
+	p.stores[msg.Origin].Add(msg, msg.CreatedAt+p.env.TTL(), 0)
+}
+
+// OnContact replicates every message each side stores to the other, budget
+// permitting, and delivers to interested receivers.
+func (p *Push) OnContact(a, b trace.NodeID, budget *sim.Budget) {
+	p.replicate(a, b, budget)
+	p.replicate(b, a, budget)
+}
+
+func (p *Push) replicate(from, to trace.NodeID, budget *sim.Budget) {
+	now := p.env.Now()
+	src, dst := p.stores[from], p.stores[to]
+	for _, m := range src.Live(now) {
+		if dst.Has(m.ID) {
+			continue
+		}
+		if !budget.Spend(m.Size) {
+			return
+		}
+		m := m
+		dst.Add(m, m.CreatedAt+p.env.TTL(), 0)
+		p.env.RecordForwarding(&m)
+		if matches(p.env, &m, to) {
+			p.env.Deliver(&m, to)
+		}
+	}
+}
+
+// Pull is the one-hop interest-pulling baseline.
+type Pull struct {
+	env    sim.Env
+	stores []*msgstore.Store
+	// sent tracks which (message, node) transfers already happened so a
+	// producer does not repeat a transfer to the same consumer.
+	sent map[int]map[trace.NodeID]struct{}
+}
+
+var _ sim.Protocol = (*Pull)(nil)
+
+// NewPull returns a PULL instance.
+func NewPull() *Pull { return &Pull{} }
+
+// Name implements sim.Protocol.
+func (p *Pull) Name() string { return "PULL" }
+
+// Init implements sim.Protocol.
+func (p *Pull) Init(env sim.Env, _ *rand.Rand) error {
+	p.env = env
+	p.stores = make([]*msgstore.Store, env.Nodes())
+	for i := range p.stores {
+		p.stores[i] = msgstore.New()
+	}
+	p.sent = make(map[int]map[trace.NodeID]struct{})
+	return nil
+}
+
+// OnMessage stores the new message at its producer; in PULL only producers
+// hold messages.
+func (p *Pull) OnMessage(msg workload.Message) {
+	p.stores[msg.Origin].Add(msg, msg.CreatedAt+p.env.TTL(), 0)
+}
+
+// OnContact lets each side pull the other's matching messages.
+func (p *Pull) OnContact(a, b trace.NodeID, budget *sim.Budget) {
+	p.pull(a, b, budget)
+	p.pull(b, a, budget)
+}
+
+// pull transfers from's stored messages that match to's interests.
+func (p *Pull) pull(to, from trace.NodeID, budget *sim.Budget) {
+	now := p.env.Now()
+	for _, m := range p.stores[from].Live(now) {
+		m := m
+		if !matches(p.env, &m, to) {
+			continue
+		}
+		if _, dup := p.sent[m.ID][to]; dup {
+			continue
+		}
+		if !budget.Spend(m.Size) {
+			return
+		}
+		if p.sent[m.ID] == nil {
+			p.sent[m.ID] = make(map[trace.NodeID]struct{})
+		}
+		p.sent[m.ID][to] = struct{}{}
+		p.env.RecordForwarding(&m)
+		p.env.Deliver(&m, to)
+	}
+}

@@ -1,0 +1,317 @@
+// Package sim is the discrete-event DTN simulator the B-SUB evaluation
+// runs on (Section VII-A). It replays a contact trace against a
+// pre-generated message workload, handing each contact to the protocol
+// under test as a bandwidth-budgeted session ("the average transmission
+// rate is 250Kbps. The durations of all the contacts are already recorded
+// in the trace"), and collects the Section VII metrics.
+//
+// The simulator is deterministic: event order is fully defined by the
+// trace and workload, and protocols receive a seeded RNG.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bsub/internal/metrics"
+	"bsub/internal/trace"
+	"bsub/internal/workload"
+)
+
+// DefaultBandwidthBps is the paper's effective Bluetooth rate: 250 Kbps.
+const DefaultBandwidthBps = 250_000
+
+// Budget is a contact session's remaining byte allowance. All transfers —
+// control filters and message payloads — draw from it.
+type Budget struct {
+	remaining int
+}
+
+// NewBudget returns a budget of n bytes; negative n is treated as zero.
+func NewBudget(n int) *Budget {
+	if n < 0 {
+		n = 0
+	}
+	return &Budget{remaining: n}
+}
+
+// Spend deducts n bytes and reports success; a failed spend deducts
+// nothing (the transfer does not happen at all, as a partial message is
+// useless).
+func (b *Budget) Spend(n int) bool {
+	if n < 0 || n > b.remaining {
+		return false
+	}
+	b.remaining -= n
+	return true
+}
+
+// Remaining returns the unspent byte allowance.
+func (b *Budget) Remaining() int { return b.remaining }
+
+// Env is the protocol's window into the running simulation: clock,
+// population facts, and metric recording. Implemented by the runner.
+type Env interface {
+	// Now returns the current simulation time.
+	Now() time.Duration
+	// Nodes returns the population size.
+	Nodes() int
+	// Interest returns the node's primary subscribed key.
+	Interest(n trace.NodeID) workload.Key
+	// InterestSet returns all of the node's subscriptions (the multi-key
+	// extension); for the paper's one-interest workload it has length 1.
+	InterestSet(n trace.NodeID) []workload.Key
+	// TTL returns the message lifetime; messages expire TTL after creation.
+	TTL() time.Duration
+	// Deliver records the arrival of msg at node to. The simulator
+	// classifies it as genuine (to is interested) or false, deduplicates
+	// pairs, and refuses post-TTL deliveries.
+	Deliver(msg *workload.Message, to trace.NodeID)
+	// RecordForwarding counts one message copy moving between nodes.
+	RecordForwarding(msg *workload.Message)
+	// RecordReplication counts one producer-to-broker copy, flagging
+	// whether the triggering filter match was a false positive against
+	// protocol-maintained ground truth (Section VI-B's falsely injected
+	// messages).
+	RecordReplication(falsePositive bool)
+	// RecordControl counts protocol control bytes (already budgeted).
+	RecordControl(n int)
+}
+
+// Protocol is a routing scheme under test: PUSH, PULL, or B-SUB.
+type Protocol interface {
+	// Name labels the protocol in reports.
+	Name() string
+	// Init prepares per-node state. It is called once before any event.
+	Init(env Env, rng *rand.Rand) error
+	// OnMessage delivers a freshly created message to its origin node.
+	OnMessage(msg workload.Message)
+	// OnContact runs one contact session between nodes a and b. The
+	// protocol spends budget on whatever control and data exchange its
+	// rules dictate.
+	OnContact(a, b trace.NodeID, budget *Budget)
+}
+
+// Config assembles one simulation run.
+type Config struct {
+	// Trace drives the contact schedule.
+	Trace *trace.Trace
+	// Interests holds one key per node.
+	Interests []workload.Key
+	// InterestSets optionally widens each node's subscription to several
+	// keys (the multi-key extension). When set it must be node-parallel
+	// and each set must contain that node's Interests entry.
+	InterestSets [][]workload.Key
+	// Messages is the pre-generated workload, sorted by CreatedAt.
+	Messages []workload.Message
+	// TTL is the message lifetime ("identical to their maximum tolerable
+	// delay").
+	TTL time.Duration
+	// BandwidthBps is the effective link rate; zero selects
+	// DefaultBandwidthBps.
+	BandwidthBps int
+	// Seed feeds the protocol's RNG.
+	Seed int64
+	// Failures injects node outages: while a node is down its radio is
+	// off, so every contact involving it is skipped (the device's stored
+	// state survives — it was only powered off). Used to test the broker
+	// election's self-healing.
+	Failures []Failure
+}
+
+// Failure is one node outage window [From, Until).
+type Failure struct {
+	Node  trace.NodeID
+	From  time.Duration
+	Until time.Duration
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Trace == nil:
+		return fmt.Errorf("sim: nil trace")
+	case len(c.Interests) != c.Trace.Nodes:
+		return fmt.Errorf("sim: %d interests for %d nodes", len(c.Interests), c.Trace.Nodes)
+	case c.TTL <= 0:
+		return fmt.Errorf("sim: TTL must be positive, got %v", c.TTL)
+	case c.BandwidthBps < 0:
+		return fmt.Errorf("sim: bandwidth must be non-negative, got %d", c.BandwidthBps)
+	}
+	for i := 1; i < len(c.Messages); i++ {
+		if c.Messages[i].CreatedAt < c.Messages[i-1].CreatedAt {
+			return fmt.Errorf("sim: messages not sorted at index %d", i)
+		}
+	}
+	for i, m := range c.Messages {
+		if m.Origin < 0 || m.Origin >= c.Trace.Nodes {
+			return fmt.Errorf("sim: message %d origin %d out of range", i, m.Origin)
+		}
+	}
+	for i, fl := range c.Failures {
+		if fl.Node < 0 || int(fl.Node) >= c.Trace.Nodes {
+			return fmt.Errorf("sim: failure %d node %d out of range", i, fl.Node)
+		}
+		if fl.Until <= fl.From || fl.From < 0 {
+			return fmt.Errorf("sim: failure %d window [%v,%v) invalid", i, fl.From, fl.Until)
+		}
+	}
+	if c.InterestSets != nil {
+		if len(c.InterestSets) != c.Trace.Nodes {
+			return fmt.Errorf("sim: %d interest sets for %d nodes", len(c.InterestSets), c.Trace.Nodes)
+		}
+		for i, set := range c.InterestSets {
+			if len(set) == 0 {
+				return fmt.Errorf("sim: node %d has an empty interest set", i)
+			}
+			found := false
+			for _, k := range set {
+				if k == c.Interests[i] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("sim: node %d interest set omits its primary interest %q", i, c.Interests[i])
+			}
+		}
+	}
+	return nil
+}
+
+// runner implements Env.
+type runner struct {
+	cfg       Config
+	now       time.Duration
+	collector *metrics.Collector
+}
+
+var _ Env = (*runner)(nil)
+
+func (r *runner) Now() time.Duration                   { return r.now }
+func (r *runner) Nodes() int                           { return r.cfg.Trace.Nodes }
+func (r *runner) Interest(n trace.NodeID) workload.Key { return r.cfg.Interests[n] }
+func (r *runner) TTL() time.Duration                   { return r.cfg.TTL }
+func (r *runner) RecordControl(n int)                  { r.collector.ControlBytes(n) }
+
+func (r *runner) InterestSet(n trace.NodeID) []workload.Key {
+	if r.cfg.InterestSets != nil {
+		return r.cfg.InterestSets[n]
+	}
+	return r.cfg.Interests[n : n+1]
+}
+
+// matches reports whether any of the message's keys is subscribed by node n.
+func (r *runner) matches(msg *workload.Message, n trace.NodeID) bool {
+	for _, want := range r.InterestSet(n) {
+		for _, k := range msg.MatchKeys() {
+			if k == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *runner) Deliver(msg *workload.Message, to trace.NodeID) {
+	if r.now > msg.CreatedAt+r.cfg.TTL {
+		r.collector.LateDrop()
+		return
+	}
+	r.collector.DataBytes(msg.Size)
+	if int(to) != msg.Origin && r.matches(msg, to) {
+		r.collector.GenuineDelivery(msg.ID, int(to), r.now-msg.CreatedAt)
+		return
+	}
+	r.collector.FalseDelivery(msg.ID)
+}
+
+func (r *runner) RecordReplication(falsePositive bool) {
+	r.collector.Replication(falsePositive)
+}
+
+func (r *runner) RecordForwarding(msg *workload.Message) {
+	r.collector.Forwarding()
+	r.collector.DataBytes(msg.Size)
+}
+
+// Run replays cfg against proto and returns the metrics report.
+func Run(cfg Config, proto Protocol) (metrics.Report, error) {
+	if err := cfg.validate(); err != nil {
+		return metrics.Report{}, err
+	}
+	if cfg.BandwidthBps == 0 {
+		cfg.BandwidthBps = DefaultBandwidthBps
+	}
+	r := &runner{
+		cfg:       cfg,
+		collector: metrics.NewCollector(proto.Name()),
+	}
+
+	// Index subscribers per key to classify each message as deliverable.
+	subscribers := make(map[workload.Key][]trace.NodeID, len(cfg.Interests))
+	for n := 0; n < cfg.Trace.Nodes; n++ {
+		for _, k := range r.InterestSet(trace.NodeID(n)) {
+			subscribers[k] = append(subscribers[k], trace.NodeID(n))
+		}
+	}
+	deliverable := func(m *workload.Message) bool {
+		for _, k := range m.MatchKeys() {
+			for _, n := range subscribers[k] {
+				if int(n) != m.Origin {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if err := proto.Init(r, rng); err != nil {
+		return metrics.Report{}, fmt.Errorf("sim: init %s: %w", proto.Name(), err)
+	}
+
+	bytesPerSec := float64(cfg.BandwidthBps) / 8
+
+	// Merge the two time-sorted event streams: message creations and
+	// contact starts.
+	mi, ci := 0, 0
+	msgs, contacts := cfg.Messages, cfg.Trace.Contacts
+	for mi < len(msgs) || ci < len(contacts) {
+		nextMsg := time.Duration(1<<62 - 1)
+		if mi < len(msgs) {
+			nextMsg = msgs[mi].CreatedAt
+		}
+		nextContact := time.Duration(1<<62 - 1)
+		if ci < len(contacts) {
+			nextContact = contacts[ci].Start
+		}
+		if nextMsg <= nextContact {
+			m := msgs[mi]
+			mi++
+			r.now = m.CreatedAt
+			r.collector.MessageCreated(deliverable(&m))
+			proto.OnMessage(m)
+			continue
+		}
+		c := contacts[ci]
+		ci++
+		r.now = c.Start
+		if down(cfg.Failures, c.A, c.Start) || down(cfg.Failures, c.B, c.Start) {
+			continue // one radio is off: the contact never happens
+		}
+		budget := NewBudget(int(c.Duration().Seconds() * bytesPerSec))
+		proto.OnContact(c.A, c.B, budget)
+	}
+	return r.collector.Report(), nil
+}
+
+// down reports whether node n is inside a failure window at time t.
+func down(failures []Failure, n trace.NodeID, t time.Duration) bool {
+	for _, f := range failures {
+		if f.Node == n && t >= f.From && t < f.Until {
+			return true
+		}
+	}
+	return false
+}

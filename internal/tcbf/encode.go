@@ -1,0 +1,321 @@
+package tcbf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// CounterMode selects how much counter information accompanies a filter on
+// the wire (Section VI-C's optimizations).
+type CounterMode uint8
+
+const (
+	// CountersNone strips counters entirely: the receiver only needs
+	// membership, e.g. a broker requesting messages from a producer. The
+	// paper: "it does not need to report the counters, which cuts the size".
+	CountersNone CounterMode = iota + 1
+	// CountersUniform transmits a single counter value shared by all set
+	// bits, e.g. a freshly built genuine filter whose counters all equal C.
+	// The paper: "If all the counters of a filter are identical, we merely
+	// save one value".
+	CountersUniform
+	// CountersFull transmits one quantized byte per set bit, the general
+	// case for relay filters.
+	CountersFull
+)
+
+const (
+	wireMagic   = 0xB5
+	flagBitmap  = 0x04 // bit-vector sent raw instead of as a location list
+	counterBits = 8    // "We use a 1-byte counter" (Section VI-C)
+	// maxWireM caps the bit-vector length a decoder will allocate for; a
+	// hostile header must not be able to demand gigabytes. Far above any
+	// realistic TCBF (the paper uses 256 bits).
+	maxWireM = 1 << 24
+)
+
+var (
+	// ErrCorrupt is returned by Decode for malformed input.
+	ErrCorrupt = errors.New("tcbf: corrupt encoding")
+)
+
+// Encode serializes the filter's set bits (and, per mode, counters) into
+// the compact wire format of Section VI-C. Instead of shipping the raw
+// m-bit vector, the encoder writes the locations of the set bits, each in
+// ceil(log2 m) bits, whenever that is smaller (n_set * ceil(log2 m) < m);
+// otherwise it falls back to the raw bitmap. Counters are quantized to one
+// byte relative to the filter's maximum counter.
+//
+// The filter should be settled (Advance) before encoding; Encode reads the
+// counters as they are.
+func (f *Filter) Encode(mode CounterMode) ([]byte, error) {
+	if mode < CountersNone || mode > CountersFull {
+		return nil, fmt.Errorf("tcbf: unknown counter mode %d", mode)
+	}
+	set := make([]uint32, 0, f.SetBits())
+	maxC := 0.0
+	for p, c := range f.counters {
+		if c > 0 {
+			set = append(set, uint32(p))
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	locBits := bitsFor(f.M())
+	useBitmap := len(set)*locBits >= f.M()
+
+	var buf []byte
+	buf = append(buf, wireMagic)
+	flags := byte(mode)
+	if useBitmap {
+		flags |= flagBitmap
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.M()))
+	buf = append(buf, byte(f.K()))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(set)))
+
+	if useBitmap {
+		bm := make([]byte, (f.M()+7)/8)
+		for _, p := range set {
+			bm[p/8] |= 1 << (p % 8)
+		}
+		buf = append(buf, bm...)
+	} else {
+		var bw bitWriter
+		for _, p := range set {
+			bw.write(uint64(p), locBits)
+		}
+		buf = append(buf, bw.finish()...)
+	}
+
+	switch mode {
+	case CountersNone:
+	case CountersUniform:
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(maxC))
+	case CountersFull:
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(maxC))
+		for _, p := range set {
+			buf = append(buf, quantize(f.counters[p], maxC))
+		}
+	}
+	return buf, nil
+}
+
+// Decode reconstructs a filter from data. The decay configuration (initial
+// value and DF) is not on the wire — peers running the same protocol share
+// it — so the caller supplies cfg's Initial and DecayPerMinute; M and K are
+// read from the wire and must match cfg when cfg specifies them (non-zero).
+// The decoded filter's clock starts at now and it is marked merged, since
+// its provenance is unknown.
+//
+// Filters encoded with CountersNone decode with every set counter equal to
+// cfg.Initial.
+func Decode(data []byte, cfg Config, now time.Duration) (*Filter, error) {
+	if len(data) < 11 {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if data[0] != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, data[0])
+	}
+	flags := data[1]
+	mode := CounterMode(flags &^ flagBitmap)
+	if mode < CountersNone || mode > CountersFull {
+		return nil, fmt.Errorf("%w: unknown counter mode %d", ErrCorrupt, mode)
+	}
+	m := int(binary.BigEndian.Uint32(data[2:6]))
+	k := int(data[6])
+	nSet := int(binary.BigEndian.Uint32(data[7:11]))
+	if m > maxWireM {
+		return nil, fmt.Errorf("%w: bit-vector length %d exceeds decoder cap %d", ErrCorrupt, m, maxWireM)
+	}
+	if cfg.M != 0 && cfg.M != m {
+		return nil, fmt.Errorf("%w: wire m=%d, expected %d", ErrCorrupt, m, cfg.M)
+	}
+	if cfg.K != 0 && cfg.K != k {
+		return nil, fmt.Errorf("%w: wire k=%d, expected %d", ErrCorrupt, k, cfg.K)
+	}
+	if nSet > m {
+		return nil, fmt.Errorf("%w: %d set bits exceed vector length %d", ErrCorrupt, nSet, m)
+	}
+	cfg.M, cfg.K = m, k
+	f, err := New(cfg, now)
+	if err != nil {
+		return nil, err
+	}
+	f.merged = true
+
+	body := data[11:]
+	set := make([]uint32, 0, nSet)
+	if flags&flagBitmap != 0 {
+		need := (m + 7) / 8
+		if len(body) < need {
+			return nil, fmt.Errorf("%w: truncated bitmap", ErrCorrupt)
+		}
+		for p := 0; p < m; p++ {
+			if body[p/8]&(1<<(p%8)) != 0 {
+				set = append(set, uint32(p))
+			}
+		}
+		if len(set) != nSet {
+			return nil, fmt.Errorf("%w: bitmap has %d set bits, header says %d", ErrCorrupt, len(set), nSet)
+		}
+		body = body[need:]
+	} else {
+		locBits := bitsFor(m)
+		need := (nSet*locBits + 7) / 8
+		if len(body) < need {
+			return nil, fmt.Errorf("%w: truncated location list", ErrCorrupt)
+		}
+		br := bitReader{data: body[:need]}
+		for i := 0; i < nSet; i++ {
+			v, ok := br.read(locBits)
+			if !ok || v >= uint64(m) {
+				return nil, fmt.Errorf("%w: bad location", ErrCorrupt)
+			}
+			set = append(set, uint32(v))
+		}
+		body = body[need:]
+	}
+
+	switch mode {
+	case CountersNone:
+		for _, p := range set {
+			f.counters[p] = cfg.Initial
+		}
+	case CountersUniform:
+		if len(body) < 8 {
+			return nil, fmt.Errorf("%w: truncated uniform counter", ErrCorrupt)
+		}
+		v := math.Float64frombits(binary.BigEndian.Uint64(body[:8]))
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: bad counter value %g", ErrCorrupt, v)
+		}
+		for _, p := range set {
+			f.counters[p] = v
+		}
+	case CountersFull:
+		if len(body) < 8+len(set) {
+			return nil, fmt.Errorf("%w: truncated counters", ErrCorrupt)
+		}
+		maxC := math.Float64frombits(binary.BigEndian.Uint64(body[:8]))
+		if maxC < 0 || math.IsNaN(maxC) || math.IsInf(maxC, 0) {
+			return nil, fmt.Errorf("%w: bad counter scale %g", ErrCorrupt, maxC)
+		}
+		for i, p := range set {
+			f.counters[p] = dequantize(body[8+i], maxC)
+		}
+	}
+	return f, nil
+}
+
+// WireSize returns the number of bytes Encode would produce in the given
+// mode; it is what the simulator charges against a contact's bandwidth
+// budget.
+func (f *Filter) WireSize(mode CounterMode) (int, error) {
+	b, err := f.Encode(mode)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// PaperWireBits returns the Section VI-C analytic size, in bits, of a
+// filter with nSet set bits over an m-bit vector: the set-bit locations
+// (ceil(log2 m) bits each, or the raw bitmap when smaller) plus counters
+// per mode. It excludes framing overhead and is used by the memory
+// experiment (M1) to match the paper's accounting.
+func PaperWireBits(nSet, m int, mode CounterMode) int {
+	locBits := nSet * bitsFor(m)
+	if locBits >= m {
+		locBits = m
+	}
+	switch mode {
+	case CountersNone:
+		return locBits
+	case CountersUniform:
+		return locBits + counterBits
+	default:
+		return locBits + nSet*counterBits
+	}
+}
+
+// quantize maps c in [0, max] to a byte, reserving 0 for exact zero so that
+// a set bit never round-trips to unset.
+func quantize(c, max float64) byte {
+	if max <= 0 || c <= 0 {
+		return 0
+	}
+	q := int(math.Round(c / max * 255))
+	if q < 1 {
+		q = 1
+	}
+	if q > 255 {
+		q = 255
+	}
+	return byte(q)
+}
+
+func dequantize(q byte, max float64) float64 {
+	return float64(q) / 255 * max
+}
+
+// bitsFor returns ceil(log2 m) for m >= 1, with a floor of 1 bit.
+func bitsFor(m int) int {
+	b := 0
+	for v := m - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+type bitWriter struct {
+	out  []byte
+	cur  uint64
+	ncur int
+}
+
+func (w *bitWriter) write(v uint64, bits int) {
+	for i := bits - 1; i >= 0; i-- {
+		w.cur = w.cur<<1 | (v>>uint(i))&1
+		w.ncur++
+		if w.ncur == 8 {
+			w.out = append(w.out, byte(w.cur))
+			w.cur, w.ncur = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) finish() []byte {
+	if w.ncur > 0 {
+		w.out = append(w.out, byte(w.cur<<uint(8-w.ncur)))
+		w.cur, w.ncur = 0, 0
+	}
+	return w.out
+}
+
+type bitReader struct {
+	data []byte
+	pos  int // bit position
+}
+
+func (r *bitReader) read(bits int) (uint64, bool) {
+	if r.pos+bits > len(r.data)*8 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < bits; i++ {
+		byteIdx := r.pos / 8
+		bitIdx := 7 - r.pos%8
+		v = v<<1 | uint64(r.data[byteIdx]>>uint(bitIdx))&1
+		r.pos++
+	}
+	return v, true
+}

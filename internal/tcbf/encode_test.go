@@ -1,0 +1,353 @@
+package tcbf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncodeDecodeRoundTripFull(t *testing.T) {
+	cfg := testConfig()
+	f := MustNew(cfg, 0)
+	keys := []string{"NewMoon", "Twitter'sNew", "funnybutnotcool", "openwebawards"}
+	for _, k := range keys {
+		mustInsert(t, f, k, 0)
+	}
+	// Give the counters distinct values via decay + reinforcement.
+	refresh := MustNew(cfg, 4*time.Minute)
+	mustInsert(t, refresh, "NewMoon", 4*time.Minute)
+	if err := f.AMerge(refresh, 4*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := f.Encode(CountersFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data, cfg, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SetBits() != f.SetBits() {
+		t.Fatalf("set bits: got %d, want %d", got.SetBits(), f.SetBits())
+	}
+	for _, k := range keys {
+		ok, err := got.Contains(k, 4*time.Minute)
+		if err != nil || !ok {
+			t.Errorf("decoded filter lost %q", k)
+		}
+	}
+	// Counters survive within quantization error (max/255).
+	for p := 0; p < f.M(); p++ {
+		want := f.Counter(p)
+		gotC := got.Counter(p)
+		if (want == 0) != (gotC == 0) {
+			t.Fatalf("bit %d: set-ness changed (%g vs %g)", p, want, gotC)
+		}
+		if want > 0 && math.Abs(want-gotC) > 16.0/255+1e-9 {
+			t.Errorf("bit %d: counter %g decoded as %g", p, want, gotC)
+		}
+	}
+	if !got.Merged() {
+		t.Error("decoded filter should be marked merged")
+	}
+}
+
+func TestEncodeDecodeUniform(t *testing.T) {
+	cfg := testConfig()
+	f := MustNew(cfg, 0)
+	mustInsert(t, f, "a", 0)
+	mustInsert(t, f, "b", 0)
+	data, err := f.Encode(CountersUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < got.M(); p++ {
+		if c := got.Counter(p); c != 0 && c != cfg.Initial {
+			t.Errorf("uniform decode: counter %g, want %g", c, cfg.Initial)
+		}
+	}
+}
+
+func TestEncodeDecodeCounterless(t *testing.T) {
+	cfg := testConfig()
+	f := MustNew(cfg, 0)
+	mustInsert(t, f, "a", 0)
+	data, err := f.Encode(CountersNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := got.Contains("a", 0)
+	if err != nil || !ok {
+		t.Error("counter-less round trip lost key")
+	}
+	min, err := got.MinCounter("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != cfg.Initial {
+		t.Errorf("counter-less decode counter %g, want initial %g", min, cfg.Initial)
+	}
+}
+
+func TestEncodeEmptyFilter(t *testing.T) {
+	cfg := testConfig()
+	f := MustNew(cfg, 0)
+	for _, mode := range []CounterMode{CountersNone, CountersUniform, CountersFull} {
+		data, err := f.Encode(mode)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		got, err := Decode(data, cfg, 0)
+		if err != nil {
+			t.Fatalf("mode %d decode: %v", mode, err)
+		}
+		if got.SetBits() != 0 {
+			t.Errorf("mode %d: empty filter decoded with %d set bits", mode, got.SetBits())
+		}
+	}
+}
+
+func TestEncodeModesAreOrderedBySize(t *testing.T) {
+	f := MustNew(testConfig(), 0)
+	for i := 0; i < 8; i++ {
+		mustInsert(t, f, fmt.Sprintf("key-%d", i), 0)
+	}
+	none, _ := f.WireSize(CountersNone)
+	uniform, _ := f.WireSize(CountersUniform)
+	full, _ := f.WireSize(CountersFull)
+	if !(none < uniform && uniform < full) {
+		t.Errorf("sizes not ordered: none=%d uniform=%d full=%d", none, uniform, full)
+	}
+}
+
+func TestEncodeFallsBackToBitmapWhenDense(t *testing.T) {
+	// With m=64 and many keys, the location list exceeds the bitmap and the
+	// encoder must switch form. Both forms must round-trip.
+	cfg := Config{M: 64, K: 4, Initial: 10, DecayPerMinute: 1}
+	f := MustNew(cfg, 0)
+	for i := 0; i < 40; i++ {
+		mustInsert(t, f, fmt.Sprintf("dense-%d", i), 0)
+	}
+	if f.SetBits()*bitsFor(64) < 64 {
+		t.Skip("filter unexpectedly sparse")
+	}
+	data, err := f.Encode(CountersFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[1]&flagBitmap == 0 {
+		t.Error("dense filter did not use bitmap form")
+	}
+	got, err := Decode(data, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SetBits() != f.SetBits() {
+		t.Errorf("bitmap round trip: %d set bits, want %d", got.SetBits(), f.SetBits())
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	cfg := testConfig()
+	f := MustNew(cfg, 0)
+	mustInsert(t, f, "k", 0)
+	good, err := f.Encode(CountersFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{name: "empty", data: nil},
+		{name: "short header", data: good[:5]},
+		{name: "bad magic", data: append([]byte{0x00}, good[1:]...)},
+		{name: "truncated body", data: good[:len(good)-3]},
+		{name: "bad mode", data: corruptByte(good, 1, 0x00)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.data, cfg, 0); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("Decode(%s) error = %v, want ErrCorrupt", tt.name, err)
+			}
+		})
+	}
+}
+
+func TestDecodeGeometryMismatch(t *testing.T) {
+	f := MustNew(Config{M: 128, K: 2, Initial: 10}, 0)
+	mustInsert(t, f, "k", 0)
+	data, err := f.Encode(CountersFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data, Config{M: 256, K: 2, Initial: 10}, 0); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("m mismatch: error = %v, want ErrCorrupt", err)
+	}
+	if _, err := Decode(data, Config{M: 128, K: 4, Initial: 10}, 0); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("k mismatch: error = %v, want ErrCorrupt", err)
+	}
+	// Zero M/K in cfg means "accept the wire geometry".
+	if _, err := Decode(data, Config{Initial: 10}, 0); err != nil {
+		t.Errorf("wildcard geometry rejected: %v", err)
+	}
+}
+
+func TestPaperWireBits(t *testing.T) {
+	// Section VII-A: a 256-bit vector with 4 hashes encodes a single key in
+	// at most 4 locations x 8 bits = 4 bytes (5 with the uniform counter).
+	if got := PaperWireBits(4, 256, CountersNone); got != 32 {
+		t.Errorf("single-key location bits = %d, want 32", got)
+	}
+	if got := PaperWireBits(4, 256, CountersUniform); got != 40 {
+		t.Errorf("single-key uniform bits = %d, want 40", got)
+	}
+	if got := PaperWireBits(4, 256, CountersFull); got != 64 {
+		t.Errorf("single-key full bits = %d, want 64", got)
+	}
+	// Dense filters cap at the raw bitmap.
+	if got := PaperWireBits(200, 256, CountersNone); got != 256 {
+		t.Errorf("dense filter bits = %d, want bitmap 256", got)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	tests := []struct{ m, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {256, 8}, {257, 9}, {1024, 10},
+	}
+	for _, tt := range tests {
+		if got := bitsFor(tt.m); got != tt.want {
+			t.Errorf("bitsFor(%d) = %d, want %d", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	var w bitWriter
+	vals := []uint64{0, 1, 255, 13, 200, 7}
+	for _, v := range vals {
+		w.write(v, 8)
+	}
+	r := bitReader{data: w.finish()}
+	for i, want := range vals {
+		got, ok := r.read(8)
+		if !ok || got != want {
+			t.Errorf("value %d: got %d (ok=%v), want %d", i, got, ok, want)
+		}
+	}
+	if _, ok := r.read(8); ok {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestBitWriterOddWidths(t *testing.T) {
+	var w bitWriter
+	vals := []uint64{5, 2, 7, 0, 6, 1}
+	for _, v := range vals {
+		w.write(v, 3)
+	}
+	r := bitReader{data: w.finish()}
+	for i, want := range vals {
+		got, ok := r.read(3)
+		if !ok || got != want {
+			t.Errorf("value %d: got %d (ok=%v), want %d", i, got, ok, want)
+		}
+	}
+}
+
+// Property: encode/decode round-trips membership for arbitrary key sets in
+// all counter modes.
+func TestEncodeRoundTripProperty(t *testing.T) {
+	cfg := Config{M: 512, K: 4, Initial: 10, DecayPerMinute: 1}
+	for _, mode := range []CounterMode{CountersNone, CountersUniform, CountersFull} {
+		mode := mode
+		prop := func(keys []string) bool {
+			f := MustNew(cfg, 0)
+			for _, k := range keys {
+				_ = f.Insert(k, 0)
+			}
+			data, err := f.Encode(mode)
+			if err != nil {
+				return false
+			}
+			got, err := Decode(data, cfg, 0)
+			if err != nil {
+				return false
+			}
+			for _, k := range keys {
+				ok, err := got.Contains(k, 0)
+				if err != nil || !ok {
+					return false
+				}
+			}
+			return got.SetBits() == f.SetBits()
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("mode %d: %v", mode, err)
+		}
+	}
+}
+
+// Property: Decode never panics on arbitrary byte soup.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	cfg := testConfig()
+	prop := func(data []byte) bool {
+		_, _ = Decode(data, cfg, 0)
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func corruptByte(data []byte, idx int, val byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	out[idx] = val
+	return out
+}
+
+func BenchmarkEncodeFull(b *testing.B) {
+	f := MustNew(Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}, 0)
+	for i := 0; i < 10; i++ {
+		_ = f.Insert(fmt.Sprintf("k%d", i), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = f.Encode(CountersFull)
+	}
+}
+
+func BenchmarkDecodeFull(b *testing.B) {
+	cfg := Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	f := MustNew(cfg, 0)
+	for i := 0; i < 10; i++ {
+		_ = f.Insert(fmt.Sprintf("k%d", i), 0)
+	}
+	data, _ := f.Encode(CountersFull)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = Decode(data, cfg, 0)
+	}
+}
+
+func TestDecodeRejectsHugeGeometry(t *testing.T) {
+	// Regression: a hostile header declaring a multi-gigabyte bit-vector
+	// must be rejected before allocation (found by FuzzDecode).
+	data := []byte{wireMagic, byte(CountersFull), 0xA5, 0xD9, 0xF2, 0x40, 0x24, 0, 0, 0, 0, 0, 0, 0xA5}
+	if _, err := Decode(data, Config{Initial: 10}, 0); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge-m header: error = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,87 @@
+package tcbf
+
+import (
+	"testing"
+)
+
+// FuzzDecode hardens the wire decoder against adversarial bytes: it must
+// never panic, and any successfully decoded filter must be internally
+// consistent.
+func FuzzDecode(f *testing.F) {
+	cfg := Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	seedFilter := MustNew(cfg, 0)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := seedFilter.Insert(k, 0); err != nil {
+			f.Fatal(err)
+		}
+	}
+	for _, mode := range []CounterMode{CountersNone, CountersUniform, CountersFull} {
+		data, err := seedFilter.Encode(mode)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{wireMagic})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(data, Config{Initial: 10, DecayPerMinute: 1}, 0)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be well-formed: geometry sane, counters
+		// non-negative, set-bit count consistent.
+		if decoded.M() <= 0 || decoded.K() <= 0 {
+			t.Fatalf("decoded filter with geometry (%d,%d)", decoded.M(), decoded.K())
+		}
+		set := 0
+		for p := 0; p < decoded.M(); p++ {
+			c := decoded.Counter(p)
+			if c < 0 {
+				t.Fatalf("negative counter %g at %d", c, p)
+			}
+			if c > 0 {
+				set++
+			}
+		}
+		if set != decoded.SetBits() {
+			t.Fatalf("SetBits %d != scan %d", decoded.SetBits(), set)
+		}
+		// Re-encoding a decoded filter must succeed.
+		if _, err := decoded.Encode(CountersFull); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip checks membership survival for arbitrary key
+// material.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add("key-one", "key-two")
+	f.Add("", "日本語")
+	f.Fuzz(func(t *testing.T, k1, k2 string) {
+		cfg := Config{M: 128, K: 3, Initial: 5, DecayPerMinute: 0.5}
+		filter := MustNew(cfg, 0)
+		if err := filter.Insert(k1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := filter.Insert(k2, 0); err != nil {
+			t.Fatal(err)
+		}
+		data, err := filter.Encode(CountersFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []string{k1, k2} {
+			ok, err := got.Contains(k, 0)
+			if err != nil || !ok {
+				t.Fatalf("round trip lost %q (err=%v)", k, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package tcbf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Partitioned is a collection of h same-geometry TCBFs representing one
+// logical key set — the Section VI-D construction ("a collection of h BFs
+// {B0, ..., Bh-1} to represent a single set of elements") made usable
+// inside the protocol: every key is routed to exactly one partition by an
+// independent hash, so each partition holds ~n/h keys and the joint
+// false-positive rate follows Eq. 7, while all of the TCBF's temporal
+// operations (decay, A-merge, M-merge, preferential query) remain
+// well-defined partition-wise.
+//
+// Two Partitioned filters can only be merged when they agree on both the
+// per-partition geometry and the partition count, which a protocol fixes
+// globally (like m and k).
+type Partitioned struct {
+	parts []*Filter
+	cfg   Config
+}
+
+// NewPartitioned returns an empty partitioned TCBF with h partitions.
+func NewPartitioned(cfg Config, h int, now time.Duration) (*Partitioned, error) {
+	if h < 1 || h > 255 {
+		return nil, fmt.Errorf("tcbf: partition count must be in [1,255], got %d", h)
+	}
+	parts := make([]*Filter, h)
+	for i := range parts {
+		f, err := New(cfg, now)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = f
+	}
+	return &Partitioned{parts: parts, cfg: cfg}, nil
+}
+
+// MustNewPartitioned is NewPartitioned for known-valid parameters.
+func MustNewPartitioned(cfg Config, h int, now time.Duration) *Partitioned {
+	p, err := NewPartitioned(cfg, h, now)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Partitions returns the partition count h.
+func (p *Partitioned) Partitions() int { return len(p.parts) }
+
+// Config returns the per-partition configuration.
+func (p *Partitioned) Config() Config { return p.cfg }
+
+// route selects the partition for a key with a hash independent of the
+// filters' bit hashing (different FNV offset via a prefix byte).
+func (p *Partitioned) route(key string) int {
+	if len(p.parts) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte{0x7A}) // domain-separate from hashkit's key hashing
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(p.parts)))
+}
+
+// Insert adds key to its partition.
+func (p *Partitioned) Insert(key string, now time.Duration) error {
+	return p.parts[p.route(key)].Insert(key, now)
+}
+
+// InsertAll inserts each key.
+func (p *Partitioned) InsertAll(keys []string, now time.Duration) error {
+	for _, k := range keys {
+		if err := p.Insert(k, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Contains answers the existential query against key's partition.
+func (p *Partitioned) Contains(key string, now time.Duration) (bool, error) {
+	return p.parts[p.route(key)].Contains(key, now)
+}
+
+// MinCounter returns the key's minimum counter in its partition.
+func (p *Partitioned) MinCounter(key string, now time.Duration) (float64, error) {
+	return p.parts[p.route(key)].MinCounter(key, now)
+}
+
+// Advance settles decay on every partition.
+func (p *Partitioned) Advance(now time.Duration) error {
+	for _, f := range p.parts {
+		if err := f.Advance(now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetDecayFactor retunes every partition's DF after settling decay.
+func (p *Partitioned) SetDecayFactor(perMinute float64, now time.Duration) error {
+	for _, f := range p.parts {
+		if err := f.SetDecayFactor(perMinute, now); err != nil {
+			return err
+		}
+	}
+	p.cfg.DecayPerMinute = perMinute
+	return nil
+}
+
+func (p *Partitioned) checkCompatible(other *Partitioned) error {
+	if len(p.parts) != len(other.parts) {
+		return fmt.Errorf("%w: %d vs %d partitions", ErrGeometry, len(p.parts), len(other.parts))
+	}
+	return nil
+}
+
+// AMerge merges other into p additively, partition-wise.
+func (p *Partitioned) AMerge(other *Partitioned, now time.Duration) error {
+	if err := p.checkCompatible(other); err != nil {
+		return err
+	}
+	for i, f := range p.parts {
+		if err := f.AMerge(other.parts[i], now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MMerge merges other into p by maximum, partition-wise.
+func (p *Partitioned) MMerge(other *Partitioned, now time.Duration) error {
+	if err := p.checkCompatible(other); err != nil {
+		return err
+	}
+	for i, f := range p.parts {
+		if err := f.MMerge(other.parts[i], now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PreferencePartitioned runs the Section IV-A preferential query against
+// the key's partition in both filters.
+func PreferencePartitioned(key string, peer, self *Partitioned, now time.Duration) (float64, error) {
+	if err := self.checkCompatible(peer); err != nil {
+		return 0, err
+	}
+	i := self.route(key)
+	return Preference(key, peer.parts[i], self.parts[i], now)
+}
+
+// Clone returns a deep copy.
+func (p *Partitioned) Clone() *Partitioned {
+	parts := make([]*Filter, len(p.parts))
+	for i, f := range p.parts {
+		parts[i] = f.Clone()
+	}
+	return &Partitioned{parts: parts, cfg: p.cfg}
+}
+
+// SetBits returns the total set bits across partitions.
+func (p *Partitioned) SetBits() int {
+	total := 0
+	for _, f := range p.parts {
+		total += f.SetBits()
+	}
+	return total
+}
+
+// EstimatedFPR returns the joint Eq. 7 false-positive rate: the query
+// routes to one partition, but an adversarial (unknown) key is equally
+// likely to land in any, so the expected rate is the mean of the
+// partition rates.
+func (p *Partitioned) EstimatedFPR() float64 {
+	sum := 0.0
+	for _, f := range p.parts {
+		sum += f.EstimatedFPR()
+	}
+	return sum / float64(len(p.parts))
+}
+
+// Encode serializes all partitions: a 2-byte header (magic, h) followed by
+// length-prefixed per-partition encodings, empty partitions compressed to
+// a zero length.
+func (p *Partitioned) Encode(mode CounterMode) ([]byte, error) {
+	out := []byte{wireMagic ^ 0x0F, byte(len(p.parts))}
+	for _, f := range p.parts {
+		if f.SetBits() == 0 {
+			out = binary.BigEndian.AppendUint32(out, 0)
+			continue
+		}
+		enc, err := f.Encode(mode)
+		if err != nil {
+			return nil, err
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(len(enc)))
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+// WireSize returns the encoded size in bytes.
+func (p *Partitioned) WireSize(mode CounterMode) (int, error) {
+	b, err := p.Encode(mode)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// DecodePartitioned reconstructs a partitioned filter; cfg supplies the
+// decay parameters as in Decode.
+func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("%w: truncated partitioned header", ErrCorrupt)
+	}
+	if data[0] != wireMagic^0x0F {
+		return nil, fmt.Errorf("%w: bad partitioned magic 0x%02x", ErrCorrupt, data[0])
+	}
+	h := int(data[1])
+	if h < 1 {
+		return nil, fmt.Errorf("%w: zero partitions", ErrCorrupt)
+	}
+	p, err := NewPartitioned(cfg, h, now)
+	if err != nil {
+		return nil, err
+	}
+	rest := data[2:]
+	for i := 0; i < h; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: truncated partition length", ErrCorrupt)
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if n == 0 {
+			continue // empty partition
+		}
+		if len(rest) < n {
+			return nil, fmt.Errorf("%w: truncated partition body", ErrCorrupt)
+		}
+		f, err := Decode(rest[:n], cfg, now)
+		if err != nil {
+			return nil, err
+		}
+		p.parts[i] = f
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return p, nil
+}

@@ -1,0 +1,112 @@
+package tcbf
+
+import (
+	"fmt"
+	"time"
+)
+
+// Pool implements the dynamic TCBF allocation strategy of Section VI-D: a
+// set of same-geometry TCBFs representing one logical key set, where a new
+// filter is allocated when the fill ratio of the current filter exceeds a
+// threshold. Splitting a key population across h filters lowers the joint
+// false-positive rate (Eq. 7) at the cost of extra memory (Eq. 8).
+type Pool struct {
+	cfg       Config
+	threshold float64
+	filters   []*Filter
+}
+
+// NewPool returns a pool over filters configured by cfg that allocates a
+// new filter whenever the current one's fill ratio exceeds threshold
+// (0 < threshold <= 1).
+func NewPool(cfg Config, threshold float64, now time.Duration) (*Pool, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("tcbf: fill-ratio threshold must be in (0,1], got %g", threshold)
+	}
+	first, err := New(cfg, now)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{cfg: cfg, threshold: threshold, filters: []*Filter{first}}, nil
+}
+
+// Insert adds key at time now, allocating a fresh filter first if the
+// current filter's fill ratio exceeds the pool's threshold.
+func (p *Pool) Insert(key string, now time.Duration) error {
+	cur := p.filters[len(p.filters)-1]
+	if err := cur.Advance(now); err != nil {
+		return err
+	}
+	if cur.FillRatio() > p.threshold {
+		next, err := New(p.cfg, now)
+		if err != nil {
+			return err
+		}
+		p.filters = append(p.filters, next)
+		cur = next
+	}
+	return cur.Insert(key, now)
+}
+
+// Contains reports whether any filter in the pool may contain key at now.
+func (p *Pool) Contains(key string, now time.Duration) (bool, error) {
+	for _, f := range p.filters {
+		ok, err := f.Contains(key, now)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Advance settles decay on every filter and drops filters that have decayed
+// to empty (keeping at least one).
+func (p *Pool) Advance(now time.Duration) error {
+	kept := p.filters[:0]
+	for _, f := range p.filters {
+		if err := f.Advance(now); err != nil {
+			return err
+		}
+		if f.SetBits() > 0 {
+			kept = append(kept, f)
+		}
+	}
+	if len(kept) == 0 {
+		kept = append(kept, p.filters[0])
+		kept[0].Reset(now)
+	}
+	p.filters = kept
+	return nil
+}
+
+// Len returns the number of filters currently allocated.
+func (p *Pool) Len() int { return len(p.filters) }
+
+// Filters returns the pool's filters; callers must not mutate them.
+func (p *Pool) Filters() []*Filter { return p.filters }
+
+// JointFPR returns the pool's joint false-positive rate per Eq. 7: a query
+// is a joint false positive unless every filter answers correctly, so the
+// rate is 1 - prod_i (1 - fpr_i), with each fpr_i estimated from the
+// filter's observed fill ratio.
+func (p *Pool) JointFPR() float64 {
+	correct := 1.0
+	for _, f := range p.filters {
+		correct *= 1 - f.EstimatedFPR()
+	}
+	return 1 - correct
+}
+
+// MemoryBits returns the pool's total wire memory in bits under the paper's
+// Section VI-C accounting (Eq. 8): per filter, the set-bit locations plus
+// one-byte counters.
+func (p *Pool) MemoryBits() int {
+	total := 0
+	for _, f := range p.filters {
+		total += PaperWireBits(f.SetBits(), f.M(), CountersFull)
+	}
+	return total
+}

@@ -1,0 +1,134 @@
+package tcbf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPoolValidation(t *testing.T) {
+	cfg := testConfig()
+	for _, th := range []float64{0, -0.5, 1.5} {
+		if _, err := NewPool(cfg, th, 0); err == nil {
+			t.Errorf("threshold %g accepted", th)
+		}
+	}
+	if _, err := NewPool(cfg, 0.5, 0); err != nil {
+		t.Errorf("valid threshold rejected: %v", err)
+	}
+	if _, err := NewPool(Config{M: 0, K: 4, Initial: 1}, 0.5, 0); err == nil {
+		t.Error("invalid filter config accepted")
+	}
+}
+
+func TestPoolAllocatesOnThreshold(t *testing.T) {
+	cfg := Config{M: 64, K: 4, Initial: 10, DecayPerMinute: 0}
+	p, err := NewPool(cfg, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := p.Insert(fmt.Sprintf("k%d", i), 0); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if p.Len() < 2 {
+		t.Errorf("pool never allocated a second filter (len=%d)", p.Len())
+	}
+	for i := 0; i < 30; i++ {
+		ok, err := p.Contains(fmt.Sprintf("k%d", i), 0)
+		if err != nil || !ok {
+			t.Errorf("pool lost key k%d", i)
+		}
+	}
+}
+
+func TestPoolSingleFilterWhileSparse(t *testing.T) {
+	cfg := Config{M: 1024, K: 4, Initial: 10, DecayPerMinute: 0}
+	p, err := NewPool(cfg, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := p.Insert(fmt.Sprintf("k%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != 1 {
+		t.Errorf("sparse pool allocated %d filters, want 1", p.Len())
+	}
+}
+
+func TestPoolAdvanceDropsEmptyFilters(t *testing.T) {
+	cfg := Config{M: 64, K: 4, Initial: 10, DecayPerMinute: 1}
+	p, err := NewPool(cfg, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := p.Insert(fmt.Sprintf("k%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grew := p.Len()
+	if err := p.Advance(time.Hour); err != nil { // everything decays
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("pool kept %d filters after full decay (was %d), want 1", p.Len(), grew)
+	}
+	ok, err := p.Contains("k0", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("decayed pool still contains key")
+	}
+	if err := p.Insert("fresh", time.Hour); err != nil {
+		t.Errorf("insert after full decay: %v", err)
+	}
+}
+
+func TestPoolJointFPRDecreasesWithSplit(t *testing.T) {
+	// Splitting the same keys across more filters lowers the joint FPR
+	// (Section VI-D): compare a crammed single filter to a split pool.
+	cfg := Config{M: 128, K: 4, Initial: 10, DecayPerMinute: 0}
+	crammed, err := NewPool(cfg, 1, 0) // threshold 1: never splits
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := NewPool(cfg, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := crammed.Insert(key, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := split.Insert(key, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if split.Len() < 2 {
+		t.Fatalf("split pool did not split (len=%d)", split.Len())
+	}
+	if split.JointFPR() >= crammed.JointFPR() {
+		t.Errorf("split pool FPR %.4f not below crammed FPR %.4f",
+			split.JointFPR(), crammed.JointFPR())
+	}
+	if split.MemoryBits() <= crammed.MemoryBits() {
+		t.Errorf("split pool memory %d bits not above crammed %d bits (no free lunch)",
+			split.MemoryBits(), crammed.MemoryBits())
+	}
+}
+
+func TestPoolClockSkew(t *testing.T) {
+	p, err := NewPool(testConfig(), 0.5, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert("k", 0); err == nil {
+		t.Error("insert with rewound clock accepted")
+	}
+}

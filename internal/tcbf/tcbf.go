@@ -1,0 +1,364 @@
+// Package tcbf implements the Temporal Counting Bloom Filter (TCBF), the
+// core data structure of the B-SUB paper (Section IV).
+//
+// A TCBF associates a counter with every bit of a Bloom filter, but unlike a
+// Counting Bloom filter the counters do not track insertion multiplicity.
+// Instead:
+//
+//   - Insert sets the counters of the key's hashed bits to an initial value
+//     C; counters that are already set are left unchanged.
+//   - A-merge (additive) combines two filters by OR-ing the bit-vectors and
+//     summing counters; it is used when a broker absorbs a consumer's
+//     genuine filter, so repeated meetings "reinforce" the interest.
+//   - M-merge (maximum) takes the counter-wise maximum; it is used between
+//     brokers to prevent the bogus-counter feedback loop of Fig. 6.
+//   - Decaying constantly decrements every non-zero counter at the decaying
+//     factor (DF); a bit whose counter reaches zero is reset, which is the
+//     only form of deletion the TCBF supports.
+//
+// Queries come in two forms: the existential query (is the key present?)
+// and the preferential query (Section IV-A), which compares the minimum
+// counter of a key's bits across two filters and drives forwarding
+// decisions between brokers.
+//
+// All temporal behaviour is driven by an explicit clock passed by the
+// caller (a time.Duration offset from an arbitrary epoch); decay is applied
+// lazily, so a TCBF is a pure data structure with no background goroutines.
+package tcbf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"bsub/internal/bloom"
+	"bsub/internal/hashkit"
+)
+
+var (
+	// ErrMerged is returned by Insert on a filter that has been the target
+	// of a merge. The paper: "We can only insert a key into a filter that
+	// has never been merged before"; insert into a fresh TCBF and merge it
+	// instead.
+	ErrMerged = errors.New("tcbf: cannot insert into a merged filter")
+
+	// ErrGeometry is returned when two filters with different bit-vector
+	// lengths or hash counts are combined.
+	ErrGeometry = errors.New("tcbf: filter geometry mismatch")
+
+	// ErrClockSkew is returned when an operation's clock precedes the
+	// filter's last-observed clock; simulated time must be monotonic.
+	ErrClockSkew = errors.New("tcbf: clock moved backwards")
+)
+
+// Config holds the tunable parameters of a TCBF.
+type Config struct {
+	// M is the bit-vector length. The paper's evaluation uses 256.
+	M int
+	// K is the number of hash functions. The paper's evaluation uses 4.
+	K int
+	// Initial is the value C a counter is set to on insertion.
+	Initial float64
+	// DecayPerMinute is the decaying factor (DF): the amount subtracted
+	// from every non-zero counter per minute of elapsed time. Zero disables
+	// decay (the DF = 0 configuration of Fig. 9).
+	DecayPerMinute float64
+}
+
+func (c Config) validate() error {
+	if c.Initial <= 0 {
+		return fmt.Errorf("tcbf: initial counter value must be positive, got %g", c.Initial)
+	}
+	if c.DecayPerMinute < 0 {
+		return fmt.Errorf("tcbf: decay factor must be non-negative, got %g", c.DecayPerMinute)
+	}
+	return nil
+}
+
+// Filter is a Temporal Counting Bloom Filter. It is not safe for concurrent
+// use; in the simulator each node owns its filters.
+type Filter struct {
+	hasher   hashkit.Hasher
+	counters []float64
+	cfg      Config
+	last     time.Duration
+	merged   bool
+	scratch  []uint32
+}
+
+// New returns an empty TCBF configured by cfg, with its clock at now.
+func New(cfg Config, now time.Duration) (*Filter, error) {
+	hasher, err := hashkit.New(cfg.M, cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("tcbf: %w", err)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Filter{
+		hasher:   hasher,
+		counters: make([]float64, cfg.M),
+		cfg:      cfg,
+		last:     now,
+		scratch:  make([]uint32, 0, cfg.K),
+	}, nil
+}
+
+// MustNew is New for parameters known to be valid; it panics on invalid
+// input and is intended for tests and package-level defaults.
+func MustNew(cfg Config, now time.Duration) *Filter {
+	f, err := New(cfg, now)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// M returns the bit-vector length.
+func (f *Filter) M() int { return f.hasher.M() }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.hasher.K() }
+
+// Config returns the filter's configuration.
+func (f *Filter) Config() Config { return f.cfg }
+
+// Merged reports whether the filter has been the target of a merge and can
+// therefore no longer accept direct insertions.
+func (f *Filter) Merged() bool { return f.merged }
+
+// SetDecayFactor retunes the DF after settling decay up to now. The paper
+// (Section VI-B) recommends adjusting the DF online by observing the
+// resulting FPR.
+func (f *Filter) SetDecayFactor(perMinute float64, now time.Duration) error {
+	if perMinute < 0 {
+		return fmt.Errorf("tcbf: decay factor must be non-negative, got %g", perMinute)
+	}
+	if err := f.Advance(now); err != nil {
+		return err
+	}
+	f.cfg.DecayPerMinute = perMinute
+	return nil
+}
+
+// Advance applies decay for the time elapsed since the filter was last
+// touched. Every other temporal method calls it implicitly; it is exported
+// so callers can settle a filter before inspecting counters directly.
+func (f *Filter) Advance(now time.Duration) error {
+	if now < f.last {
+		return fmt.Errorf("%w: filter at %v, operation at %v", ErrClockSkew, f.last, now)
+	}
+	elapsed := now - f.last
+	f.last = now
+	if elapsed == 0 || f.cfg.DecayPerMinute == 0 {
+		return nil
+	}
+	dec := f.cfg.DecayPerMinute * elapsed.Minutes()
+	for i, c := range f.counters {
+		if c == 0 {
+			continue
+		}
+		c -= dec
+		if c < 0 {
+			c = 0
+		}
+		f.counters[i] = c
+	}
+	return nil
+}
+
+// Insert adds key at time now, setting the counters of its hashed bits to
+// the initial value C. Counters that are already non-zero are left
+// unchanged ("the results of insertions are always a TCBF with identical
+// counters of a value of C"). Inserting into a merged filter returns
+// ErrMerged.
+func (f *Filter) Insert(key string, now time.Duration) error {
+	if f.merged {
+		return fmt.Errorf("insert %q: %w", key, ErrMerged)
+	}
+	if err := f.Advance(now); err != nil {
+		return err
+	}
+	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	for _, p := range f.scratch {
+		if f.counters[p] == 0 {
+			f.counters[p] = f.cfg.Initial
+		}
+	}
+	return nil
+}
+
+// InsertAll inserts each key in keys at time now.
+func (f *Filter) InsertAll(keys []string, now time.Duration) error {
+	for _, k := range keys {
+		if err := f.Insert(k, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Contains answers the existential query: it reports whether key may be in
+// the filter at time now. The TCBF bears the same FPR as the classic BF for
+// existential queries, but the FPR tends to decrease over time as decayed
+// elements are removed.
+func (f *Filter) Contains(key string, now time.Duration) (bool, error) {
+	if err := f.Advance(now); err != nil {
+		return false, err
+	}
+	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	for _, p := range f.scratch {
+		if f.counters[p] == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MinCounter returns the minimum counter value over key's hashed bits at
+// time now; it is zero when the key is absent. A key's remaining lifetime
+// under decay is MinCounter/DF, which is why the minimum (not the sum)
+// defines both removal (Section IV-A) and preference.
+func (f *Filter) MinCounter(key string, now time.Duration) (float64, error) {
+	if err := f.Advance(now); err != nil {
+		return 0, err
+	}
+	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	minC := math.Inf(1)
+	for _, p := range f.scratch {
+		if f.counters[p] < minC {
+			minC = f.counters[p]
+		}
+	}
+	if math.IsInf(minC, 1) {
+		return 0, nil
+	}
+	return minC, nil
+}
+
+// AMerge merges other into f additively: the bit-vectors are OR-ed and the
+// counters summed. Used when a broker absorbs a consumer's genuine filter,
+// so that repeated meetings reinforce the consumer's interests (Section
+// V-C). Both filters are settled to now first; f becomes a merged filter.
+func (f *Filter) AMerge(other *Filter, now time.Duration) error {
+	return f.merge(other, now, func(a, b float64) float64 { return a + b })
+}
+
+// MMerge merges other into f by taking the counter-wise maximum. Used
+// between brokers so frequently-meeting broker pairs do not inflate each
+// other's counters in a loop (the bogus-counter problem of Fig. 6). Both
+// filters are settled to now first; f becomes a merged filter.
+func (f *Filter) MMerge(other *Filter, now time.Duration) error {
+	return f.merge(other, now, math.Max)
+}
+
+func (f *Filter) merge(other *Filter, now time.Duration, combine func(a, b float64) float64) error {
+	if f.M() != other.M() || f.K() != other.K() {
+		return fmt.Errorf("%w: (%d,%d) vs (%d,%d)", ErrGeometry, f.M(), f.K(), other.M(), other.K())
+	}
+	if err := f.Advance(now); err != nil {
+		return err
+	}
+	if err := other.Advance(now); err != nil {
+		return err
+	}
+	for i, c := range other.counters {
+		if c == 0 {
+			continue
+		}
+		if f.counters[i] == 0 {
+			f.counters[i] = c
+			continue
+		}
+		f.counters[i] = combine(f.counters[i], c)
+	}
+	f.merged = true
+	return nil
+}
+
+// Preference implements the preferential query of Section IV-A: for key x
+// it compares peer's minimum counter f against self's minimum counter g and
+// returns f-g when g is non-zero, or f when g is zero. A positive
+// preference means the peer is a better carrier for messages matching x.
+func Preference(key string, peer, self *Filter, now time.Duration) (float64, error) {
+	pf, err := peer.MinCounter(key, now)
+	if err != nil {
+		return 0, fmt.Errorf("peer: %w", err)
+	}
+	g, err := self.MinCounter(key, now)
+	if err != nil {
+		return 0, fmt.Errorf("self: %w", err)
+	}
+	if g == 0 {
+		return pf, nil
+	}
+	return pf - g, nil
+}
+
+// Counter returns the counter at bit position p; p must be in [0, M). The
+// value reflects the last settled clock; call Advance first for current
+// values.
+func (f *Filter) Counter(p int) float64 { return f.counters[p] }
+
+// SetBits returns the number of positions with non-zero counters as of the
+// last settled clock.
+func (f *Filter) SetBits() int {
+	n := 0
+	for _, c := range f.counters {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FillRatio returns the ratio of set bits to vector length.
+func (f *Filter) FillRatio() float64 {
+	return float64(f.SetBits()) / float64(f.M())
+}
+
+// EstimatedFPR estimates the existential-query false-positive rate from the
+// observed fill ratio (FillRatio^K).
+func (f *Filter) EstimatedFPR() float64 {
+	return math.Pow(f.FillRatio(), float64(f.K()))
+}
+
+// ToBloom projects the TCBF onto a counter-less classic Bloom filter with
+// the same geometry — "ripping the counters from the TCBFs" (Section V-D),
+// used when only membership matters and bandwidth is precious.
+func (f *Filter) ToBloom() *bloom.Filter {
+	out := bloom.MustNewFilter(f.M(), f.K())
+	for p, c := range f.counters {
+		if c > 0 {
+			out.SetBit(p)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the filter, preserving clock, merge status,
+// and counters.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{
+		hasher:   f.hasher,
+		counters: make([]float64, len(f.counters)),
+		cfg:      f.cfg,
+		last:     f.last,
+		merged:   f.merged,
+		scratch:  make([]uint32, 0, f.cfg.K),
+	}
+	copy(c.counters, f.counters)
+	return c
+}
+
+// Reset clears all counters and the merged flag, settling the clock to now.
+func (f *Filter) Reset(now time.Duration) {
+	for i := range f.counters {
+		f.counters[i] = 0
+	}
+	f.merged = false
+	if now > f.last {
+		f.last = now
+	}
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the trace parser: arbitrary text must either parse into
+// a structurally valid trace or return an error — never panic, never
+// yield an invalid trace.
+func FuzzRead(f *testing.F) {
+	f.Add("trace demo 3\n0 1 0.0 60.0\n1 2 30.0 90.0\n")
+	f.Add("# comment\n\ntrace x 2\n0 1 0 1\n")
+	f.Add("")
+	f.Add("trace demo notanumber\n")
+	f.Add("trace demo 2\n0 1 5 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if tr.Nodes <= 1 || len(tr.Contacts) == 0 {
+			t.Fatalf("parser returned a degenerate trace: %d nodes, %d contacts",
+				tr.Nodes, len(tr.Contacts))
+		}
+		for i, c := range tr.Contacts {
+			if err := c.Validate(tr.Nodes); err != nil {
+				t.Fatalf("contact %d invalid after successful parse: %v", i, err)
+			}
+			if i > 0 && c.Start < tr.Contacts[i-1].Start {
+				t.Fatalf("contacts unsorted at %d", i)
+			}
+		}
+		// A parsed trace must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if back.Nodes != tr.Nodes || len(back.Contacts) != len(tr.Contacts) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.Nodes, len(back.Contacts), tr.Nodes, len(tr.Contacts))
+		}
+	})
+}

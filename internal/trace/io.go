@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The text format mirrors the CRAWDAD one-contact-per-line convention:
+//
+//	# comments and blank lines are ignored
+//	trace <name> <nodes>
+//	<nodeA> <nodeB> <startSeconds> <endSeconds>
+//
+// Times are fractional seconds from the trace epoch.
+
+// ErrFormat is returned by Read for malformed input.
+var ErrFormat = errors.New("trace: malformed trace file")
+
+// Write serializes t to w in the text format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# contact trace: %d contacts\n", len(t.Contacts)); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	if _, err := fmt.Fprintf(bw, "trace %s %d\n", sanitizeName(t.Name), t.Nodes); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, c := range t.Contacts {
+		_, err := fmt.Fprintf(bw, "%d %d %s %s\n",
+			c.A, c.B,
+			strconv.FormatFloat(c.Start.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(c.End.Seconds(), 'f', 3, 64))
+		if err != nil {
+			return fmt.Errorf("trace: write contact: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		name     string
+		nodes    int
+		contacts []Contact
+		sawHdr   bool
+		lineNo   int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !sawHdr {
+			if len(fields) != 3 || fields[0] != "trace" {
+				return nil, fmt.Errorf("%w: line %d: expected \"trace <name> <nodes>\"", ErrFormat, lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: node count: %v", ErrFormat, lineNo, err)
+			}
+			name, nodes, sawHdr = fields[1], n, true
+			continue
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%w: line %d: expected 4 fields, got %d", ErrFormat, lineNo, len(fields))
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: node A: %v", ErrFormat, lineNo, err)
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: node B: %v", ErrFormat, lineNo, err)
+		}
+		start, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: start: %v", ErrFormat, lineNo, err)
+		}
+		end, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: end: %v", ErrFormat, lineNo, err)
+		}
+		contacts = append(contacts, Contact{
+			A:     NodeID(a),
+			B:     NodeID(b),
+			Start: time.Duration(start * float64(time.Second)),
+			End:   time.Duration(end * float64(time.Second)),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if !sawHdr {
+		return nil, fmt.Errorf("%w: missing header", ErrFormat)
+	}
+	t, err := New(name, nodes, contacts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return t, nil
+}
+
+func sanitizeName(name string) string {
+	if name == "" {
+		return "unnamed"
+	}
+	return strings.Join(strings.Fields(name), "-")
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Nodes != tr.Nodes || len(got.Contacts) != len(tr.Contacts) {
+		t.Fatalf("header mismatch: %+v vs %+v", got.Stats(), tr.Stats())
+	}
+	for i := range tr.Contacts {
+		a, b := tr.Contacts[i], got.Contacts[i]
+		if a.A != b.A || a.B != b.B {
+			t.Errorf("contact %d nodes: %v vs %v", i, a, b)
+		}
+		if d := a.Start - b.Start; d > time.Millisecond || d < -time.Millisecond {
+			t.Errorf("contact %d start drift %v", i, d)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := `# a comment
+
+trace demo 3
+# another comment
+0 1 0.0 60.0
+
+1 2 30.0 90.0
+`
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes != 3 || len(tr.Contacts) != 2 {
+		t.Errorf("got %d nodes / %d contacts", tr.Nodes, len(tr.Contacts))
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "empty", in: ""},
+		{name: "missing header", in: "0 1 0.0 60.0\n"},
+		{name: "bad header keyword", in: "trail demo 3\n0 1 0 60\n"},
+		{name: "bad node count", in: "trace demo three\n0 1 0 60\n"},
+		{name: "short contact line", in: "trace demo 3\n0 1 0.0\n"},
+		{name: "long contact line", in: "trace demo 3\n0 1 0.0 60.0 99\n"},
+		{name: "non-numeric node", in: "trace demo 3\nx 1 0.0 60.0\n"},
+		{name: "non-numeric time", in: "trace demo 3\n0 1 zero 60.0\n"},
+		{name: "node out of range", in: "trace demo 3\n0 7 0.0 60.0\n"},
+		{name: "end before start", in: "trace demo 3\n0 1 60.0 10.0\n"},
+		{name: "no contacts", in: "trace demo 3\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.in)); !errors.Is(err, ErrFormat) {
+				t.Errorf("error = %v, want ErrFormat", err)
+			}
+		})
+	}
+}
+
+func TestWriteSanitizesName(t *testing.T) {
+	tr, err := New("name with  spaces", 2, []Contact{{A: 0, B: 1, Start: 0, End: time.Minute}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("round trip with spaced name: %v", err)
+	}
+	if got.Name != "name-with-spaces" {
+		t.Errorf("name = %q", got.Name)
+	}
+}
+
+// Property: any structurally valid generated trace round-trips through the
+// text format preserving node pairs and second-resolution times.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(raw []struct {
+		A, B     uint8
+		Start    uint16
+		Duration uint8
+	}) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		nodes := 16
+		contacts := make([]Contact, 0, len(raw))
+		for _, r := range raw {
+			a := NodeID(int(r.A) % nodes)
+			b := NodeID(int(r.B) % nodes)
+			if a == b {
+				b = (b + 1) % NodeID(nodes)
+			}
+			contacts = append(contacts, Contact{
+				A:     a,
+				B:     b,
+				Start: time.Duration(r.Start) * time.Second,
+				End:   time.Duration(r.Start)*time.Second + time.Duration(int(r.Duration)+1)*time.Second,
+			})
+		}
+		tr, err := New("prop", nodes, contacts)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Contacts) != len(tr.Contacts) {
+			return false
+		}
+		for i := range tr.Contacts {
+			if tr.Contacts[i].A != got.Contacts[i].A || tr.Contacts[i].B != got.Contacts[i].B {
+				return false
+			}
+			if tr.Contacts[i].Start != got.Contacts[i].Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package trace models the human contact traces that drive the B-SUB
+// evaluation (Section VII-A): sequences of pairwise node contacts with
+// start and end times, as recorded by the CRAWDAD Haggle (Infocom'06) and
+// MIT Reality Bluetooth loggers.
+//
+// The package provides the in-memory representation, a line-oriented text
+// format for persistence, and the statistics that populate Table I of the
+// paper (node count, contact count, duration) plus the per-node degree and
+// centrality measures B-SUB's broker allocation and workload model consume.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// NodeID identifies a node (a person's device) within a trace. IDs are
+// dense integers in [0, Nodes).
+type NodeID int
+
+// Contact is a single pairwise meeting: nodes A and B are within radio
+// range from Start to End (both offsets from the trace epoch).
+type Contact struct {
+	A, B  NodeID
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns the contact's length.
+func (c Contact) Duration() time.Duration { return c.End - c.Start }
+
+// Validate reports structural problems with a single contact record.
+func (c Contact) Validate(nodes int) error {
+	switch {
+	case c.A < 0 || int(c.A) >= nodes:
+		return fmt.Errorf("trace: node %d out of range [0,%d)", c.A, nodes)
+	case c.B < 0 || int(c.B) >= nodes:
+		return fmt.Errorf("trace: node %d out of range [0,%d)", c.B, nodes)
+	case c.A == c.B:
+		return fmt.Errorf("trace: self-contact at node %d", c.A)
+	case c.Start < 0:
+		return fmt.Errorf("trace: negative start %v", c.Start)
+	case c.End <= c.Start:
+		return fmt.Errorf("trace: non-positive duration (%v..%v)", c.Start, c.End)
+	}
+	return nil
+}
+
+// Trace is an immutable contact trace: a node population plus contacts
+// sorted by start time.
+type Trace struct {
+	Name     string
+	Nodes    int
+	Contacts []Contact
+}
+
+// ErrEmpty is returned when a trace has no contacts or no nodes.
+var ErrEmpty = errors.New("trace: empty trace")
+
+// New builds a Trace after validating and sorting the contacts by start
+// time (ties broken by end, then node ids, for determinism).
+func New(name string, nodes int, contacts []Contact) (*Trace, error) {
+	if nodes <= 1 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrEmpty, nodes)
+	}
+	if len(contacts) == 0 {
+		return nil, fmt.Errorf("%w: no contacts", ErrEmpty)
+	}
+	for i, c := range contacts {
+		if err := c.Validate(nodes); err != nil {
+			return nil, fmt.Errorf("contact %d: %w", i, err)
+		}
+	}
+	sorted := make([]Contact, len(contacts))
+	copy(sorted, contacts)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return &Trace{Name: name, Nodes: nodes, Contacts: sorted}, nil
+}
+
+// Span returns the time of the last contact end; the trace covers [0, Span].
+func (t *Trace) Span() time.Duration {
+	var max time.Duration
+	for _, c := range t.Contacts {
+		if c.End > max {
+			max = c.End
+		}
+	}
+	return max
+}
+
+// Stats summarizes a trace in the shape of the paper's Table I, extended
+// with the aggregate statistics the workload model needs.
+type Stats struct {
+	Name            string
+	Nodes           int
+	Contacts        int
+	Span            time.Duration
+	MeanDuration    time.Duration
+	MeanDegree      float64 // distinct peers per node over the whole trace
+	ContactsPerHour float64
+}
+
+// Stats computes the trace's summary statistics.
+func (t *Trace) Stats() Stats {
+	var totalDur time.Duration
+	peers := make([]map[NodeID]struct{}, t.Nodes)
+	for i := range peers {
+		peers[i] = make(map[NodeID]struct{})
+	}
+	for _, c := range t.Contacts {
+		totalDur += c.Duration()
+		peers[c.A][c.B] = struct{}{}
+		peers[c.B][c.A] = struct{}{}
+	}
+	degSum := 0
+	for _, p := range peers {
+		degSum += len(p)
+	}
+	span := t.Span()
+	cph := 0.0
+	if span > 0 {
+		cph = float64(len(t.Contacts)) / span.Hours()
+	}
+	return Stats{
+		Name:            t.Name,
+		Nodes:           t.Nodes,
+		Contacts:        len(t.Contacts),
+		Span:            span,
+		MeanDuration:    totalDur / time.Duration(len(t.Contacts)),
+		MeanDegree:      float64(degSum) / float64(t.Nodes),
+		ContactsPerHour: cph,
+	}
+}
+
+// Centrality returns each node's degree centrality: the number of distinct
+// peers it contacts across the trace, normalized by (Nodes-1). The paper
+// uses centrality as the measure of "social standing" that scales a node's
+// message generation rate (Section VII-A).
+func (t *Trace) Centrality() []float64 {
+	peers := make([]map[NodeID]struct{}, t.Nodes)
+	for i := range peers {
+		peers[i] = make(map[NodeID]struct{})
+	}
+	for _, c := range t.Contacts {
+		peers[c.A][c.B] = struct{}{}
+		peers[c.B][c.A] = struct{}{}
+	}
+	out := make([]float64, t.Nodes)
+	for i, p := range peers {
+		out[i] = float64(len(p)) / float64(t.Nodes-1)
+	}
+	return out
+}
+
+// ContactCounts returns the number of contacts each node participates in.
+func (t *Trace) ContactCounts() []int {
+	out := make([]int, t.Nodes)
+	for _, c := range t.Contacts {
+		out[c.A]++
+		out[c.B]++
+	}
+	return out
+}
+
+// Slice returns a new trace restricted to contacts that start within
+// [from, to), rebased so the window start becomes time zero. It mirrors the
+// paper's use of "the 3 day records from the MIT Reality trace".
+func (t *Trace) Slice(name string, from, to time.Duration) (*Trace, error) {
+	var out []Contact
+	for _, c := range t.Contacts {
+		if c.Start >= from && c.Start < to {
+			out = append(out, Contact{A: c.A, B: c.B, Start: c.Start - from, End: c.End - from})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no contacts in [%v,%v)", ErrEmpty, from, to)
+	}
+	return New(name, t.Nodes, out)
+}
+
+// PairCoverage returns the fraction of distinct node pairs that meet at
+// least once in the trace. Real human traces are sparse — most strangers
+// never cross paths — and this is the statistic the synthetic generator's
+// CrossLinkProb is calibrated against.
+func (t *Trace) PairCoverage() float64 {
+	seen := make(map[[2]NodeID]struct{})
+	for _, c := range t.Contacts {
+		a, b := c.A, c.B
+		if a > b {
+			a, b = b, a
+		}
+		seen[[2]NodeID{a, b}] = struct{}{}
+	}
+	total := t.Nodes * (t.Nodes - 1) / 2
+	return float64(len(seen)) / float64(total)
+}
+
+// InterContactStats summarizes the gaps between successive contacts of the
+// same pair, the distribution that governs store-carry-forward delay.
+type InterContactStats struct {
+	// Samples is the number of pair gaps observed.
+	Samples int
+	// Mean is the average gap.
+	Mean time.Duration
+	// Median is the 50th-percentile gap.
+	Median time.Duration
+	// P90 is the 90th-percentile gap.
+	P90 time.Duration
+}
+
+// InterContactTimes computes the inter-contact gap distribution: for every
+// pair with repeated contacts, the times from one contact's end to the
+// next contact's start.
+func (t *Trace) InterContactTimes() InterContactStats {
+	type pairKey struct{ a, b NodeID }
+	lastEnd := make(map[pairKey]time.Duration)
+	var gaps []time.Duration
+	for _, c := range t.Contacts { // contacts are start-sorted
+		a, b := c.A, c.B
+		if a > b {
+			a, b = b, a
+		}
+		k := pairKey{a, b}
+		if prev, ok := lastEnd[k]; ok && c.Start > prev {
+			gaps = append(gaps, c.Start-prev)
+		}
+		if c.End > lastEnd[k] {
+			lastEnd[k] = c.End
+		}
+	}
+	if len(gaps) == 0 {
+		return InterContactStats{}
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	var sum time.Duration
+	for _, g := range gaps {
+		sum += g
+	}
+	return InterContactStats{
+		Samples: len(gaps),
+		Mean:    sum / time.Duration(len(gaps)),
+		Median:  gaps[len(gaps)/2],
+		P90:     gaps[len(gaps)*9/10],
+	}
+}

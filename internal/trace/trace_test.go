@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func minute(n int) time.Duration { return time.Duration(n) * time.Minute }
+
+func sampleTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := New("sample", 4, []Contact{
+		{A: 2, B: 3, Start: minute(10), End: minute(12)},
+		{A: 0, B: 1, Start: minute(0), End: minute(5)},
+		{A: 1, B: 2, Start: minute(3), End: minute(4)},
+		{A: 0, B: 1, Start: minute(20), End: minute(25)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewSortsContacts(t *testing.T) {
+	tr := sampleTrace(t)
+	for i := 1; i < len(tr.Contacts); i++ {
+		if tr.Contacts[i].Start < tr.Contacts[i-1].Start {
+			t.Fatalf("contacts not sorted at %d", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	valid := []Contact{{A: 0, B: 1, Start: 0, End: minute(1)}}
+	tests := []struct {
+		name     string
+		nodes    int
+		contacts []Contact
+	}{
+		{name: "one node", nodes: 1, contacts: valid},
+		{name: "no contacts", nodes: 2, contacts: nil},
+		{name: "node out of range", nodes: 2, contacts: []Contact{{A: 0, B: 5, Start: 0, End: minute(1)}}},
+		{name: "negative node", nodes: 2, contacts: []Contact{{A: -1, B: 1, Start: 0, End: minute(1)}}},
+		{name: "self contact", nodes: 2, contacts: []Contact{{A: 1, B: 1, Start: 0, End: minute(1)}}},
+		{name: "negative start", nodes: 2, contacts: []Contact{{A: 0, B: 1, Start: -minute(1), End: minute(1)}}},
+		{name: "zero duration", nodes: 2, contacts: []Contact{{A: 0, B: 1, Start: minute(1), End: minute(1)}}},
+		{name: "end before start", nodes: 2, contacts: []Contact{{A: 0, B: 1, Start: minute(2), End: minute(1)}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New("x", tt.nodes, tt.contacts); err == nil {
+				t.Error("invalid trace accepted")
+			}
+		})
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	in := []Contact{
+		{A: 0, B: 1, Start: minute(5), End: minute(6)},
+		{A: 0, B: 1, Start: minute(0), End: minute(1)},
+	}
+	tr, err := New("copy", 2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0].A = 1
+	in[0].B = 0
+	if tr.Contacts[1].A != 0 {
+		t.Error("trace aliases caller slice")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := sampleTrace(t)
+	s := tr.Stats()
+	if s.Nodes != 4 || s.Contacts != 4 {
+		t.Errorf("got %d nodes / %d contacts, want 4/4", s.Nodes, s.Contacts)
+	}
+	if s.Span != minute(25) {
+		t.Errorf("span = %v, want 25m", s.Span)
+	}
+	wantMean := (minute(5) + minute(1) + minute(2) + minute(5)) / 4
+	if s.MeanDuration != wantMean {
+		t.Errorf("mean duration = %v, want %v", s.MeanDuration, wantMean)
+	}
+	// Distinct peers: 0:{1}, 1:{0,2}, 2:{1,3}, 3:{2} -> mean 6/4.
+	if math.Abs(s.MeanDegree-1.5) > 1e-12 {
+		t.Errorf("mean degree = %g, want 1.5", s.MeanDegree)
+	}
+}
+
+func TestCentrality(t *testing.T) {
+	tr := sampleTrace(t)
+	c := tr.Centrality()
+	want := []float64{1.0 / 3, 2.0 / 3, 2.0 / 3, 1.0 / 3}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-12 {
+			t.Errorf("centrality[%d] = %g, want %g", i, c[i], want[i])
+		}
+	}
+}
+
+func TestContactCounts(t *testing.T) {
+	tr := sampleTrace(t)
+	got := tr.ContactCounts()
+	want := []int{2, 3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := sampleTrace(t)
+	sub, err := tr.Slice("window", minute(2), minute(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Contacts) != 2 {
+		t.Fatalf("got %d contacts, want 2", len(sub.Contacts))
+	}
+	if sub.Contacts[0].Start != minute(1) { // 3m rebased by 2m
+		t.Errorf("rebased start = %v, want 1m", sub.Contacts[0].Start)
+	}
+	if _, err := tr.Slice("empty", minute(100), minute(200)); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty window error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestContactDuration(t *testing.T) {
+	c := Contact{A: 0, B: 1, Start: minute(3), End: minute(10)}
+	if c.Duration() != minute(7) {
+		t.Errorf("duration = %v, want 7m", c.Duration())
+	}
+}
+
+func TestPairCoverage(t *testing.T) {
+	tr := sampleTrace(t)
+	// 4 nodes -> 6 pairs; contacts cover {0,1}, {1,2}, {2,3} = 3 pairs.
+	if got := tr.PairCoverage(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("pair coverage = %g, want 0.5", got)
+	}
+}
+
+func TestInterContactTimes(t *testing.T) {
+	tr, err := New("gaps", 2, []Contact{
+		{A: 0, B: 1, Start: minute(0), End: minute(5)},
+		{A: 0, B: 1, Start: minute(15), End: minute(16)},
+		{A: 0, B: 1, Start: minute(36), End: minute(40)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.InterContactTimes()
+	if s.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", s.Samples)
+	}
+	// Gaps: 15-5=10m and 36-16=20m.
+	if s.Mean != minute(15) {
+		t.Errorf("mean gap = %v, want 15m", s.Mean)
+	}
+	if s.Median != minute(20) {
+		t.Errorf("median gap = %v, want 20m (upper of two)", s.Median)
+	}
+}
+
+func TestInterContactTimesNoRepeats(t *testing.T) {
+	tr, err := New("single", 3, []Contact{
+		{A: 0, B: 1, Start: minute(0), End: minute(1)},
+		{A: 1, B: 2, Start: minute(2), End: minute(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tr.InterContactTimes(); s.Samples != 0 {
+		t.Errorf("no repeated pairs but %d samples", s.Samples)
+	}
+}
+
+func TestInterContactTimesOrientationInsensitive(t *testing.T) {
+	tr, err := New("flip", 2, []Contact{
+		{A: 0, B: 1, Start: minute(0), End: minute(1)},
+		{A: 1, B: 0, Start: minute(11), End: minute(12)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tr.InterContactTimes(); s.Samples != 1 || s.Mean != minute(10) {
+		t.Errorf("flipped pair gap: %+v", s)
+	}
+}

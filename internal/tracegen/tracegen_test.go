@@ -1,0 +1,341 @@
+package tracegen
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	base := Small(1)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "one node", mutate: func(c *Config) { c.Nodes = 1 }},
+		{name: "zero span", mutate: func(c *Config) { c.Span = 0 }},
+		{name: "zero target", mutate: func(c *Config) { c.TargetContacts = 0 }},
+		{name: "bias below one", mutate: func(c *Config) { c.CommunityBias = 0.5 }},
+		{name: "zero duration", mutate: func(c *Config) { c.MeanContactDuration = 0 }},
+		{name: "zero alpha", mutate: func(c *Config) { c.ActivityAlpha = 0 }},
+		{name: "negative communities", mutate: func(c *Config) { c.Communities = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Small(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Small(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatalf("contact counts differ: %d vs %d", len(a.Contacts), len(b.Contacts))
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatalf("contact %d differs: %+v vs %+v", i, a.Contacts[i], b.Contacts[i])
+		}
+	}
+	c, err := Generate(Small(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Contacts) == len(c.Contacts) {
+		same := true
+		for i := range a.Contacts {
+			if a.Contacts[i] != c.Contacts[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateHitsTarget(t *testing.T) {
+	cfg := Small(7)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(tr.Contacts))
+	want := float64(cfg.TargetContacts)
+	if math.Abs(got-want)/want > 0.25 {
+		t.Errorf("generated %d contacts, target %d (off by > 25%%)", len(tr.Contacts), cfg.TargetContacts)
+	}
+}
+
+func TestGenerateStructuralInvariants(t *testing.T) {
+	tr, err := Generate(Small(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// trace.New already validates; double-check pair non-overlap, which is
+	// tracegen's own invariant.
+	type pairKey struct{ a, b int }
+	lastEnd := make(map[pairKey]time.Duration)
+	byPair := make(map[pairKey][]int)
+	for i, c := range tr.Contacts {
+		k := pairKey{int(c.A), int(c.B)}
+		if c.A > c.B {
+			k = pairKey{int(c.B), int(c.A)}
+		}
+		byPair[k] = append(byPair[k], i)
+		_ = lastEnd
+	}
+	for k, idxs := range byPair {
+		sort.Slice(idxs, func(x, y int) bool {
+			return tr.Contacts[idxs[x]].Start < tr.Contacts[idxs[y]].Start
+		})
+		for x := 1; x < len(idxs); x++ {
+			prev, cur := tr.Contacts[idxs[x-1]], tr.Contacts[idxs[x]]
+			if cur.Start <= prev.End {
+				t.Fatalf("pair %v has overlapping contacts: %v..%v then %v..%v",
+					k, prev.Start, prev.End, cur.Start, cur.End)
+			}
+		}
+	}
+}
+
+func TestGenerateSkewedActivity(t *testing.T) {
+	// The social-activity tail must be heavy enough that the busiest decile
+	// of nodes sees several times the contacts of the quietest decile —
+	// that skew is what broker election exploits.
+	tr, err := Generate(Small(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.ContactCounts()
+	sort.Ints(counts)
+	lowDecile := counts[len(counts)/10]
+	highDecile := counts[len(counts)-1-len(counts)/10]
+	if highDecile < 2*lowDecile {
+		t.Errorf("activity skew too flat: p10=%d p90=%d", lowDecile, highDecile)
+	}
+}
+
+func TestHagglePreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Haggle generation in -short mode")
+	}
+	cfg := HaggleInfocom06(1)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Nodes != 79 {
+		t.Errorf("nodes = %d, want 79", s.Nodes)
+	}
+	if math.Abs(float64(s.Contacts)-67360)/67360 > 0.15 {
+		t.Errorf("contacts = %d, want within 15%% of 67360", s.Contacts)
+	}
+	if s.Span > 76*time.Hour {
+		t.Errorf("span = %v, want about 3 days", s.Span)
+	}
+}
+
+func TestMITPresetAndBusiestWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MIT generation in -short mode")
+	}
+	tr, err := Generate(MITRealityFull(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Nodes != 97 {
+		t.Errorf("nodes = %d, want 97", s.Nodes)
+	}
+	if math.Abs(float64(s.Contacts)-54667)/54667 > 0.15 {
+		t.Errorf("contacts = %d, want within 15%% of 54667", s.Contacts)
+	}
+
+	win, err := BusiestWindow(tr, 72*time.Hour, "mit-3day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Span() > 72*time.Hour+12*time.Hour {
+		t.Errorf("window span %v exceeds 3 days (+duration tail)", win.Span())
+	}
+	// The busy window must be denser than the trace average.
+	avgPer3Days := float64(s.Contacts) / (s.Span.Hours() / 72)
+	if float64(len(win.Contacts)) < avgPer3Days {
+		t.Errorf("busiest window has %d contacts, below the 3-day average %.0f",
+			len(win.Contacts), avgPer3Days)
+	}
+	// And sparser than Haggle, per the paper's qualitative comparison.
+	if len(win.Contacts) > 40000 {
+		t.Errorf("MIT 3-day window unexpectedly dense: %d contacts", len(win.Contacts))
+	}
+}
+
+func TestBusiestWindowValidation(t *testing.T) {
+	tr, err := Generate(Small(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BusiestWindow(tr, 0, "x"); err == nil {
+		t.Error("zero window accepted")
+	}
+	win, err := BusiestWindow(tr, time.Hour, "hour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Contacts[0].Start < 0 {
+		t.Error("window not rebased")
+	}
+}
+
+func TestDiurnalProfile(t *testing.T) {
+	if diurnalActivity(3) != nightActivity { // 3 AM
+		t.Error("3 AM should be night")
+	}
+	if diurnalActivity(12) != 1 { // noon
+		t.Error("noon should be day")
+	}
+	if diurnalActivity(23) != nightActivity {
+		t.Error("11 PM should be night")
+	}
+	if diurnalActivity(26) != nightActivity { // 2 AM next day
+		t.Error("2 AM (day 2) should be night")
+	}
+	mean := meanDiurnalActivity()
+	if mean <= nightActivity || mean >= 1 {
+		t.Errorf("mean activity %g out of (%g, 1)", mean, nightActivity)
+	}
+}
+
+func TestDiurnalTraceIsQuietAtNight(t *testing.T) {
+	cfg := Small(9)
+	cfg.Diurnal = true
+	cfg.Span = 48 * time.Hour
+	cfg.TargetContacts = 4000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, day := 0, 0
+	for _, c := range tr.Contacts {
+		hod := math.Mod(c.Start.Hours(), 24)
+		if hod >= nightStartHour || hod < nightEndHour {
+			night++
+		} else {
+			day++
+		}
+	}
+	// Night covers 10/24 of the day at 15% intensity; expect day >> night.
+	if night*3 > day {
+		t.Errorf("night contacts %d not well below day contacts %d", night, day)
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	cfg := Small(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCrossLinkSparsity(t *testing.T) {
+	// The Haggle preset must produce a sparse pair graph (most
+	// cross-community pairs never meet) — the property that separates
+	// multi-hop B-SUB from one-hop PULL on real traces.
+	if testing.Short() {
+		t.Skip("full Haggle generation in -short mode")
+	}
+	tr, err := Generate(HaggleInfocom06(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := tr.PairCoverage()
+	if cov > 0.75 {
+		t.Errorf("Haggle pair coverage %.2f too dense; CrossLinkProb not biting", cov)
+	}
+	if cov < 0.15 {
+		t.Errorf("Haggle pair coverage %.2f implausibly sparse", cov)
+	}
+
+	dense := Small(2) // CrossLinkProb 0 -> fully linked
+	dtr, err := Generate(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcov := dtr.PairCoverage(); dcov < 0.9 {
+		t.Errorf("fully-linked small trace coverage %.2f, want near 1", dcov)
+	}
+}
+
+func TestCrossLinkValidation(t *testing.T) {
+	cfg := Small(1)
+	cfg.CrossLinkProb = 1.5
+	if _, err := Generate(cfg); err == nil {
+		t.Error("cross-link probability above 1 accepted")
+	}
+	cfg.CrossLinkProb = -0.1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("negative cross-link probability accepted")
+	}
+}
+
+func TestCommunityAssignmentValidation(t *testing.T) {
+	cfg := Small(1)
+	cfg.CommunityAssignment = []int{0, 1} // wrong length
+	if _, err := Generate(cfg); err == nil {
+		t.Error("wrong-length community assignment accepted")
+	}
+	cfg = Small(1)
+	bad := make([]int, cfg.Nodes)
+	bad[3] = cfg.Communities + 7
+	cfg.CommunityAssignment = bad
+	if _, err := Generate(cfg); err == nil {
+		t.Error("out-of-range community accepted")
+	}
+	cfg = Small(1)
+	good := make([]int, cfg.Nodes)
+	for i := range good {
+		good[i] = i % cfg.Communities
+	}
+	cfg.CommunityAssignment = good
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+	if tr.Nodes != cfg.Nodes {
+		t.Error("trace malformed")
+	}
+}
+
+func TestMIT3DayPreset(t *testing.T) {
+	tr, err := Generate(MITReality3Day(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Nodes != 97 {
+		t.Errorf("nodes = %d, want 97", s.Nodes)
+	}
+	if s.Span > 76*time.Hour {
+		t.Errorf("span %v exceeds 3 days", s.Span)
+	}
+	if math.Abs(float64(s.Contacts)-9000)/9000 > 0.3 {
+		t.Errorf("contacts = %d, want ~9000", s.Contacts)
+	}
+}
