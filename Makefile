@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the PR gate: vet plus the full suite under the race detector.
+# The livenode session engine is concurrent; never ship it unraced.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -233,12 +233,29 @@ func Simulate(f *Fixture, proto Protocol, ttl time.Duration) (Report, error) {
 
 type (
 	// LiveNode is a wire-level B-SUB node running over real TCP — the
-	// prototype HUNET system the paper names as future work.
+	// prototype HUNET system the paper names as future work. It runs
+	// contact sessions with distinct peers concurrently, bounded by
+	// LiveNodeConfig.MaxSessions.
 	LiveNode = livenode.Node
 	// LiveNodeConfig parameterizes a LiveNode.
 	LiveNodeConfig = livenode.Config
 	// LiveDelivery is a message that reached a LiveNode's subscriptions.
 	LiveDelivery = livenode.Delivery
+	// LiveSessionStats records one contact attempt of a LiveNode: peer,
+	// initiator, deepest phase, frames/bytes, duration, and outcome.
+	LiveSessionStats = livenode.SessionStats
+	// LiveCounters is a snapshot of a LiveNode's session activity, from
+	// LiveNode.Stats.
+	LiveCounters = livenode.Counters
+)
+
+// Sentinel errors of the live node, for errors.Is matching by callers
+// implementing their own retry policies.
+var (
+	// ErrLiveBusy: the local node is at MaxSessions capacity.
+	ErrLiveBusy = livenode.ErrBusy
+	// ErrLivePeerBusy: the remote node answered BUSY.
+	ErrLivePeerBusy = livenode.ErrPeerBusy
 )
 
 // ListenNode starts a live B-SUB node serving contact sessions on addr.

@@ -373,9 +373,9 @@ func TestDecodeMessageRejectsCorrupt(t *testing.T) {
 }
 
 func TestConcurrentMeetingsDoNotDeadlock(t *testing.T) {
-	// Nodes dialing each other simultaneously must never deadlock: a busy
-	// responder refuses the contact (TryLock) and the dialer sees a
-	// session error, like a radio that is already occupied.
+	// Nodes dialing each other simultaneously must never deadlock: a
+	// responder at capacity answers BUSY and the dialer backs off and
+	// retries, like a radio that is already occupied.
 	clock := newMeshClock(time.Hour)
 	var got sink
 	mesh := make([]*Node, 6)
@@ -514,15 +514,15 @@ func TestDemotionOverTCP(t *testing.T) {
 	user := startNode(t, 1, clock, nil)
 	weak := startNode(t, 2, clock, nil)
 
-	weak.mu.Lock()
-	weak.becomeBroker(clock.now())
-	weak.mu.Unlock()
+	weak.roleMu.Lock()
+	weak.becomeBrokerLocked(clock.now())
+	weak.roleMu.Unlock()
 
-	user.mu.Lock()
+	user.roleMu.Lock()
 	for i := uint32(10); i < 17; i++ { // 7 sightings > T_u = 5
 		user.sightings[i] = brokerSighting{at: clock.now(), degree: 20}
 	}
-	user.mu.Unlock()
+	user.roleMu.Unlock()
 
 	if err := user.Meet(weak.Addr()); err != nil {
 		t.Fatal(err)

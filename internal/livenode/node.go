@@ -3,6 +3,7 @@ package livenode
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -21,6 +22,18 @@ type Delivery struct {
 	Direct bool
 }
 
+// Defaults for the session-engine knobs; selected when the corresponding
+// Config field is zero.
+const (
+	// DefaultMaxSessions bounds concurrent contact sessions per node.
+	DefaultMaxSessions = 8
+	// DefaultMeetAttempts bounds Meet's retries on BUSY or dial failure.
+	DefaultMeetAttempts = 3
+	// DefaultMeetBackoff is the pause before Meet's first retry; it
+	// doubles after every failed attempt.
+	DefaultMeetBackoff = 25 * time.Millisecond
+)
+
 // Config parameterizes a live node. The protocol parameters reuse
 // core.Config (the paper's Section V/VII values via core.DefaultConfig).
 type Config struct {
@@ -35,9 +48,26 @@ type Config struct {
 	// tests.
 	Clock func() time.Duration
 	// OnDeliver, when set, receives each delivered message exactly once.
-	// It is called from session goroutines; implementations must be fast
-	// or dispatch to their own queue.
+	// It is called from session goroutines with no node locks held; a
+	// slow implementation stalls only its own session.
 	OnDeliver func(Delivery)
+	// MaxSessions bounds how many contact sessions (inbound plus
+	// outgoing) run concurrently; further inbound contacts are answered
+	// with a BUSY frame and further Meet calls return ErrBusy. Zero or
+	// negative selects DefaultMaxSessions.
+	MaxSessions int
+	// MeetAttempts bounds how many times one Meet call tries the
+	// contact when the dial fails or either side is at capacity. Zero
+	// or negative selects DefaultMeetAttempts.
+	MeetAttempts int
+	// MeetBackoff is the pause before Meet's first retry, doubled after
+	// each failed attempt. Zero or negative selects DefaultMeetBackoff.
+	MeetBackoff time.Duration
+	// OnSession, when set, receives one SessionStats record per contact
+	// attempt — completed, failed mid-protocol, refused at capacity, or
+	// never connected. Called from session goroutines with no node
+	// locks held.
+	OnSession func(SessionStats)
 }
 
 type storedMessage struct {
@@ -50,26 +80,47 @@ type storedMessage struct {
 
 // Node is one live B-SUB device. Create with Listen, connect contacts with
 // Meet, publish with Publish, and stop with Close.
+//
+// Protocol state is split into three independently locked regions so
+// sessions with distinct peers run in parallel; no lock is ever held
+// across network I/O. Lock order (when nesting is unavoidable): none —
+// the code acquires at most one region lock at a time.
 type Node struct {
 	cfg       Config
 	filterCfg tcbf.Config
 
-	listener net.Listener
-	wg       sync.WaitGroup
-	closed   chan struct{}
+	listener  net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 
-	// mu guards all protocol state; a contact session holds it end to end
-	// (contacts are short and sequential in HUNETs).
-	mu        sync.Mutex
+	// sessions is the MaxSessions semaphore; every running session (in
+	// either direction) holds one slot.
+	sessions chan struct{}
+
+	// subMu guards the subscription list.
+	subMu     sync.RWMutex
 	interests []workload.Key
-	broker    bool
-	relay     *tcbf.Filter
+
+	// storeMu guards the message stores and the publish sequence.
+	storeMu   sync.Mutex
 	produced  map[int]*storedMessage
 	carried   map[int]*storedMessage
 	delivered map[int]struct{}
+	nextSeq   uint32
+
+	// roleMu guards broker role, the shared relay filter, and the
+	// meeting/sighting bookkeeping the election reads.
+	roleMu    sync.Mutex
+	broker    bool
+	relay     *tcbf.Filter
 	meetings  map[uint32]time.Duration
 	sightings map[uint32]brokerSighting
-	nextSeq   uint32
+
+	// statsMu guards the session counters (see stats.go).
+	statsMu  sync.Mutex
+	counters Counters
 }
 
 type brokerSighting struct {
@@ -90,6 +141,15 @@ func Listen(addr string, cfg Config) (*Node, error) {
 		epoch := time.Unix(0, 0)
 		cfg.Clock = func() time.Duration { return time.Since(epoch) }
 	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MeetAttempts <= 0 {
+		cfg.MeetAttempts = DefaultMeetAttempts
+	}
+	if cfg.MeetBackoff <= 0 {
+		cfg.MeetBackoff = DefaultMeetBackoff
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("livenode: listen: %w", err)
@@ -104,6 +164,7 @@ func Listen(addr string, cfg Config) (*Node, error) {
 		},
 		listener:  ln,
 		closed:    make(chan struct{}),
+		sessions:  make(chan struct{}, cfg.MaxSessions),
 		produced:  make(map[int]*storedMessage),
 		carried:   make(map[int]*storedMessage),
 		delivered: make(map[int]struct{}),
@@ -144,24 +205,23 @@ func (n *Node) Addr() string { return n.listener.Addr().String() }
 // ID returns the node's mesh-unique identifier.
 func (n *Node) ID() uint32 { return n.cfg.ID }
 
-// Close stops the listener and waits for in-flight sessions.
+// Close stops the listener and waits for in-flight sessions. It is safe
+// to call concurrently and repeatedly; every call waits for shutdown to
+// finish and returns the listener's close error.
 func (n *Node) Close() error {
-	select {
-	case <-n.closed:
-		return nil
-	default:
-	}
-	close(n.closed)
-	err := n.listener.Close()
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		n.closeErr = n.listener.Close()
+	})
 	n.wg.Wait()
-	return err
+	return n.closeErr
 }
 
 // Subscribe adds interest keys. In B-SUB terms, they enter the node's
 // genuine filter and will be pushed to brokers on future contacts.
 func (n *Node) Subscribe(keys ...workload.Key) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
 	for _, k := range keys {
 		dup := false
 		for _, have := range n.interests {
@@ -178,8 +238,8 @@ func (n *Node) Subscribe(keys ...workload.Key) {
 
 // Interests returns a copy of the node's subscriptions.
 func (n *Node) Interests() []workload.Key {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.subMu.RLock()
+	defer n.subMu.RUnlock()
 	return append([]workload.Key(nil), n.interests...)
 }
 
@@ -193,9 +253,9 @@ func (n *Node) Publish(payload []byte, keys ...workload.Key) (int, error) {
 		return 0, fmt.Errorf("livenode: payload %d bytes exceeds the %d-byte cap",
 			len(payload), workload.MaxMessageBytes)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	now := n.cfg.Clock()
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
 	id := int(uint64(n.cfg.ID)<<32 | uint64(n.nextSeq))
 	n.nextSeq++
 	msg := workload.Message{
@@ -219,21 +279,24 @@ func (n *Node) Publish(payload []byte, keys ...workload.Key) (int, error) {
 
 // IsBroker reports whether the node currently serves as a broker.
 func (n *Node) IsBroker() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.roleMu.Lock()
+	defer n.roleMu.Unlock()
 	return n.broker
 }
 
 // CarriedCount returns how many relayed copies the node holds.
 func (n *Node) CarriedCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
 	return len(n.carried)
 }
 
-// serve accepts inbound contact sessions until Close.
+// serve accepts inbound contact sessions until Close. Persistent accept
+// errors (EMFILE and friends) back off net/http-style instead of
+// busy-spinning the loop at 100% CPU.
 func (n *Node) serve() {
 	defer n.wg.Done()
+	var delay time.Duration
 	for {
 		conn, err := n.listener.Accept()
 		if err != nil {
@@ -241,55 +304,170 @@ func (n *Node) serve() {
 			case <-n.closed:
 				return
 			default:
-				continue // transient accept error
 			}
-		}
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			defer conn.Close()
-			// One session at a time: a busy node refuses the contact, like
-			// a device whose radio is occupied. TryLock (never a blocking
-			// Lock) on both the dialing and accepting side is what makes
-			// simultaneous mutual dials deadlock-free.
-			if !n.mu.TryLock() {
+			delay = nextAcceptDelay(delay)
+			timer := time.NewTimer(delay)
+			select {
+			case <-n.closed:
+				timer.Stop()
 				return
+			case <-timer.C:
 			}
-			defer n.mu.Unlock()
-			_ = conn.SetDeadline(time.Now().Add(sessionDeadline))
-			_ = n.runSession(conn, false)
-		}()
+			continue
+		}
+		delay = 0
+		n.wg.Add(1)
+		go n.handleInbound(conn)
 	}
+}
+
+// nextAcceptDelay doubles the accept-retry pause from 5ms up to 1s.
+func nextAcceptDelay(prev time.Duration) time.Duration {
+	if prev == 0 {
+		return 5 * time.Millisecond
+	}
+	if prev >= time.Second/2 {
+		return time.Second
+	}
+	return prev * 2
+}
+
+// handleInbound runs one accepted contact. At capacity the node answers
+// a single BUSY frame — an explicit, retryable refusal — instead of
+// slamming the connection.
+func (n *Node) handleInbound(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(sessionDeadline))
+	select {
+	case n.sessions <- struct{}{}:
+	default:
+		_ = writeFrame(conn, frameBusy, nil)
+		n.sessionEnded(SessionStats{
+			Phase:   PhaseConnect,
+			Outcome: OutcomeRefusedBusy,
+			Err:     ErrBusy,
+		}, false)
+		// Drain the dialer's HELLO before closing: closing with unread
+		// inbound data resets the connection, which can destroy the BUSY
+		// frame before the peer reads it.
+		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+		_, _ = io.Copy(io.Discard, conn)
+		return
+	}
+	defer func() { <-n.sessions }()
+	_ = n.runContact(conn, false)
 }
 
 // sessionDeadline bounds one contact session; HUNET contacts are short,
-// and a hung peer must not pin a node's radio forever.
+// and a hung peer must not pin a session slot forever.
 const sessionDeadline = 10 * time.Second
 
-// ErrBusy is returned by Meet when this node is already in a contact
-// session; the caller may retry, as a device whose radio was occupied.
-var ErrBusy = errors.New("livenode: node busy in another contact")
+// dialTimeout bounds Meet's TCP connect.
+const dialTimeout = 5 * time.Second
+
+// maxMeetBackoff caps Meet's exponential retry backoff; without a cap a
+// generous MeetAttempts turns the doubling into hours-long sleeps.
+const maxMeetBackoff = time.Second
+
+// ErrBusy is returned by Meet when this node is already running
+// MaxSessions contact sessions; the caller may retry, as a device whose
+// radio is occupied.
+var ErrBusy = errors.New("livenode: node at session capacity")
+
+// ErrPeerBusy is returned by Meet when the remote node answered BUSY
+// instead of joining the session; the caller may retry.
+var ErrPeerBusy = errors.New("livenode: peer at session capacity")
 
 // Meet dials a peer and runs one contact session, mirroring two devices
-// coming into Bluetooth range. If this node is already in a session it
-// returns ErrBusy rather than queueing — blocking here could deadlock two
-// nodes dialing each other simultaneously.
+// coming into Bluetooth range. Transient failures — a failed dial, this
+// node at capacity, or the peer answering BUSY — are retried up to
+// Config.MeetAttempts times with exponential backoff; the last error is
+// returned if every attempt fails. Protocol errors mid-session are not
+// retried.
 func (n *Node) Meet(addr string) error {
-	if !n.mu.TryLock() {
-		return ErrBusy
+	backoff := n.cfg.MeetBackoff
+	var err error
+	for attempt := 0; attempt < n.cfg.MeetAttempts; attempt++ {
+		if attempt > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-n.closed:
+				timer.Stop()
+				return err
+			case <-timer.C:
+			}
+			if backoff < maxMeetBackoff {
+				backoff *= 2
+			}
+		}
+		var retry bool
+		retry, err = n.meetOnce(addr)
+		if err == nil || !retry {
+			return err
+		}
 	}
-	defer n.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return err
+}
+
+// meetOnce makes a single contact attempt. The session slot is reserved
+// with a non-blocking acquire and no node lock is held across the dial,
+// so a slow or failing dial never starves inbound contacts.
+func (n *Node) meetOnce(addr string) (retry bool, err error) {
+	select {
+	case n.sessions <- struct{}{}:
+	default:
+		n.sessionEnded(SessionStats{
+			Initiator: true,
+			Phase:     PhaseConnect,
+			Outcome:   OutcomeRefusedBusy,
+			Err:       ErrBusy,
+		}, false)
+		return true, ErrBusy
+	}
+	defer func() { <-n.sessions }()
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		return fmt.Errorf("livenode: dial %s: %w", addr, err)
+		err = fmt.Errorf("livenode: dial %s: %w", addr, err)
+		n.sessionEnded(SessionStats{
+			Initiator: true,
+			Phase:     PhaseConnect,
+			Outcome:   OutcomeDialError,
+			Err:       err,
+		}, false)
+		return true, err
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(sessionDeadline))
-	return n.runSession(conn, true)
+	err = n.runContact(conn, true)
+	return errors.Is(err, ErrPeerBusy), err
 }
 
-// --- State helpers (mu held) -------------------------------------------------
+// runContact executes one slot-holding session and accounts its stats.
+func (n *Node) runContact(conn io.ReadWriter, initiator bool) error {
+	start := time.Now()
+	n.sessionStarted()
+	s := &session{n: n, conn: conn, initiator: initiator}
+	s.stats.Initiator = initiator
+	err := s.run(n.cfg.Clock())
+	s.stats.Duration = time.Since(start)
+	s.stats.Err = err
+	switch {
+	case err == nil:
+		s.stats.Outcome = OutcomeCompleted
+		s.stats.Phase = PhaseDone
+	case errors.Is(err, ErrPeerBusy):
+		s.stats.Outcome = OutcomePeerBusy
+	default:
+		s.stats.Outcome = OutcomeError
+	}
+	n.sessionEnded(s.stats, true)
+	return err
+}
 
+// --- State helpers ----------------------------------------------------------
+
+// degreeLocked counts (and prunes) meetings inside the window. roleMu held.
 func (n *Node) degreeLocked(now time.Duration) int {
 	d := 0
 	window := n.cfg.Protocol.Window
@@ -303,6 +481,8 @@ func (n *Node) degreeLocked(now time.Duration) int {
 	return d
 }
 
+// brokersInWindowLocked counts (and prunes) recent broker sightings.
+// roleMu held.
 func (n *Node) brokersInWindowLocked(now time.Duration) (count int, meanDegree float64) {
 	sum := 0
 	window := n.cfg.Protocol.Window
@@ -320,7 +500,8 @@ func (n *Node) brokersInWindowLocked(now time.Duration) (count int, meanDegree f
 	return count, meanDegree
 }
 
-func (n *Node) becomeBroker(now time.Duration) {
+// becomeBrokerLocked promotes the node. roleMu held.
+func (n *Node) becomeBrokerLocked(now time.Duration) {
 	if n.broker {
 		return
 	}
@@ -328,25 +509,30 @@ func (n *Node) becomeBroker(now time.Duration) {
 	n.relay = tcbf.MustNew(n.filterCfg, now)
 }
 
-func (n *Node) becomeUser() {
+// becomeUserLocked demotes the node. roleMu held.
+func (n *Node) becomeUserLocked() {
 	n.broker = false
 	n.relay = nil
 }
 
-// genuineFilterLocked builds a fresh TCBF holding the node's interests.
-func (n *Node) genuineFilterLocked(now time.Duration) (*tcbf.Filter, error) {
+// genuineFilter builds a fresh, unshared TCBF holding a snapshot of the
+// node's interests.
+func (n *Node) genuineFilter(now time.Duration) (*tcbf.Filter, error) {
+	interests := n.Interests()
 	f, err := tcbf.New(n.filterCfg, now)
 	if err != nil {
 		return nil, err
 	}
-	if err := f.InsertAll(n.interests, now); err != nil {
+	if err := f.InsertAll(interests, now); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
-// purgeLocked drops expired messages.
-func (n *Node) purgeLocked(now time.Duration) {
+// purge drops expired messages.
+func (n *Node) purge(now time.Duration) {
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
 	for id, s := range n.produced {
 		if now > s.expiresAt {
 			delete(n.produced, id)
@@ -359,24 +545,30 @@ func (n *Node) purgeLocked(now time.Duration) {
 	}
 }
 
-// deliverLocked surfaces a message to the application once. A node never
+// deliver surfaces a message to the application once. A node never
 // delivers its own message to itself, even when a broker carries a copy
-// back to the producer.
-func (n *Node) deliverLocked(msg workload.Message, payload []byte, direct bool) {
+// back to the producer. The OnDeliver hook runs with no locks held so a
+// slow consumer stalls only its own session.
+func (n *Node) deliver(msg workload.Message, payload []byte, direct bool) {
 	if msg.Origin == int(n.cfg.ID) {
 		return
 	}
+	n.storeMu.Lock()
 	if _, dup := n.delivered[msg.ID]; dup {
+		n.storeMu.Unlock()
 		return
 	}
 	n.delivered[msg.ID] = struct{}{}
+	n.storeMu.Unlock()
 	if n.cfg.OnDeliver != nil {
 		n.cfg.OnDeliver(Delivery{Message: msg, Payload: payload, Direct: direct})
 	}
 }
 
-// wantsLocked reports whether the message matches the node's interests.
-func (n *Node) wantsLocked(msg *workload.Message) bool {
+// wants reports whether the message matches the node's interests.
+func (n *Node) wants(msg *workload.Message) bool {
+	n.subMu.RLock()
+	defer n.subMu.RUnlock()
 	for _, want := range n.interests {
 		for _, k := range msg.MatchKeys() {
 			if k == want {

@@ -10,29 +10,107 @@ import (
 	"bsub/internal/workload"
 )
 
-// runSession executes one contact session over conn. The caller holds
-// n.mu for the whole session; initiator selects which side of the
-// half-duplex lockstep this node plays. Phases mirror Section V:
-//
-//  0. HELLO exchange (identity, role, degree)
-//  1. election (PROMOTE/DEMOTE per the Section V-B rules)
-//  2. genuine filters (consumer -> broker interest propagation)
-//  3. relay filters + preferential forwarding (broker <-> broker)
-//  4. interest-BF pulls (direct delivery + producer->broker replication)
-//  5. BYE
-func (n *Node) runSession(conn io.ReadWriter, initiator bool) error {
-	now := n.cfg.Clock()
-	n.purgeLocked(now)
+// session is one contact session in flight. Sessions with distinct peers
+// run concurrently: each holds one slot of the node's MaxSessions
+// semaphore and touches the node's locked state regions only briefly,
+// never across network I/O. Role decisions (broker or not) are pinned
+// per-session at HELLO/election time so the wire protocol stays in
+// lockstep even if a concurrent session changes the node's role
+// mid-flight.
+type session struct {
+	n         *Node
+	conn      io.ReadWriter
+	initiator bool
+	stats     SessionStats
 
-	// Phase 0: HELLO.
+	// selfBroker is this session's view of our role: the role announced
+	// in HELLO, updated only by this session's own election result.
+	selfBroker bool
+	// relay is the broker relay filter pinned for this session. It is
+	// usually the node's shared filter (all operations on it take
+	// n.roleMu); when a concurrent session demoted us mid-flight it is
+	// a throwaway replacement kept only to preserve protocol lockstep.
+	relay *tcbf.Filter
+}
+
+// writeFrame sends one frame and accounts it.
+func (s *session) writeFrame(typ byte, body []byte) error {
+	if err := writeFrame(s.conn, typ, body); err != nil {
+		return err
+	}
+	s.stats.FramesOut++
+	s.stats.BytesOut += int64(5 + len(body))
+	return nil
+}
+
+// readFrame receives one frame and accounts it.
+func (s *session) readFrame() (byte, []byte, error) {
+	typ, body, err := readFrame(s.conn)
+	if err != nil {
+		return typ, body, err
+	}
+	s.stats.FramesIn++
+	s.stats.BytesIn += int64(5 + len(body))
+	return typ, body, nil
+}
+
+// expectFrame reads a frame and verifies its type.
+func (s *session) expectFrame(want byte) ([]byte, error) {
+	typ, body, err := s.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, fmt.Errorf("%w: got frame %d, want %d", ErrProtocol, typ, want)
+	}
+	return body, nil
+}
+
+// lockstep runs send/recv in initiator-first order.
+func (s *session) lockstep(send, recv func() error) error {
+	if s.initiator {
+		if err := send(); err != nil {
+			return err
+		}
+		return recv()
+	}
+	if err := recv(); err != nil {
+		return err
+	}
+	return send()
+}
+
+// run executes one contact session over s.conn. Phases mirror Section V:
+//
+//	0. HELLO exchange (identity, role, degree)
+//	1. election (PROMOTE/DEMOTE per the Section V-B rules)
+//	2. genuine filters (consumer -> broker interest propagation)
+//	3. relay filters + preferential forwarding (broker <-> broker)
+//	4. interest-BF pulls (direct delivery + producer->broker replication)
+//	5. BYE
+func (s *session) run(now time.Duration) error {
+	n := s.n
+	n.purge(now)
+
+	// Phase 0: HELLO. The role and degree we announce are snapshotted
+	// here and pinned for the session.
+	n.roleMu.Lock()
 	self := hello{ID: n.cfg.ID, Broker: n.broker, Degree: uint16(min(n.degreeLocked(now), 1<<16-1))}
+	n.roleMu.Unlock()
+	s.selfBroker = self.Broker
 	var peer hello
-	err := n.lockstep(conn, initiator,
-		func() error { return writeFrame(conn, frameHello, self.encode()) },
+	err := s.lockstep(
+		func() error { return s.writeFrame(frameHello, self.encode()) },
 		func() error {
-			body, err := expectFrame(conn, frameHello)
+			typ, body, err := s.readFrame()
 			if err != nil {
 				return err
+			}
+			if typ == frameBusy {
+				return ErrPeerBusy
+			}
+			if typ != frameHello {
+				return fmt.Errorf("%w: got frame %d, want %d", ErrProtocol, typ, frameHello)
 			}
 			peer, err = decodeHello(body)
 			return err
@@ -43,15 +121,21 @@ func (n *Node) runSession(conn io.ReadWriter, initiator bool) error {
 	if peer.ID == n.cfg.ID {
 		return fmt.Errorf("%w: peer claims our ID %d", ErrProtocol, peer.ID)
 	}
+	s.stats.Peer = peer.ID
+	s.stats.Phase = PhaseHello
+	n.roleMu.Lock()
 	n.meetings[peer.ID] = now
+	n.roleMu.Unlock()
 
 	// Phase 1: election. Each side announces one action for the peer.
-	myAction := n.electLocked(peer, now)
+	n.roleMu.Lock()
+	myAction := n.electLocked(peer, s.selfBroker, now)
+	n.roleMu.Unlock()
 	var peerAction byte
-	err = n.lockstep(conn, initiator,
-		func() error { return writeFrame(conn, frameElection, []byte{myAction}) },
+	err = s.lockstep(
+		func() error { return s.writeFrame(frameElection, []byte{myAction}) },
 		func() error {
-			body, err := expectFrame(conn, frameElection)
+			body, err := s.expectFrame(frameElection)
 			if err != nil {
 				return err
 			}
@@ -64,13 +148,16 @@ func (n *Node) runSession(conn io.ReadWriter, initiator bool) error {
 	if err != nil {
 		return err
 	}
+	peerBroker := peer.Broker
+	n.roleMu.Lock()
 	switch peerAction {
 	case electPromote:
-		n.becomeBroker(now)
+		n.becomeBrokerLocked(now)
+		s.selfBroker = true
 	case electDemote:
-		n.becomeUser()
+		n.becomeUserLocked()
+		s.selfBroker = false
 	}
-	peerBroker := peer.Broker
 	switch myAction {
 	case electPromote:
 		peerBroker = true
@@ -79,9 +166,21 @@ func (n *Node) runSession(conn io.ReadWriter, initiator bool) error {
 		peerBroker = false
 		delete(n.sightings, peer.ID)
 	}
+	if s.selfBroker {
+		s.relay = n.relay
+		if s.relay == nil {
+			// A concurrent session demoted us between HELLO and here.
+			// The peer still expects the broker side of the protocol, so
+			// speak it against a throwaway filter; its merges are
+			// discarded with it.
+			s.relay = tcbf.MustNew(n.filterCfg, now)
+		}
+	}
+	n.roleMu.Unlock()
+	s.stats.Phase = PhaseElection
 
 	// Phase 2: genuine filters.
-	genuine, err := n.genuineFilterLocked(now)
+	genuine, err := n.genuineFilter(now)
 	if err != nil {
 		return err
 	}
@@ -89,10 +188,10 @@ func (n *Node) runSession(conn io.ReadWriter, initiator bool) error {
 	if err != nil {
 		return err
 	}
-	err = n.lockstep(conn, initiator,
-		func() error { return writeFrame(conn, frameGenuine, gBytes) },
+	err = s.lockstep(
+		func() error { return s.writeFrame(frameGenuine, gBytes) },
 		func() error {
-			body, err := expectFrame(conn, frameGenuine)
+			body, err := s.expectFrame(frameGenuine)
 			if err != nil {
 				return err
 			}
@@ -100,69 +199,57 @@ func (n *Node) runSession(conn io.ReadWriter, initiator bool) error {
 			if err != nil {
 				return err
 			}
-			if n.broker && n.relay != nil {
-				return n.relay.AMerge(peerGenuine, now)
+			if s.selfBroker {
+				n.roleMu.Lock()
+				defer n.roleMu.Unlock()
+				return s.relay.AMerge(peerGenuine, now)
 			}
 			return nil
 		})
 	if err != nil {
 		return err
 	}
+	s.stats.Phase = PhaseGenuine
 
 	// Phase 3: relay exchange between brokers.
-	if n.broker && peerBroker && n.relay != nil {
-		if err := n.relayPhase(conn, initiator, now); err != nil {
+	if s.selfBroker && peerBroker {
+		if err := s.relayPhase(now); err != nil {
 			return err
 		}
+		s.stats.Phase = PhaseRelay
 	}
 
 	// Phase 4: interest pulls, initiator first.
-	first, second := initiator, !initiator
-	for _, phase := range []struct {
-		asker bool // does this node ask (vs answer)?
-	}{{first}, {second}} {
-		if phase.asker {
-			if err := n.askDelivery(conn, peer.ID, now); err != nil {
+	for _, asker := range []bool{s.initiator, !s.initiator} {
+		if asker {
+			if err := s.askDelivery(peer.ID, now); err != nil {
 				return err
 			}
-			if n.broker && n.relay != nil {
-				if err := n.askReplication(conn, now); err != nil {
+			if s.selfBroker {
+				if err := s.askReplication(now); err != nil {
 					return err
 				}
 			}
 		} else {
-			if err := n.answerDelivery(conn, peer.ID, now); err != nil {
+			if err := s.answerDelivery(peer.ID, now); err != nil {
 				return err
 			}
 			if peerBroker {
-				if err := n.answerReplication(conn, now); err != nil {
+				if err := s.answerReplication(now); err != nil {
 					return err
 				}
 			}
 		}
 	}
+	s.stats.Phase = PhasePull
 
 	// Phase 5: BYE.
-	return n.lockstep(conn, initiator,
-		func() error { return writeFrame(conn, frameBye, nil) },
+	return s.lockstep(
+		func() error { return s.writeFrame(frameBye, nil) },
 		func() error {
-			_, err := expectFrame(conn, frameBye)
+			_, err := s.expectFrame(frameBye)
 			return err
 		})
-}
-
-// lockstep runs send/recv in initiator-first order.
-func (n *Node) lockstep(_ io.ReadWriter, initiator bool, send, recv func() error) error {
-	if initiator {
-		if err := send(); err != nil {
-			return err
-		}
-		return recv()
-	}
-	if err := recv(); err != nil {
-		return err
-	}
-	return send()
 }
 
 // Election actions.
@@ -174,8 +261,9 @@ const (
 
 // electLocked runs the Section V-B allocation step against the peer and
 // returns the action to announce. Brokers themselves do not perform it.
-func (n *Node) electLocked(peer hello, now time.Duration) byte {
-	if n.broker {
+// roleMu held; selfBroker is the session's pinned view of our role.
+func (n *Node) electLocked(peer hello, selfBroker bool, now time.Duration) byte {
+	if selfBroker {
 		return electNone
 	}
 	if peer.Broker {
@@ -194,20 +282,26 @@ func (n *Node) electLocked(peer hello, now time.Duration) byte {
 }
 
 // relayPhase exchanges relay filters, runs preferential forwarding both
-// ways, then merges (M-merge by default).
-func (n *Node) relayPhase(conn io.ReadWriter, initiator bool, now time.Duration) error {
-	if err := n.relay.Advance(now); err != nil {
-		return err
+// ways, then merges (M-merge by default). The filter is snapshotted
+// before the exchange and merged after it; forwarding decisions use the
+// pre-merge filters.
+func (s *session) relayPhase(now time.Duration) error {
+	n := s.n
+	n.roleMu.Lock()
+	err := s.relay.Advance(now)
+	var rBytes []byte
+	if err == nil {
+		rBytes, err = s.relay.Encode(tcbf.CountersFull)
 	}
-	rBytes, err := n.relay.Encode(tcbf.CountersFull)
+	n.roleMu.Unlock()
 	if err != nil {
 		return err
 	}
 	var peerRelay *tcbf.Filter
-	err = n.lockstep(conn, initiator,
-		func() error { return writeFrame(conn, frameRelay, rBytes) },
+	err = s.lockstep(
+		func() error { return s.writeFrame(frameRelay, rBytes) },
 		func() error {
-			body, err := expectFrame(conn, frameRelay)
+			body, err := s.expectFrame(frameRelay)
 			if err != nil {
 				return err
 			}
@@ -218,37 +312,51 @@ func (n *Node) relayPhase(conn io.ReadWriter, initiator bool, now time.Duration)
 		return err
 	}
 
-	// Forwarding decisions use the pre-merge filters; initiator sends its
-	// candidates first.
+	// Initiator sends its candidates first.
 	sendCands := func() error {
-		for id, s := range n.carried {
+		for _, c := range s.carriedSnapshot() {
 			best := 0.0
-			for _, k := range s.msg.MatchKeys() {
-				pref, err := tcbf.Preference(k, peerRelay, n.relay, now)
+			n.roleMu.Lock()
+			for _, k := range c.stored.msg.MatchKeys() {
+				pref, err := tcbf.Preference(k, peerRelay, s.relay, now)
 				if err != nil {
+					n.roleMu.Unlock()
 					return err
 				}
 				if pref > best {
 					best = pref
 				}
 			}
+			n.roleMu.Unlock()
 			if best <= 0 {
 				continue
 			}
-			body, err := encodeMessage(s.msg, s.payload)
+			body, err := encodeMessage(c.stored.msg, c.stored.payload)
 			if err != nil {
 				return err
 			}
-			if err := writeFrame(conn, frameMessage, body); err != nil {
+			// Claim the copy before it travels: a concurrent session may
+			// already have forwarded it, and two sessions must never
+			// spend the same carried copy.
+			n.storeMu.Lock()
+			_, present := n.carried[c.id]
+			delete(n.carried, c.id)
+			n.storeMu.Unlock()
+			if !present {
+				continue
+			}
+			if err := s.writeFrame(frameMessage, body); err != nil {
+				n.storeMu.Lock()
+				n.carried[c.id] = c.stored
+				n.storeMu.Unlock()
 				return err
 			}
-			delete(n.carried, id)
 		}
-		return writeFrame(conn, frameEndMessages, nil)
+		return s.writeFrame(frameEndMessages, nil)
 	}
 	recvCands := func() error {
 		for {
-			typ, body, err := readFrame(conn)
+			typ, body, err := s.readFrame()
 			if err != nil {
 				return err
 			}
@@ -265,14 +373,45 @@ func (n *Node) relayPhase(conn io.ReadWriter, initiator bool, now time.Duration)
 			n.acceptCarried(msg, payload, now)
 		}
 	}
-	if err := n.lockstep(conn, initiator, sendCands, recvCands); err != nil {
+	if err := s.lockstep(sendCands, recvCands); err != nil {
 		return err
 	}
 
+	n.roleMu.Lock()
+	defer n.roleMu.Unlock()
 	if n.cfg.Protocol.BrokerMerge == core.BrokerMergeAdditive {
-		return n.relay.AMerge(peerRelay, now)
+		return s.relay.AMerge(peerRelay, now)
 	}
-	return n.relay.MMerge(peerRelay, now)
+	return s.relay.MMerge(peerRelay, now)
+}
+
+// storedRef pairs a store key with the message it held when snapshotted.
+type storedRef struct {
+	id     int
+	stored *storedMessage
+}
+
+// carriedSnapshot copies the carried index under storeMu; callers must
+// re-check (claim) each entry before spending it.
+func (s *session) carriedSnapshot() []storedRef {
+	s.n.storeMu.Lock()
+	defer s.n.storeMu.Unlock()
+	out := make([]storedRef, 0, len(s.n.carried))
+	for id, sm := range s.n.carried {
+		out = append(out, storedRef{id: id, stored: sm})
+	}
+	return out
+}
+
+// producedSnapshot copies the produced index under storeMu.
+func (s *session) producedSnapshot() []storedRef {
+	s.n.storeMu.Lock()
+	defer s.n.storeMu.Unlock()
+	out := make([]storedRef, 0, len(s.n.produced))
+	for id, sm := range s.n.produced {
+		out = append(out, storedRef{id: id, stored: sm})
+	}
+	return out
 }
 
 // acceptCarried stores a relayed copy (and claims it if we want it).
@@ -280,9 +419,11 @@ func (n *Node) acceptCarried(msg workload.Message, payload []byte, now time.Dura
 	if now > msg.CreatedAt+n.cfg.TTL {
 		return
 	}
-	if n.wantsLocked(&msg) {
-		n.deliverLocked(msg, payload, false)
+	if n.wants(&msg) {
+		n.deliver(msg, payload, false)
 	}
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
 	if _, dup := n.carried[msg.ID]; dup {
 		return
 	}
@@ -301,8 +442,9 @@ const (
 
 // askDelivery requests messages matching our interests and ingests the
 // response.
-func (n *Node) askDelivery(conn io.ReadWriter, peerID uint32, now time.Duration) error {
-	genuine, err := n.genuineFilterLocked(now)
+func (s *session) askDelivery(peerID uint32, now time.Duration) error {
+	n := s.n
+	genuine, err := n.genuineFilter(now)
 	if err != nil {
 		return err
 	}
@@ -310,11 +452,11 @@ func (n *Node) askDelivery(conn io.ReadWriter, peerID uint32, now time.Duration)
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(conn, frameInterestBF, append([]byte{pullDelivery}, fBytes...)); err != nil {
+	if err := s.writeFrame(frameInterestBF, append([]byte{pullDelivery}, fBytes...)); err != nil {
 		return err
 	}
 	for {
-		typ, body, err := readFrame(conn)
+		typ, body, err := s.readFrame()
 		if err != nil {
 			return err
 		}
@@ -333,71 +475,87 @@ func (n *Node) askDelivery(conn io.ReadWriter, peerID uint32, now time.Duration)
 		}
 		// The match was probabilistic (Bloom filter); deliver only if we
 		// really want it — a mismatch is a false-positive transfer.
-		if n.wantsLocked(&msg) {
-			n.deliverLocked(msg, payload, msg.Origin == int(peerID))
+		if n.wants(&msg) {
+			n.deliver(msg, payload, msg.Origin == int(peerID))
 		}
 	}
 }
 
 // answerDelivery serves the peer's delivery request from our produced
 // messages (direct) and carried copies (broker-mediated; removed after
-// forwarding, per Section V-D).
-func (n *Node) answerDelivery(conn io.ReadWriter, peerID uint32, now time.Duration) error {
-	filter, err := n.readInterestBF(conn, pullDelivery, now)
+// forwarding, per Section V-D). Each copy is claimed under the store
+// lock immediately before it travels and restored if the send fails.
+func (s *session) answerDelivery(peerID uint32, now time.Duration) error {
+	n := s.n
+	filter, err := s.readInterestBF(pullDelivery, now)
 	if err != nil {
 		return err
 	}
 	bf := filter.ToBloom()
-	for _, s := range n.produced {
-		if now > s.expiresAt || s.sentTo(peerID) {
+	for _, c := range s.producedSnapshot() {
+		n.storeMu.Lock()
+		sm, ok := n.produced[c.id]
+		if !ok || now > sm.expiresAt || sm.sentTo(peerID) || !anyWireKeyIn(&sm.msg, bf.Contains) {
+			n.storeMu.Unlock()
 			continue
 		}
-		if !anyWireKeyIn(&s.msg, bf.Contains) {
-			continue
-		}
-		body, err := encodeMessage(s.msg, s.payload)
+		body, err := encodeMessage(sm.msg, sm.payload)
 		if err != nil {
+			n.storeMu.Unlock()
 			return err
 		}
-		if err := writeFrame(conn, frameMessage, body); err != nil {
+		sm.markSent(peerID)
+		n.storeMu.Unlock()
+		if err := s.writeFrame(frameMessage, body); err != nil {
+			n.storeMu.Lock()
+			delete(sm.sent, peerID)
+			n.storeMu.Unlock()
 			return err
 		}
-		s.markSent(peerID)
 	}
-	for id, s := range n.carried {
-		if now > s.expiresAt {
+	for _, c := range s.carriedSnapshot() {
+		n.storeMu.Lock()
+		sm, ok := n.carried[c.id]
+		if !ok || now > sm.expiresAt || !anyWireKeyIn(&sm.msg, bf.Contains) {
+			n.storeMu.Unlock()
 			continue
 		}
-		if !anyWireKeyIn(&s.msg, bf.Contains) {
-			continue
-		}
-		body, err := encodeMessage(s.msg, s.payload)
+		body, err := encodeMessage(sm.msg, sm.payload)
 		if err != nil {
+			n.storeMu.Unlock()
 			return err
 		}
-		if err := writeFrame(conn, frameMessage, body); err != nil {
+		delete(n.carried, c.id)
+		n.storeMu.Unlock()
+		if err := s.writeFrame(frameMessage, body); err != nil {
+			n.storeMu.Lock()
+			n.carried[c.id] = sm
+			n.storeMu.Unlock()
 			return err
 		}
-		delete(n.carried, id)
 	}
-	return writeFrame(conn, frameEndMessages, nil)
+	return s.writeFrame(frameEndMessages, nil)
 }
 
 // askReplication advertises our relay filter and stores the returned
 // copies.
-func (n *Node) askReplication(conn io.ReadWriter, now time.Duration) error {
-	if err := n.relay.Advance(now); err != nil {
-		return err
+func (s *session) askReplication(now time.Duration) error {
+	n := s.n
+	n.roleMu.Lock()
+	err := s.relay.Advance(now)
+	var fBytes []byte
+	if err == nil {
+		fBytes, err = s.relay.Encode(tcbf.CountersNone)
 	}
-	fBytes, err := n.relay.Encode(tcbf.CountersNone)
+	n.roleMu.Unlock()
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(conn, frameInterestBF, append([]byte{pullReplication}, fBytes...)); err != nil {
+	if err := s.writeFrame(frameInterestBF, append([]byte{pullReplication}, fBytes...)); err != nil {
 		return err
 	}
 	for {
-		typ, body, err := readFrame(conn)
+		typ, body, err := s.readFrame()
 		if err != nil {
 			return err
 		}
@@ -417,46 +575,57 @@ func (n *Node) askReplication(conn io.ReadWriter, now time.Duration) error {
 
 // answerReplication replicates matching produced messages to the broker,
 // bounded by the copy limit; a message leaves our memory when its copies
-// are exhausted.
-func (n *Node) answerReplication(conn io.ReadWriter, now time.Duration) error {
-	filter, err := n.readInterestBF(conn, pullReplication, now)
+// are exhausted. A copy is claimed (decremented) under the store lock
+// before it travels and restored if the send fails.
+func (s *session) answerReplication(now time.Duration) error {
+	n := s.n
+	filter, err := s.readInterestBF(pullReplication, now)
 	if err != nil {
 		return err
 	}
 	bf := filter.ToBloom()
-	for id, s := range n.produced {
-		if now > s.expiresAt || s.copies == 0 {
+	for _, c := range s.producedSnapshot() {
+		n.storeMu.Lock()
+		sm, ok := n.produced[c.id]
+		if !ok || now > sm.expiresAt || sm.copies == 0 || !anyWireKeyIn(&sm.msg, bf.Contains) {
+			n.storeMu.Unlock()
 			continue
 		}
-		if !anyWireKeyIn(&s.msg, bf.Contains) {
-			continue
-		}
-		body, err := encodeMessage(s.msg, s.payload)
+		body, err := encodeMessage(sm.msg, sm.payload)
 		if err != nil {
+			n.storeMu.Unlock()
 			return err
 		}
-		if err := writeFrame(conn, frameMessage, body); err != nil {
-			return err
+		sm.copies--
+		removed := sm.copies == 0
+		if removed {
+			delete(n.produced, c.id)
 		}
-		s.copies--
-		if s.copies == 0 {
-			delete(n.produced, id)
+		n.storeMu.Unlock()
+		if err := s.writeFrame(frameMessage, body); err != nil {
+			n.storeMu.Lock()
+			sm.copies++
+			if removed {
+				n.produced[c.id] = sm
+			}
+			n.storeMu.Unlock()
+			return err
 		}
 	}
-	return writeFrame(conn, frameEndMessages, nil)
+	return s.writeFrame(frameEndMessages, nil)
 }
 
 // readInterestBF reads and validates an interest-BF frame of the expected
 // purpose.
-func (n *Node) readInterestBF(conn io.Reader, purpose byte, now time.Duration) (*tcbf.Filter, error) {
-	body, err := expectFrame(conn, frameInterestBF)
+func (s *session) readInterestBF(purpose byte, now time.Duration) (*tcbf.Filter, error) {
+	body, err := s.expectFrame(frameInterestBF)
 	if err != nil {
 		return nil, err
 	}
 	if len(body) < 1 || body[0] != purpose {
 		return nil, fmt.Errorf("%w: interest BF purpose mismatch", ErrProtocol)
 	}
-	return tcbf.Decode(body[1:], n.filterCfg, now)
+	return tcbf.Decode(body[1:], s.n.filterCfg, now)
 }
 
 func anyWireKeyIn(m *workload.Message, contains func(string) bool) bool {

@@ -1,0 +1,183 @@
+package livenode
+
+import "time"
+
+// SessionPhase marks how deep into the contact protocol a session got
+// before it ended. Phases advance monotonically; a SessionStats record
+// carries the deepest phase the session completed.
+type SessionPhase uint8
+
+const (
+	// PhaseConnect: a TCP connection existed (or a dial was attempted)
+	// but no protocol frame was exchanged yet.
+	PhaseConnect SessionPhase = iota
+	// PhaseHello: the HELLO exchange completed and the peer is known.
+	PhaseHello
+	// PhaseElection: the broker election step completed.
+	PhaseElection
+	// PhaseGenuine: genuine (interest) filters were exchanged.
+	PhaseGenuine
+	// PhaseRelay: the broker-to-broker relay exchange completed.
+	PhaseRelay
+	// PhasePull: the interest-BF pull rounds completed.
+	PhasePull
+	// PhaseDone: the BYE exchange completed; the session is whole.
+	PhaseDone
+)
+
+func (p SessionPhase) String() string {
+	switch p {
+	case PhaseConnect:
+		return "connect"
+	case PhaseHello:
+		return "hello"
+	case PhaseElection:
+		return "election"
+	case PhaseGenuine:
+		return "genuine"
+	case PhaseRelay:
+		return "relay"
+	case PhasePull:
+		return "pull"
+	case PhaseDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// SessionOutcome classifies how a contact attempt ended.
+type SessionOutcome uint8
+
+const (
+	// OutcomeCompleted: the full session ran through BYE.
+	OutcomeCompleted SessionOutcome = iota
+	// OutcomeError: the session died mid-protocol (I/O or protocol error).
+	OutcomeError
+	// OutcomePeerBusy: the remote node answered BUSY; retryable.
+	OutcomePeerBusy
+	// OutcomeRefusedBusy: this node was at MaxSessions capacity and
+	// refused the contact (inbound: BUSY frame sent; outgoing: Meet
+	// found no free slot).
+	OutcomeRefusedBusy
+	// OutcomeDialError: the dial failed before any session ran.
+	OutcomeDialError
+)
+
+func (o SessionOutcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeError:
+		return "error"
+	case OutcomePeerBusy:
+		return "peer-busy"
+	case OutcomeRefusedBusy:
+		return "refused-busy"
+	case OutcomeDialError:
+		return "dial-error"
+	}
+	return "unknown"
+}
+
+// SessionStats records one contact attempt: who, which side initiated,
+// how far the protocol got, how much traveled, and how it ended. Every
+// attempt — including contacts refused at capacity and failed dials —
+// produces exactly one record, surfaced through Config.OnSession and
+// aggregated into the node's Counters.
+type SessionStats struct {
+	// Peer is the remote node's ID, or 0 when the session ended before
+	// the HELLO identified it.
+	Peer uint32
+	// Initiator reports whether this node dialed the contact.
+	Initiator bool
+	// Phase is the deepest protocol phase the session completed.
+	Phase SessionPhase
+	// Outcome classifies the ending.
+	Outcome SessionOutcome
+	// FramesIn / FramesOut count protocol frames received / sent.
+	FramesIn, FramesOut int
+	// BytesIn / BytesOut count wire bytes (headers + bodies).
+	BytesIn, BytesOut int64
+	// Duration is wall-clock session time (not mesh-clock time).
+	Duration time.Duration
+	// Err is the terminal error, nil on success.
+	Err error
+}
+
+// Counters is a point-in-time snapshot of a node's session activity,
+// the live-path counterpart of the simulator's internal/metrics.
+type Counters struct {
+	// Started counts sessions that acquired a slot and began the
+	// protocol, in either direction.
+	Started uint64
+	// Completed / Failed / PeerBusy partition finished sessions by
+	// outcome.
+	Completed uint64
+	Failed    uint64
+	PeerBusy  uint64
+	// RefusedBusy counts contacts refused because this node was at
+	// MaxSessions capacity (inbound BUSY answers and Meet calls that
+	// found no free local slot).
+	RefusedBusy uint64
+	// DialErrors counts Meet dial attempts that never connected.
+	DialErrors uint64
+	// Frame and byte totals across all finished sessions.
+	FramesIn, FramesOut uint64
+	BytesIn, BytesOut   uint64
+	// Active is the number of sessions running right now; MaxActive is
+	// the concurrency high-water mark over the node's lifetime.
+	Active    int
+	MaxActive int
+}
+
+// Stats returns a snapshot of the node's session counters.
+func (n *Node) Stats() Counters {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.counters
+}
+
+// sessionStarted accounts a session that acquired a slot and is about to
+// run the protocol.
+func (n *Node) sessionStarted() {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	n.counters.Started++
+	n.counters.Active++
+	if n.counters.Active > n.counters.MaxActive {
+		n.counters.MaxActive = n.counters.Active
+	}
+}
+
+// sessionEnded folds a finished attempt into the counters and fires the
+// OnSession hook. ranProtocol distinguishes sessions accounted by
+// sessionStarted from attempts (refusals, failed dials) that never held
+// a slot.
+func (n *Node) sessionEnded(st SessionStats, ranProtocol bool) {
+	n.statsMu.Lock()
+	if ranProtocol {
+		n.counters.Active--
+	}
+	switch st.Outcome {
+	case OutcomeCompleted:
+		n.counters.Completed++
+	case OutcomePeerBusy:
+		n.counters.PeerBusy++
+	case OutcomeRefusedBusy:
+		n.counters.RefusedBusy++
+	case OutcomeDialError:
+		n.counters.DialErrors++
+	default:
+		n.counters.Failed++
+	}
+	n.counters.FramesIn += uint64(st.FramesIn)
+	n.counters.FramesOut += uint64(st.FramesOut)
+	n.counters.BytesIn += uint64(st.BytesIn)
+	n.counters.BytesOut += uint64(st.BytesOut)
+	n.statsMu.Unlock()
+	// The hook runs outside statsMu so a slow observer cannot stall the
+	// counters of concurrent sessions.
+	if n.cfg.OnSession != nil {
+		n.cfg.OnSession(st)
+	}
+}

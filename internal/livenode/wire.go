@@ -16,6 +16,24 @@
 //
 // All filters travel in the Section VI-C compact encoding (package tcbf's
 // wire format); messages are length-prefixed binary frames.
+//
+// # Concurrency
+//
+// A node runs sessions with distinct peers in parallel, bounded by
+// Config.MaxSessions. Protocol state is split into independently locked
+// regions — subscriptions, message stores, and meeting/role bookkeeping —
+// and every session touches each region only briefly, never across
+// network I/O: filters are snapshotted before a phase's exchange and
+// merged back after it (snapshot–exchange–commit), and message copies
+// are claimed under the store lock immediately before they travel, so
+// two sessions can never spend the same copy.
+//
+// A node at capacity answers an inbound contact with a single BUSY frame
+// instead of slamming the connection; the dialer's Meet sees ErrPeerBusy
+// and retries with exponential backoff, up to Config.MeetAttempts times.
+// Every contact attempt — completed, failed, refused — is recorded as a
+// SessionStats record (see Config.OnSession) and aggregated into the
+// counters returned by Node.Stats.
 package livenode
 
 import (
@@ -38,6 +56,10 @@ const (
 	frameMessage
 	frameEndMessages
 	frameBye
+	// frameBusy is a responder's whole answer when it is at MaxSessions
+	// capacity: sent instead of the HELLO reply, then the connection
+	// closes. The dialer maps it to ErrPeerBusy and may retry.
+	frameBusy
 )
 
 // maxFrameBytes bounds a frame body; filters are tens of bytes and
