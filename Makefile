@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet chaos fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,23 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the PR gate: vet plus the full suite under the race detector.
+# chaos runs the fault-injection suite (faultnet wrappers over live
+# contact sessions) under the race detector: copies conserved, no
+# duplicate deliveries, nodes recover after severed contacts.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Sever|TimedOut|Corrupt|Faultnet|Truncation' ./internal/livenode ./internal/faultnet
+
+# fuzz gives each wire-format fuzzer a short smoke budget; go only
+# accepts one -fuzz target per invocation.
+fuzz:
+	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzReadFrame -fuzztime 5s
+	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 5s
+	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzDecodeHello -fuzztime 5s
+
+# check is the PR gate: vet plus the full suite under the race detector,
+# then the chaos suite and a fuzz smoke pass over the wire decoders.
 # The livenode session engine is concurrent; never ship it unraced.
-check: vet race
+check: vet race chaos fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -256,6 +256,13 @@ var (
 	ErrLiveBusy = livenode.ErrBusy
 	// ErrLivePeerBusy: the remote node answered BUSY.
 	ErrLivePeerBusy = livenode.ErrPeerBusy
+	// ErrLiveCorruptFrame: a frame failed its CRC check — link noise or
+	// a torn write; the session is aborted and unacknowledged copies are
+	// refunded to the sender.
+	ErrLiveCorruptFrame = livenode.ErrCorruptFrame
+	// ErrLiveVersionMismatch: the peer's HELLO carries a different wire
+	// protocol version.
+	ErrLiveVersionMismatch = livenode.ErrVersionMismatch
 )
 
 // ListenNode starts a live B-SUB node serving contact sessions on addr.

@@ -122,11 +122,12 @@ func run() error {
 	advance(30 * time.Minute)
 
 	fmt.Println("\ndone: every transfer above crossed a real TCP connection")
-	fmt.Println("\nsession counters (per node: completed sessions, frames in/out, bytes in/out):")
+	fmt.Println("\nsession counters (per node: completed sessions, frames in/out, bytes in/out, failures):")
 	for i, n := range mesh {
 		c := n.Stats()
-		fmt.Printf("  %-7s %2d sessions, frames %3d/%3d, bytes %5d/%5d\n",
-			names[i], c.Completed, c.FramesIn, c.FramesOut, c.BytesIn, c.BytesOut)
+		fmt.Printf("  %-7s %2d sessions, frames %3d/%3d, bytes %5d/%5d, timed-out %d, severed %d, corrupt %d, refunded %d\n",
+			names[i], c.Completed, c.FramesIn, c.FramesOut, c.BytesIn, c.BytesOut,
+			c.TimedOut, c.Severed, c.Corrupt, c.MsgsRefunded)
 	}
 	return nil
 }

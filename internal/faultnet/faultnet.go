@@ -1,0 +1,231 @@
+// Package faultnet wraps a net.Conn with a deterministic fault plan so
+// tests can drive a wire protocol through every way an opportunistic
+// human contact actually ends: slowly (added latency), corruptly (bit
+// flips caught by frame CRCs), torn mid-byte (partial writes, byte-exact
+// cuts), or mid-conversation (frame-exact cuts, read truncation).
+//
+// All faults are a pure function of the Plan and the byte stream, so a
+// failing chaos run reproduces from its seed. When a cut fires, the
+// wrapped connection is closed too: the peer observes the severed link
+// immediately instead of blocking until its own deadline, which is what
+// a real radio contact ending looks like to both sides.
+package faultnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FrameHeaderLen mirrors the livenode wire format faultnet understands
+// for frame-exact cuts: type (1) + big-endian body length at bytes 1–4 +
+// CRC32 (4). CutWriteAfterFrames parses the write stream with this
+// layout; livenode's wire tests assert the two stay in sync.
+const FrameHeaderLen = 9
+
+// Plan is a deterministic fault schedule for one connection. The zero
+// value injects nothing and behaves like the bare net.Conn.
+type Plan struct {
+	// Seed drives the chunk sizes of PartialWrites. Two conns with equal
+	// plans fault identically.
+	Seed int64
+	// Latency is slept before every Read and Write, modelling a slow or
+	// congested link.
+	Latency time.Duration
+	// PartialWrites splits every Write into several smaller writes of
+	// seeded-random size, exposing torn-frame assumptions.
+	PartialWrites bool
+	// FlipMask, when non-zero, is XORed into the byte at write-stream
+	// offset FlipByte (0-indexed over the connection's lifetime) — a
+	// single burst of link noise.
+	FlipMask byte
+	FlipByte int64
+	// CutWriteAfter severs the connection once this many bytes have been
+	// written; the cutting Write completes partially (a torn write).
+	// Zero disables.
+	CutWriteAfter int64
+	// CutReadAfter severs the connection once this many bytes have been
+	// read; the tail of the peer's data is truncated. Zero disables.
+	CutReadAfter int64
+	// CutWriteAfterFrames severs the connection after this many whole
+	// frames (FrameHeaderLen headers + announced bodies) have been
+	// written — a contact dying exactly between protocol steps. Zero
+	// disables.
+	CutWriteAfterFrames int
+}
+
+// Conn is a net.Conn that injects the faults of its Plan. Read and Write
+// each serialize on an internal mutex; deadline and Close calls pass
+// straight through to the wrapped conn and stay safe to call
+// concurrently, matching net.Conn semantics for protocol use.
+type Conn struct {
+	net.Conn
+	plan Plan
+	rng  *rand.Rand
+
+	mu      sync.Mutex
+	read    int64 // total bytes read
+	written int64 // total bytes written
+	cut     bool
+
+	// Write-stream frame parser state for CutWriteAfterFrames.
+	frames  int    // whole frames written so far
+	hdr     []byte // header bytes of the frame in progress
+	remain  int64  // body bytes left in the frame in progress
+	inFrame bool   // header complete, body in progress
+}
+
+// Wrap returns conn with plan's faults injected.
+func Wrap(conn net.Conn, plan Plan) *Conn {
+	return &Conn{Conn: conn, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// errCut is the error a faulted write surfaces: the OS-level broken-pipe
+// error a real severed TCP link produces.
+func errCut(n int64) error {
+	return fmt.Errorf("faultnet: link cut after %d bytes: %w", n, syscall.EPIPE)
+}
+
+// errTruncated is the error a faulted read surfaces.
+func errTruncated(n int64) error {
+	return fmt.Errorf("faultnet: link truncated after %d bytes: %w", n, io.ErrUnexpectedEOF)
+}
+
+// sever marks the link dead and closes the wrapped conn so the peer sees
+// the cut immediately. Callers hold mu.
+func (c *Conn) sever() {
+	c.cut = true
+	_ = c.Conn.Close()
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	if c.plan.Latency > 0 {
+		time.Sleep(c.plan.Latency)
+	}
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, errTruncated(c.read)
+	}
+	limit := len(b)
+	if c.plan.CutReadAfter > 0 {
+		remainder := c.plan.CutReadAfter - c.read
+		if remainder <= 0 {
+			c.sever()
+			c.mu.Unlock()
+			return 0, errTruncated(c.read)
+		}
+		if remainder < int64(limit) {
+			limit = int(remainder)
+		}
+	}
+	c.mu.Unlock()
+
+	n, err := c.Conn.Read(b[:limit])
+
+	c.mu.Lock()
+	c.read += int64(n)
+	if c.plan.CutReadAfter > 0 && c.read >= c.plan.CutReadAfter {
+		c.sever() // this call returns its data; the next read sees the cut
+	}
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.plan.Latency > 0 {
+		time.Sleep(c.plan.Latency)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cut {
+		return 0, errCut(c.written)
+	}
+
+	// Apply faults to a copy; the caller's buffer must stay untouched.
+	buf := append([]byte(nil), b...)
+	if c.plan.FlipMask != 0 {
+		if off := c.plan.FlipByte - c.written; off >= 0 && off < int64(len(buf)) {
+			buf[off] ^= c.plan.FlipMask
+		}
+	}
+
+	limit := len(buf)
+	willCut := false
+	if c.plan.CutWriteAfter > 0 {
+		if remainder := c.plan.CutWriteAfter - c.written; remainder <= int64(len(buf)) {
+			limit = int(max(remainder, 0))
+			willCut = true
+		}
+	}
+	if c.plan.CutWriteAfterFrames > 0 {
+		if off := c.scanFrames(buf[:limit]); off >= 0 {
+			limit = off
+			willCut = true
+		}
+	}
+
+	n, err := c.writeChunked(buf[:limit])
+	c.written += int64(n)
+	if willCut {
+		c.sever()
+		if err == nil {
+			err = errCut(c.written)
+		}
+	}
+	return n, err
+}
+
+// writeChunked forwards buf to the wrapped conn, split into seeded-random
+// chunks when PartialWrites is set. Callers hold mu.
+func (c *Conn) writeChunked(buf []byte) (int, error) {
+	if !c.plan.PartialWrites {
+		if len(buf) == 0 {
+			return 0, nil
+		}
+		return c.Conn.Write(buf)
+	}
+	total := 0
+	for len(buf) > 0 {
+		chunk := 1 + c.rng.Intn(len(buf))
+		n, err := c.Conn.Write(buf[:chunk])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		buf = buf[chunk:]
+	}
+	return total, nil
+}
+
+// scanFrames feeds buf through the write-stream frame parser and returns
+// the offset just past the byte that completes frame number
+// CutWriteAfterFrames, or -1 if it is not reached in buf. Callers hold mu.
+func (c *Conn) scanFrames(buf []byte) int {
+	for i, by := range buf {
+		if !c.inFrame {
+			c.hdr = append(c.hdr, by)
+			if len(c.hdr) < FrameHeaderLen {
+				continue
+			}
+			c.remain = int64(binary.BigEndian.Uint32(c.hdr[1:5]))
+			c.hdr = c.hdr[:0]
+			c.inFrame = true
+		} else {
+			c.remain--
+		}
+		if c.inFrame && c.remain == 0 {
+			c.inFrame = false
+			c.frames++
+			if c.frames >= c.plan.CutWriteAfterFrames {
+				return i + 1
+			}
+		}
+	}
+	return -1
+}

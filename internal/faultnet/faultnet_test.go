@@ -1,0 +1,216 @@
+package faultnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// pipePair returns a faulted local end and the peer's raw end.
+func pipePair(t *testing.T, plan Plan) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return Wrap(a, plan), b
+}
+
+// drain reads from conn until it errors, returning everything read.
+func drain(conn net.Conn, into *bytes.Buffer, done chan<- struct{}) {
+	buf := make([]byte, 256)
+	for {
+		n, err := conn.Read(buf)
+		into.Write(buf[:n])
+		if err != nil {
+			close(done)
+			return
+		}
+	}
+}
+
+func TestZeroPlanPassesThrough(t *testing.T) {
+	c, peer := pipePair(t, Plan{})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(peer, &got, done)
+	msg := []byte("unfaulted bytes pass verbatim")
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	c.Close()
+	<-done
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Errorf("peer read %q, want %q", got.Bytes(), msg)
+	}
+}
+
+func TestPartialWritesDeliverIntact(t *testing.T) {
+	c, peer := pipePair(t, Plan{Seed: 7, PartialWrites: true})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(peer, &got, done)
+	msg := bytes.Repeat([]byte("fragment"), 40)
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	c.Close()
+	<-done
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Error("partial writes changed the byte stream")
+	}
+}
+
+func TestFlipByteCorruptsExactlyOneByte(t *testing.T) {
+	c, peer := pipePair(t, Plan{FlipMask: 0x40, FlipByte: 10})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(peer, &got, done)
+	msg := []byte("abcdefghijklmnop")
+	// Two writes so the flip offset spans a write boundary state.
+	if _, err := c.Write(msg[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(msg[8:]); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	<-done
+	want := append([]byte(nil), msg...)
+	want[10] ^= 0x40
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("peer read %q, want %q", got.Bytes(), want)
+	}
+}
+
+func TestCutWriteAfterTearsAndSevers(t *testing.T) {
+	c, peer := pipePair(t, Plan{CutWriteAfter: 5})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(peer, &got, done)
+	n, err := c.Write([]byte("0123456789"))
+	if n != 5 {
+		t.Errorf("torn write wrote %d bytes, want 5", n)
+	}
+	if !errors.Is(err, syscall.EPIPE) {
+		t.Errorf("cut write error = %v, want EPIPE", err)
+	}
+	<-done // peer sees the severed link without writing anything
+	if got.String() != "01234" {
+		t.Errorf("peer read %q, want the 5-byte torn prefix", got.String())
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, syscall.EPIPE) {
+		t.Errorf("post-cut write error = %v, want EPIPE", err)
+	}
+}
+
+func TestCutReadAfterTruncates(t *testing.T) {
+	c, peer := pipePair(t, Plan{CutReadAfter: 4})
+	go func() {
+		peer.Write([]byte("0123456789"))
+	}()
+	buf := make([]byte, 16)
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "0123" {
+		t.Fatalf("read = %q, %v; want the 4-byte prefix", buf[:n], err)
+	}
+	if _, err := c.Read(buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("post-cut read error = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// frame builds a livenode-shaped frame: FrameHeaderLen header with the
+// body length at bytes 1–4, then the body.
+func frame(body []byte) []byte {
+	out := make([]byte, FrameHeaderLen+len(body))
+	out[0] = 1
+	binary.BigEndian.PutUint32(out[1:5], uint32(len(body)))
+	copy(out[FrameHeaderLen:], body)
+	return out
+}
+
+func TestCutWriteAfterFrames(t *testing.T) {
+	c, peer := pipePair(t, Plan{CutWriteAfterFrames: 2})
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go drain(peer, &got, done)
+
+	one, two := frame([]byte("first")), frame(nil)
+	three := frame([]byte("never arrives"))
+	if _, err := c.Write(one); err != nil {
+		t.Fatal(err)
+	}
+	// The second frame and the start of the third share one write: the
+	// cut must land exactly at the frame boundary inside it.
+	n, err := c.Write(append(append([]byte(nil), two...), three...))
+	if n != len(two) {
+		t.Errorf("cutting write passed %d bytes, want %d (frame boundary)", n, len(two))
+	}
+	if !errors.Is(err, syscall.EPIPE) {
+		t.Errorf("cut error = %v, want EPIPE", err)
+	}
+	<-done
+	want := append(append([]byte(nil), one...), two...)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("peer read %d bytes, want exactly the first two frames (%d)", got.Len(), len(want))
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	c, peer := pipePair(t, Plan{Latency: 20 * time.Millisecond})
+	go func() {
+		buf := make([]byte, 8)
+		peer.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("latent write took %v, want >= ~20ms", d)
+	}
+}
+
+func TestDeterministicChunking(t *testing.T) {
+	// Same seed, same plan → identical chunk boundaries.
+	sizes := func(seed int64) []int {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		c := Wrap(a, Plan{Seed: seed, PartialWrites: true})
+		var chunks []int
+		done := make(chan struct{})
+		go func() {
+			buf := make([]byte, 64)
+			for {
+				n, err := b.Read(buf)
+				if n > 0 {
+					chunks = append(chunks, n)
+				}
+				if err != nil {
+					close(done)
+					return
+				}
+			}
+		}()
+		c.Write(bytes.Repeat([]byte{0xAB}, 50))
+		c.Close()
+		<-done
+		return chunks
+	}
+	first, second := sizes(42), sizes(42)
+	if len(first) == 0 {
+		t.Fatal("no chunks observed")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("chunk counts differ: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("chunk %d differs: %v vs %v", i, first, second)
+		}
+	}
+}

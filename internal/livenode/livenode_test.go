@@ -288,11 +288,52 @@ func TestFrameSizeLimit(t *testing.T) {
 	if err := writeFrame(&buf, frameMessage, make([]byte, maxFrameBytes+1)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("oversized write error = %v", err)
 	}
-	// An adversarial header announcing a huge frame must be rejected.
+	// An adversarial header announcing a huge frame must be rejected
+	// before any body allocation, whatever its CRC field claims.
 	buf.Reset()
-	buf.Write([]byte{frameMessage, 0xFF, 0xFF, 0xFF, 0xFF})
+	buf.Write([]byte{frameMessage, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
 	if _, _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("oversized read error = %v", err)
+	}
+}
+
+func TestFrameCRCDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameMessage, []byte("fragile payload")); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	// Any single-byte corruption outside the length field must surface
+	// as ErrCorruptFrame (length-field damage may also surface as a
+	// size-limit or truncation error; those are covered elsewhere).
+	for _, pos := range []int{0, 5, 6, 7, 8, frameHeaderLen, len(clean) - 1} {
+		corrupt := append([]byte(nil), clean...)
+		corrupt[pos] ^= 0x20
+		if _, _, err := readFrame(bytes.NewReader(corrupt)); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("flip at byte %d: error = %v, want ErrCorruptFrame", pos, err)
+		}
+	}
+	if _, body, err := readFrame(bytes.NewReader(clean)); err != nil || string(body) != "fragile payload" {
+		t.Errorf("clean frame rejected: %q, %v", body, err)
+	}
+}
+
+func TestHelloVersionMismatch(t *testing.T) {
+	bad := hello{ID: 3}.encode()
+	bad[0] = protoVersion + 1
+	if _, err := decodeHello(bad); !errors.Is(err, ErrVersionMismatch) {
+		t.Errorf("future-version hello error = %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	id := int(uint64(7)<<32 | 123)
+	got, err := decodeAck(encodeAck(id))
+	if err != nil || got != id {
+		t.Errorf("ack round trip = %d, %v; want %d", got, err, id)
+	}
+	if _, err := decodeAck([]byte{1, 2, 3}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("short ack error = %v, want ErrProtocol", err)
 	}
 }
 

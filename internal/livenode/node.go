@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"syscall"
 	"time"
 
 	"bsub/internal/core"
@@ -32,6 +34,12 @@ const (
 	// DefaultMeetBackoff is the pause before Meet's first retry; it
 	// doubles after every failed attempt.
 	DefaultMeetBackoff = 25 * time.Millisecond
+	// DefaultSessionTimeout bounds each single frame read or write in a
+	// contact session; HUNET contacts are short, and a hung peer must
+	// not pin a session slot forever.
+	DefaultSessionTimeout = 10 * time.Second
+	// DefaultDialTimeout bounds Meet's TCP connect.
+	DefaultDialTimeout = 5 * time.Second
 )
 
 // Config parameterizes a live node. The protocol parameters reuse
@@ -63,6 +71,15 @@ type Config struct {
 	// MeetBackoff is the pause before Meet's first retry, doubled after
 	// each failed attempt. Zero or negative selects DefaultMeetBackoff.
 	MeetBackoff time.Duration
+	// SessionTimeout bounds each single frame read or write inside a
+	// contact session. The deadline is re-armed before every frame, so a
+	// healthy transfer may run arbitrarily long while a stalled peer is
+	// detected within one timeout. Zero or negative selects
+	// DefaultSessionTimeout.
+	SessionTimeout time.Duration
+	// DialTimeout bounds Meet's TCP connect. Zero or negative selects
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
 	// OnSession, when set, receives one SessionStats record per contact
 	// attempt — completed, failed mid-protocol, refused at capacity, or
 	// never connected. Called from session goroutines with no node
@@ -149,6 +166,12 @@ func Listen(addr string, cfg Config) (*Node, error) {
 	}
 	if cfg.MeetBackoff <= 0 {
 		cfg.MeetBackoff = DefaultMeetBackoff
+	}
+	if cfg.SessionTimeout <= 0 {
+		cfg.SessionTimeout = DefaultSessionTimeout
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -338,7 +361,6 @@ func nextAcceptDelay(prev time.Duration) time.Duration {
 func (n *Node) handleInbound(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(sessionDeadline))
 	select {
 	case n.sessions <- struct{}{}:
 	default:
@@ -358,13 +380,6 @@ func (n *Node) handleInbound(conn net.Conn) {
 	defer func() { <-n.sessions }()
 	_ = n.runContact(conn, false)
 }
-
-// sessionDeadline bounds one contact session; HUNET contacts are short,
-// and a hung peer must not pin a session slot forever.
-const sessionDeadline = 10 * time.Second
-
-// dialTimeout bounds Meet's TCP connect.
-const dialTimeout = 5 * time.Second
 
 // maxMeetBackoff caps Meet's exponential retry backoff; without a cap a
 // generous MeetAttempts turns the doubling into hours-long sleeps.
@@ -426,7 +441,7 @@ func (n *Node) meetOnce(addr string) (retry bool, err error) {
 		return true, ErrBusy
 	}
 	defer func() { <-n.sessions }()
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
 	if err != nil {
 		err = fmt.Errorf("livenode: dial %s: %w", addr, err)
 		n.sessionEnded(SessionStats{
@@ -438,7 +453,6 @@ func (n *Node) meetOnce(addr string) (retry bool, err error) {
 		return true, err
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(sessionDeadline))
 	err = n.runContact(conn, true)
 	return errors.Is(err, ErrPeerBusy), err
 }
@@ -447,7 +461,10 @@ func (n *Node) meetOnce(addr string) (retry bool, err error) {
 func (n *Node) runContact(conn io.ReadWriter, initiator bool) error {
 	start := time.Now()
 	n.sessionStarted()
-	s := &session{n: n, conn: conn, initiator: initiator}
+	s := &session{n: n, conn: conn, initiator: initiator, timeout: n.cfg.SessionTimeout}
+	if dl, ok := conn.(deadlineConn); ok {
+		s.dl = dl
+	}
 	s.stats.Initiator = initiator
 	err := s.run(n.cfg.Clock())
 	s.stats.Duration = time.Since(start)
@@ -459,10 +476,32 @@ func (n *Node) runContact(conn io.ReadWriter, initiator bool) error {
 	case errors.Is(err, ErrPeerBusy):
 		s.stats.Outcome = OutcomePeerBusy
 	default:
-		s.stats.Outcome = OutcomeError
+		s.stats.Outcome = outcomeForError(err)
 	}
 	n.sessionEnded(s.stats, true)
 	return err
+}
+
+// outcomeForError classifies a mid-protocol failure for stats: a CRC
+// mismatch is corruption, a deadline hit is a timeout, connection death
+// is a severed contact, anything else a protocol error.
+func outcomeForError(err error) SessionOutcome {
+	switch {
+	case errors.Is(err, ErrCorruptFrame):
+		return OutcomeCorrupt
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return OutcomeTimedOut
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return OutcomeTimedOut
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return OutcomeSevered
+	}
+	return OutcomeError
 }
 
 // --- State helpers ----------------------------------------------------------

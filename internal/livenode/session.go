@@ -23,6 +23,15 @@ type session struct {
 	initiator bool
 	stats     SessionStats
 
+	// timeout bounds each single frame read or write; the deadline is
+	// re-armed per frame (see readFrame/writeFrame), so a healthy long
+	// transfer is never cut while a stalled peer is caught within one
+	// timeout.
+	timeout time.Duration
+	// dl arms those per-frame deadlines when the transport supports them
+	// (TCP connections and net.Pipe do); nil otherwise.
+	dl deadlineConn
+
 	// selfBroker is this session's view of our role: the role announced
 	// in HELLO, updated only by this session's own election result.
 	selfBroker bool
@@ -33,24 +42,37 @@ type session struct {
 	relay *tcbf.Filter
 }
 
-// writeFrame sends one frame and accounts it.
+// deadlineConn is the subset of net.Conn the session uses to arm
+// per-frame I/O deadlines.
+type deadlineConn interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
+// writeFrame sends one frame under a fresh write deadline and accounts it.
 func (s *session) writeFrame(typ byte, body []byte) error {
+	if s.dl != nil {
+		_ = s.dl.SetWriteDeadline(time.Now().Add(s.timeout))
+	}
 	if err := writeFrame(s.conn, typ, body); err != nil {
 		return err
 	}
 	s.stats.FramesOut++
-	s.stats.BytesOut += int64(5 + len(body))
+	s.stats.BytesOut += int64(frameHeaderLen + len(body))
 	return nil
 }
 
-// readFrame receives one frame and accounts it.
+// readFrame receives one frame under a fresh read deadline and accounts it.
 func (s *session) readFrame() (byte, []byte, error) {
+	if s.dl != nil {
+		_ = s.dl.SetReadDeadline(time.Now().Add(s.timeout))
+	}
 	typ, body, err := readFrame(s.conn)
 	if err != nil {
 		return typ, body, err
 	}
 	s.stats.FramesIn++
-	s.stats.BytesIn += int64(5 + len(body))
+	s.stats.BytesIn += int64(frameHeaderLen + len(body))
 	return typ, body, nil
 }
 
@@ -64,6 +86,46 @@ func (s *session) expectFrame(want byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: got frame %d, want %d", ErrProtocol, typ, want)
 	}
 	return body, nil
+}
+
+// sendClaimed writes a claimed message frame and waits for the peer's
+// ACK. The claim is spent only when the ACK arrives; on any failure —
+// torn write, severed link, missing ACK — undo refunds the claim to its
+// store and the error aborts the session. The receiver dedups by message
+// ID, so a copy resent after a lost ACK can never double-deliver.
+func (s *session) sendClaimed(id int, body []byte, undo func()) error {
+	err := s.writeFrame(frameMessage, body)
+	if err == nil {
+		err = s.awaitAck(id)
+	}
+	if err != nil {
+		undo()
+		s.stats.MsgsRefunded++
+		return err
+	}
+	return nil
+}
+
+// awaitAck blocks for the frameMsgAck of message id.
+func (s *session) awaitAck(id int) error {
+	body, err := s.expectFrame(frameMsgAck)
+	if err != nil {
+		return err
+	}
+	got, err := decodeAck(body)
+	if err != nil {
+		return err
+	}
+	if got != id {
+		return fmt.Errorf("%w: ack for message %d, want %d", ErrProtocol, got, id)
+	}
+	return nil
+}
+
+// writeAck acknowledges a received message after it has been processed
+// (delivered and/or stored), committing the sender's claim.
+func (s *session) writeAck(id int) error {
+	return s.writeFrame(frameMsgAck, encodeAck(id))
 }
 
 // lockstep runs send/recv in initiator-first order.
@@ -345,10 +407,11 @@ func (s *session) relayPhase(now time.Duration) error {
 			if !present {
 				continue
 			}
-			if err := s.writeFrame(frameMessage, body); err != nil {
+			if err := s.sendClaimed(c.id, body, func() {
 				n.storeMu.Lock()
 				n.carried[c.id] = c.stored
 				n.storeMu.Unlock()
+			}); err != nil {
 				return err
 			}
 		}
@@ -371,6 +434,9 @@ func (s *session) relayPhase(now time.Duration) error {
 				return err
 			}
 			n.acceptCarried(msg, payload, now)
+			if err := s.writeAck(msg.ID); err != nil {
+				return err
+			}
 		}
 	}
 	if err := s.lockstep(sendCands, recvCands); err != nil {
@@ -470,13 +536,15 @@ func (s *session) askDelivery(peerID uint32, now time.Duration) error {
 		if err != nil {
 			return err
 		}
-		if now > msg.CreatedAt+n.cfg.TTL {
-			continue
-		}
-		// The match was probabilistic (Bloom filter); deliver only if we
-		// really want it — a mismatch is a false-positive transfer.
-		if n.wants(&msg) {
+		// The match was probabilistic (Bloom filter); deliver only if the
+		// copy is live and we really want it — a mismatch is a
+		// false-positive transfer. Either way the copy is ACKed: the ACK
+		// confirms receipt, not interest.
+		if now <= msg.CreatedAt+n.cfg.TTL && n.wants(&msg) {
 			n.deliver(msg, payload, msg.Origin == int(peerID))
+		}
+		if err := s.writeAck(msg.ID); err != nil {
+			return err
 		}
 	}
 }
@@ -484,7 +552,8 @@ func (s *session) askDelivery(peerID uint32, now time.Duration) error {
 // answerDelivery serves the peer's delivery request from our produced
 // messages (direct) and carried copies (broker-mediated; removed after
 // forwarding, per Section V-D). Each copy is claimed under the store
-// lock immediately before it travels and restored if the send fails.
+// lock immediately before it travels and refunded unless the peer ACKs
+// it — a contact severed mid-transfer loses no copies.
 func (s *session) answerDelivery(peerID uint32, now time.Duration) error {
 	n := s.n
 	filter, err := s.readInterestBF(pullDelivery, now)
@@ -506,10 +575,11 @@ func (s *session) answerDelivery(peerID uint32, now time.Duration) error {
 		}
 		sm.markSent(peerID)
 		n.storeMu.Unlock()
-		if err := s.writeFrame(frameMessage, body); err != nil {
+		if err := s.sendClaimed(c.id, body, func() {
 			n.storeMu.Lock()
 			delete(sm.sent, peerID)
 			n.storeMu.Unlock()
+		}); err != nil {
 			return err
 		}
 	}
@@ -527,10 +597,11 @@ func (s *session) answerDelivery(peerID uint32, now time.Duration) error {
 		}
 		delete(n.carried, c.id)
 		n.storeMu.Unlock()
-		if err := s.writeFrame(frameMessage, body); err != nil {
+		if err := s.sendClaimed(c.id, body, func() {
 			n.storeMu.Lock()
 			n.carried[c.id] = sm
 			n.storeMu.Unlock()
+		}); err != nil {
 			return err
 		}
 	}
@@ -570,13 +641,16 @@ func (s *session) askReplication(now time.Duration) error {
 			return err
 		}
 		n.acceptCarried(msg, payload, now)
+		if err := s.writeAck(msg.ID); err != nil {
+			return err
+		}
 	}
 }
 
 // answerReplication replicates matching produced messages to the broker,
 // bounded by the copy limit; a message leaves our memory when its copies
 // are exhausted. A copy is claimed (decremented) under the store lock
-// before it travels and restored if the send fails.
+// before it travels and refunded if the peer's ACK never arrives.
 func (s *session) answerReplication(now time.Duration) error {
 	n := s.n
 	filter, err := s.readInterestBF(pullReplication, now)
@@ -602,13 +676,14 @@ func (s *session) answerReplication(now time.Duration) error {
 			delete(n.produced, c.id)
 		}
 		n.storeMu.Unlock()
-		if err := s.writeFrame(frameMessage, body); err != nil {
+		if err := s.sendClaimed(c.id, body, func() {
 			n.storeMu.Lock()
 			sm.copies++
 			if removed {
 				n.produced[c.id] = sm
 			}
 			n.storeMu.Unlock()
+		}); err != nil {
 			return err
 		}
 	}

@@ -61,6 +61,15 @@ const (
 	OutcomeRefusedBusy
 	// OutcomeDialError: the dial failed before any session ran.
 	OutcomeDialError
+	// OutcomeTimedOut: a frame read or write hit its SessionTimeout
+	// deadline — the peer stalled mid-contact.
+	OutcomeTimedOut
+	// OutcomeSevered: the connection died mid-protocol (EOF, reset,
+	// closed pipe) — the contact ended without warning.
+	OutcomeSevered
+	// OutcomeCorrupt: a frame failed its CRC check — the link flipped
+	// bits in flight.
+	OutcomeCorrupt
 )
 
 func (o SessionOutcome) String() string {
@@ -75,6 +84,12 @@ func (o SessionOutcome) String() string {
 		return "refused-busy"
 	case OutcomeDialError:
 		return "dial-error"
+	case OutcomeTimedOut:
+		return "timed-out"
+	case OutcomeSevered:
+		return "severed"
+	case OutcomeCorrupt:
+		return "corrupt"
 	}
 	return "unknown"
 }
@@ -98,6 +113,10 @@ type SessionStats struct {
 	FramesIn, FramesOut int
 	// BytesIn / BytesOut count wire bytes (headers + bodies).
 	BytesIn, BytesOut int64
+	// MsgsRefunded counts message copies that were claimed and sent but
+	// never ACKed before the session ended; each was refunded to its
+	// store, preserving copy-count conservation.
+	MsgsRefunded int
 	// Duration is wall-clock session time (not mesh-clock time).
 	Duration time.Duration
 	// Err is the terminal error, nil on success.
@@ -121,6 +140,15 @@ type Counters struct {
 	RefusedBusy uint64
 	// DialErrors counts Meet dial attempts that never connected.
 	DialErrors uint64
+	// TimedOut / Severed / Corrupt partition failed sessions by failure
+	// mode: a frame deadline hit, a connection that died mid-protocol,
+	// and a frame that failed its CRC check.
+	TimedOut uint64
+	Severed  uint64
+	Corrupt  uint64
+	// MsgsRefunded counts message copies claimed for a transfer that was
+	// never ACKed and therefore refunded to their stores.
+	MsgsRefunded uint64
 	// Frame and byte totals across all finished sessions.
 	FramesIn, FramesOut uint64
 	BytesIn, BytesOut   uint64
@@ -167,9 +195,19 @@ func (n *Node) sessionEnded(st SessionStats, ranProtocol bool) {
 		n.counters.RefusedBusy++
 	case OutcomeDialError:
 		n.counters.DialErrors++
+	case OutcomeTimedOut:
+		n.counters.Failed++
+		n.counters.TimedOut++
+	case OutcomeSevered:
+		n.counters.Failed++
+		n.counters.Severed++
+	case OutcomeCorrupt:
+		n.counters.Failed++
+		n.counters.Corrupt++
 	default:
 		n.counters.Failed++
 	}
+	n.counters.MsgsRefunded += uint64(st.MsgsRefunded)
 	n.counters.FramesIn += uint64(st.FramesIn)
 	n.counters.FramesOut += uint64(st.FramesOut)
 	n.counters.BytesIn += uint64(st.BytesIn)

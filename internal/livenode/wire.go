@@ -34,12 +34,26 @@
 // Every contact attempt — completed, failed, refused — is recorded as a
 // SessionStats record (see Config.OnSession) and aggregated into the
 // counters returned by Node.Stats.
+//
+// # Failure model
+//
+// Human contacts end without warning, so a session must be safe to sever
+// at any byte. Every frame carries a CRC32 trailer in its header; a flaky
+// link surfaces as ErrCorruptFrame instead of decoder garbage. Each frame
+// read and write is bounded by its own deadline (Config.SessionTimeout),
+// so a stalled peer is detected within one timeout however long the
+// healthy transfer runs. Message hand-off is acknowledged: a copy claimed
+// from a store is spent only when the receiver's frameMsgAck arrives, and
+// a claim whose ACK never comes is refunded when the session aborts —
+// copy counts are conserved across severed contacts, and the receiver
+// dedups by message ID, so a lost ACK can never double-deliver.
 package livenode
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
@@ -60,51 +74,83 @@ const (
 	// capacity: sent instead of the HELLO reply, then the connection
 	// closes. The dialer maps it to ErrPeerBusy and may retry.
 	frameBusy
+	// frameMsgAck acknowledges one frameMessage by message ID. The sender
+	// of a claimed copy treats the copy as spent only once the ACK
+	// arrives; until then an aborted session refunds the claim.
+	frameMsgAck
 )
+
+// protoVersion is the contact-protocol version announced in the HELLO.
+// v2 added the CRC32 frame trailer and per-message ACKs; mismatched
+// peers must fail fast instead of trading garbage frames.
+const protoVersion = 2
 
 // maxFrameBytes bounds a frame body; filters are tens of bytes and
 // messages are capped at 140 B payloads, so 64 KiB is generous.
 const maxFrameBytes = 64 * 1024
+
+// frameHeaderLen is the wire size of a frame header:
+// type (1) + body length (4) + CRC32 of type, length, and body (4).
+const frameHeaderLen = 9
+
+// ieeeTable is the CRC32 table shared by frame writers and readers.
+var ieeeTable = crc32.MakeTable(crc32.IEEE)
 
 var (
 	// ErrFrameTooLarge is returned when a peer announces an oversized frame.
 	ErrFrameTooLarge = errors.New("livenode: frame exceeds size limit")
 	// ErrProtocol is returned on any wire-protocol violation.
 	ErrProtocol = errors.New("livenode: protocol violation")
+	// ErrCorruptFrame is returned when a frame fails its CRC32 check — a
+	// flaky link flipped bits in flight.
+	ErrCorruptFrame = errors.New("livenode: frame failed CRC check")
+	// ErrVersionMismatch is returned when the peer's HELLO announces a
+	// different contact-protocol version.
+	ErrVersionMismatch = errors.New("livenode: peer speaks a different protocol version")
 )
 
-// writeFrame sends one type-tagged, length-prefixed frame.
+// frameCRC computes the header's CRC32 over the type byte, the length
+// field, and the body.
+func frameCRC(hdr []byte, body []byte) uint32 {
+	sum := crc32.Update(0, ieeeTable, hdr[:5])
+	return crc32.Update(sum, ieeeTable, body)
+}
+
+// writeFrame sends one type-tagged, length-prefixed, CRC-trailed frame.
+// Header and body are coalesced into a single Write so a fault or a
+// concurrent close between syscalls can never emit a bare header, and a
+// frame costs one syscall instead of two.
 func writeFrame(w io.Writer, typ byte, body []byte) error {
 	if len(body) > maxFrameBytes {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
 	}
-	var hdr [5]byte
-	hdr[0] = typ
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("livenode: write frame header: %w", err)
-	}
-	if len(body) > 0 {
-		if _, err := w.Write(body); err != nil {
-			return fmt.Errorf("livenode: write frame body: %w", err)
-		}
+	buf := make([]byte, frameHeaderLen+len(body))
+	buf[0] = typ
+	binary.BigEndian.PutUint32(buf[1:], uint32(len(body)))
+	copy(buf[frameHeaderLen:], body)
+	binary.BigEndian.PutUint32(buf[5:], frameCRC(buf[:5], buf[frameHeaderLen:]))
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("livenode: write frame: %w", err)
 	}
 	return nil
 }
 
-// readFrame receives one frame.
+// readFrame receives one frame and verifies its CRC.
 func readFrame(r io.Reader) (typ byte, body []byte, err error) {
-	var hdr [5]byte
+	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, fmt.Errorf("livenode: read frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(hdr[1:])
+	n := binary.BigEndian.Uint32(hdr[1:5])
 	if n > maxFrameBytes {
 		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	body = make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, nil, fmt.Errorf("livenode: read frame body: %w", err)
+	}
+	if want := binary.BigEndian.Uint32(hdr[5:]); frameCRC(hdr[:5], body) != want {
+		return 0, nil, fmt.Errorf("%w: frame type %d, %d-byte body", ErrCorruptFrame, hdr[0], n)
 	}
 	return hdr[0], body, nil
 }
@@ -129,24 +175,47 @@ type hello struct {
 }
 
 func (h hello) encode() []byte {
-	out := make([]byte, 7)
-	binary.BigEndian.PutUint32(out, h.ID)
+	out := make([]byte, 8)
+	out[0] = protoVersion
+	binary.BigEndian.PutUint32(out[1:], h.ID)
 	if h.Broker {
-		out[4] = 1
+		out[5] = 1
 	}
-	binary.BigEndian.PutUint16(out[5:], h.Degree)
+	binary.BigEndian.PutUint16(out[6:], h.Degree)
 	return out
 }
 
 func decodeHello(body []byte) (hello, error) {
-	if len(body) != 7 {
+	if len(body) != 8 {
 		return hello{}, fmt.Errorf("%w: hello is %d bytes", ErrProtocol, len(body))
 	}
+	if body[0] != protoVersion {
+		return hello{}, fmt.Errorf("%w: peer speaks v%d, this node v%d",
+			ErrVersionMismatch, body[0], protoVersion)
+	}
+	if body[5] > 1 {
+		return hello{}, fmt.Errorf("%w: hello broker byte %d", ErrProtocol, body[5])
+	}
 	return hello{
-		ID:     binary.BigEndian.Uint32(body),
-		Broker: body[4] == 1,
-		Degree: binary.BigEndian.Uint16(body[5:]),
+		ID:     binary.BigEndian.Uint32(body[1:]),
+		Broker: body[5] == 1,
+		Degree: binary.BigEndian.Uint16(body[6:]),
 	}, nil
+}
+
+// encodeAck serializes a frameMsgAck body: the acknowledged message ID.
+func encodeAck(id int) []byte {
+	var out [8]byte
+	binary.BigEndian.PutUint64(out[:], uint64(id))
+	return out[:]
+}
+
+// decodeAck parses a frameMsgAck body.
+func decodeAck(body []byte) (int, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("%w: ack is %d bytes", ErrProtocol, len(body))
+	}
+	return int(binary.BigEndian.Uint64(body)), nil
 }
 
 // encodeMessage serializes a message with its payload for the wire.
