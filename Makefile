@@ -1,6 +1,7 @@
 GO ?= go
+SHADOW := $(shell command -v shadow 2>/dev/null)
 
-.PHONY: build test race vet chaos fuzz check bench
+.PHONY: build test race vet vet-shadow parity chaos fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -14,6 +15,22 @@ race:
 vet:
 	$(GO) vet ./...
 
+# vet-shadow runs the variable-shadowing analyzer when the shadow vettool
+# is installed; otherwise it falls back to a stricter flag subset of the
+# stock vet (still useful, and always available offline).
+vet-shadow:
+ifdef SHADOW
+	$(GO) vet -vettool=$(SHADOW) ./...
+else
+	$(GO) vet -unreachable -unusedresult -lostcancel ./...
+endif
+
+# parity replays one deterministic contact sequence through the simulator
+# adapter and through live TCP-framed nodes under the race detector and
+# asserts byte-identical protocol state after every contact.
+parity:
+	$(GO) test -race -count=1 -run TestSimLiveParity ./internal/livenode
+
 # chaos runs the fault-injection suite (faultnet wrappers over live
 # contact sessions) under the race detector: copies conserved, no
 # duplicate deliveries, nodes recover after severed contacts.
@@ -26,11 +43,13 @@ fuzz:
 	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzReadFrame -fuzztime 5s
 	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 5s
 	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzDecodeHello -fuzztime 5s
+	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzSessionSteps -fuzztime 5s
 
-# check is the PR gate: vet plus the full suite under the race detector,
-# then the chaos suite and a fuzz smoke pass over the wire decoders.
-# The livenode session engine is concurrent; never ship it unraced.
-check: vet race chaos fuzz
+# check is the PR gate: vet (plus the shadow pass) and the full suite
+# under the race detector, then sim/live parity, the chaos suite, and a
+# fuzz smoke pass over the wire decoders and the engine state machine.
+# The livenode session adapter is concurrent; never ship it unraced.
+check: vet vet-shadow race parity chaos fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

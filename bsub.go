@@ -37,6 +37,7 @@ import (
 	"bsub/internal/analysis"
 	"bsub/internal/bloom"
 	"bsub/internal/core"
+	"bsub/internal/engine"
 	"bsub/internal/experiments"
 	"bsub/internal/livenode"
 	"bsub/internal/metrics"
@@ -131,6 +132,32 @@ const (
 
 // NewBSub returns a B-SUB protocol instance.
 func NewBSub(cfg ProtocolConfig) *BSubProtocol { return core.New(cfg) }
+
+// --- Engine ------------------------------------------------------------------
+//
+// The transport-agnostic protocol core shared by the simulator driver and
+// the live TCP node. Downstream users can drive it over their own
+// transport: open an EngineSession per contact, move each step's byte
+// encoding to the peer however the medium allows, and settle the claims.
+
+type (
+	// Engine owns one node's complete B-SUB protocol state: interests,
+	// relay filter, broker role, and message stores with copy accounting.
+	Engine = engine.Node
+	// EngineSession is one side of a contact: the typed protocol steps in
+	// contact order, producing and consuming wire encodings.
+	EngineSession = engine.Session
+	// EngineClaim is a message copy pending transmission: Commit spends
+	// it, Abort refunds it.
+	EngineClaim = engine.Claim
+	// EngineBudget meters the bytes a contact may move.
+	EngineBudget = engine.Budget
+)
+
+// NewEngine returns a protocol engine for one node.
+func NewEngine(id int, cfg ProtocolConfig, ttl time.Duration) (*Engine, error) {
+	return engine.NewNode(id, cfg, ttl)
+}
 
 // DefaultProtocolConfig returns the paper's evaluation parameters with the
 // given decaying factor (per minute).

@@ -37,13 +37,18 @@ func run() error {
 	clock := func() time.Duration { return time.Duration(clockNS.Load()) }
 	advance := func(d time.Duration) { clockNS.Add(int64(d)) }
 
+	// The live node runs the full paper protocol, including the Section
+	// VI-D partitioned relay filters (two sub-filters per broker here).
+	proto := bsub.DefaultProtocolConfig(0.01)
+	proto.RelayPartitions = 2
+
 	names := []string{"alice", "bob", "carla", "daniel", "erin", "frank"}
 	mesh := make([]*bsub.LiveNode, nodes)
 	for i := range mesh {
 		i := i
 		node, err := bsub.ListenNode("127.0.0.1:0", bsub.LiveNodeConfig{
 			ID:       uint32(i + 1),
-			Protocol: bsub.DefaultProtocolConfig(0.01),
+			Protocol: proto,
 			TTL:      8 * time.Hour,
 			Clock:    clock,
 			OnDeliver: func(d bsub.LiveDelivery) {

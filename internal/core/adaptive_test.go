@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"bsub/internal/sim"
-	"bsub/internal/tcbf"
 	"bsub/internal/tracegen"
 	"bsub/internal/workload"
 )
@@ -90,71 +89,5 @@ func TestDFFeedbackEndToEnd(t *testing.T) {
 	t.Logf("feedback: %s", rep)
 }
 
-func TestRetuneDFFeedbackDirection(t *testing.T) {
-	// White-box: a saturated relay filter must raise the DF; an empty one
-	// must lower it toward the baseline. Start well above the C/TTL floor
-	// so both directions are observable.
-	cfg := DefaultConfig(1.0)
-	cfg.DFMode = DFFeedback
-	cfg.TargetFPR = 0.002
-	p := New(cfg)
-	if err := p.Init(&fakeEnv{nodes: 2, ttl: time.Hour}, rand.New(rand.NewSource(1))); err != nil {
-		t.Fatal(err)
-	}
-	n := p.nodes[0]
-	p.promote(n, 0)
-
-	// Saturate the relay filter well past the target FPR.
-	genuine := tcbf.MustNewPartitioned(p.filterCfg, 1, 0)
-	for _, k := range workload.NewTrendKeySet().Keys() {
-		if err := genuine.Insert(k, 0); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := n.relay.AMerge(genuine, 0); err != nil {
-		t.Fatal(err)
-	}
-	before := n.relay.Config().DecayPerMinute
-	p.retuneDF(n, 0)
-	after := n.relay.Config().DecayPerMinute
-	if after <= before {
-		t.Errorf("saturated filter: DF %g -> %g, want increase", before, after)
-	}
-
-	// Drain the filter (huge decay interval) and retune: DF must shrink
-	// back toward the baseline.
-	if err := n.relay.Advance(100 * time.Hour); err != nil {
-		t.Fatal(err)
-	}
-	before = n.relay.Config().DecayPerMinute
-	p.retuneDF(n, 100*time.Hour)
-	after = n.relay.Config().DecayPerMinute
-	if after >= before {
-		t.Errorf("empty filter: DF %g -> %g, want decrease", before, after)
-	}
-}
-
-func TestRetuneDFOnlineScalesWithDegree(t *testing.T) {
-	cfg := DefaultConfig(0)
-	cfg.DFMode = DFOnlineEq5
-	p := New(cfg)
-	if err := p.Init(&fakeEnv{nodes: 12, ttl: time.Hour}, rand.New(rand.NewSource(1))); err != nil {
-		t.Fatal(err)
-	}
-	quiet := p.nodes[0]
-	busy := p.nodes[1]
-	p.promote(quiet, 0)
-	p.promote(busy, 0)
-	now := 30 * time.Minute
-	for i := 2; i < 12; i++ {
-		busy.meetings[p.nodes[i].id] = now
-	}
-	p.retuneDF(quiet, now)
-	p.retuneDF(busy, now)
-	dfQuiet := quiet.relay.Config().DecayPerMinute
-	dfBusy := busy.relay.Config().DecayPerMinute
-	if dfBusy <= dfQuiet {
-		t.Errorf("busy broker DF %g not above quiet broker DF %g "+
-			"(more collected keys -> faster decay per Eq. 5)", dfBusy, dfQuiet)
-	}
-}
+// The white-box DF-retuning tests (feedback direction, online Eq. 5
+// degree scaling) live in internal/engine with the retuning logic.

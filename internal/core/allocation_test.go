@@ -40,135 +40,35 @@ func newTestBSub(t *testing.T, nodes int) *BSub {
 	return p
 }
 
-func TestPromoteCreatesRelayFilter(t *testing.T) {
-	p := newTestBSub(t, 2)
-	n := p.nodes[1]
-	p.promote(n, 0)
-	if !n.broker || n.relay == nil {
-		t.Fatal("promotion did not install a relay filter")
-	}
-	relay := n.relay
-	p.promote(n, 0) // idempotent
-	if n.relay != relay {
-		t.Error("re-promotion replaced the relay filter")
-	}
-}
+// The broker-allocation white-box tests (promotion, demotion, window
+// pruning, DF retuning) live in internal/engine, where the logic now is;
+// this package keeps the adapter-level tests.
 
-func TestDemoteKeepsCarriedCopies(t *testing.T) {
-	p := newTestBSub(t, 2)
-	n := p.nodes[1]
-	p.promote(n, 0)
-	n.carried.Add(workload.Message{ID: 9, Key: "k"}, time.Hour, 0)
-	p.demote(n)
-	if n.broker || n.relay != nil {
-		t.Error("demotion incomplete")
-	}
-	if !n.carried.Has(9) {
-		t.Error("demotion dropped carried copies; they should serve until TTL")
-	}
-	p.demote(n) // idempotent on non-brokers
-}
-
-func TestAllocateDemotesBelowAverageBroker(t *testing.T) {
-	// A user that has sighted more than T_u brokers within the window
-	// demotes a broker whose degree is below the sighted average.
-	p := newTestBSub(t, 10)
-	user := p.nodes[0]
-	weak := p.nodes[1]
-	p.promote(weak, 0)
-
-	now := 10 * time.Minute
-	// Six prior sightings (count > T_u = 5) of well-connected brokers.
-	for i := 2; i < 8; i++ {
-		user.sightings[trace.NodeID(i)] = brokerSighting{at: now, degree: 10}
-	}
-	// The weak broker has degree 0 (no meetings recorded): below average.
-	p.allocate(user, weak, now)
-	if weak.broker {
-		t.Error("below-average broker not demoted")
-	}
-	if _, still := user.sightings[weak.id]; still {
-		t.Error("demoted broker still sighted")
-	}
-}
-
-func TestAllocateSparesAboveAverageBroker(t *testing.T) {
-	p := newTestBSub(t, 10)
-	user := p.nodes[0]
-	strong := p.nodes[1]
-	p.promote(strong, 0)
-
-	now := 10 * time.Minute
-	// The strong broker has met many peers recently.
-	for i := 2; i < 9; i++ {
-		strong.meetings[trace.NodeID(i)] = now
-	}
-	// Six sightings of weaker brokers (degree 1): average is ~1.?
-	for i := 2; i < 8; i++ {
-		user.sightings[trace.NodeID(i)] = brokerSighting{at: now, degree: 1}
-	}
-	p.allocate(user, strong, now)
-	if !strong.broker {
-		t.Error("above-average broker was demoted")
-	}
-}
-
-func TestBrokersDoNotRunAllocation(t *testing.T) {
+func TestAdapterTracksBrokerCensus(t *testing.T) {
+	// The adapter's broker census and oracle lifecycle must follow the
+	// engine's election outcomes across a contact.
 	p := newTestBSub(t, 3)
-	broker := p.nodes[0]
-	peer := p.nodes[1]
-	p.promote(broker, 0)
-	p.allocate(broker, peer, time.Minute)
-	if peer.broker {
-		t.Error("a broker performed a promotion; Section V-B forbids it")
+	if p.BrokerCount() != 0 {
+		t.Fatalf("fresh run has %d brokers", p.BrokerCount())
 	}
-}
-
-func TestAllocatePromotesWhenFewBrokers(t *testing.T) {
-	p := newTestBSub(t, 3)
-	user := p.nodes[0]
-	peer := p.nodes[1]
-	p.allocate(user, peer, time.Minute) // zero sightings < T_l
-	if !peer.broker {
-		t.Error("peer not promoted despite broker scarcity")
+	budget := sim.NewBudget(1 << 20)
+	p.OnContact(0, 1, budget)
+	// Broker scarcity makes both users elect the other; the engine's
+	// tie-break promotes only the higher-ID side.
+	if p.BrokerCount() != 1 {
+		t.Fatalf("after first contact BrokerCount = %d, want 1", p.BrokerCount())
 	}
-	if _, ok := user.sightings[peer.id]; !ok {
-		t.Error("promotion not recorded as a sighting")
+	if p.IsBroker(0) || !p.IsBroker(1) {
+		t.Errorf("bootstrap roles: broker0=%v broker1=%v, want only node 1",
+			p.IsBroker(0), p.IsBroker(1))
 	}
-}
-
-func TestDegreePrunesOutsideWindow(t *testing.T) {
-	p := newTestBSub(t, 5)
-	n := p.nodes[0]
-	window := p.cfg.Window
-	n.meetings[1] = 0
-	n.meetings[2] = window / 2
-	n.meetings[3] = window
-	now := window + time.Minute
-	// Peers 1 (too old) pruned; 2 and 3 inside the window.
-	if got := n.degree(now, window); got != 2 {
-		t.Errorf("degree = %d, want 2", got)
+	if p.nodes[0].oracle != nil {
+		t.Error("user node grew an oracle")
 	}
-	if _, still := n.meetings[1]; still {
-		t.Error("stale meeting not pruned")
+	if p.nodes[1].oracle == nil {
+		t.Error("broker node missing its oracle")
 	}
-}
-
-func TestBrokersInWindowPrunes(t *testing.T) {
-	p := newTestBSub(t, 5)
-	n := p.nodes[0]
-	window := p.cfg.Window
-	n.sightings[1] = brokerSighting{at: 0, degree: 4}
-	n.sightings[2] = brokerSighting{at: window, degree: 8}
-	count, mean := n.brokersInWindow(window+time.Minute, window)
-	if count != 1 {
-		t.Fatalf("count = %d, want 1", count)
-	}
-	if mean != 8 {
-		t.Errorf("mean degree = %g, want 8", mean)
-	}
-	count, mean = n.brokersInWindow(3*window, window)
-	if count != 0 || mean != 0 {
-		t.Errorf("expired sightings: count=%d mean=%g", count, mean)
+	if p.nodes[2].oracle != nil {
+		t.Error("bystander node grew an oracle")
 	}
 }

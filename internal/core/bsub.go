@@ -1,256 +1,80 @@
-// Package core implements the B-SUB protocol of Section V: a content-based
-// publish-subscribe system for human networks built on the Temporal
-// Counting Bloom Filter.
+// Package core adapts the transport-agnostic B-SUB engine
+// (internal/engine) to the discrete-event simulator: it is the
+// sim.Protocol driver for the Section VII evaluation.
 //
-// B-SUB has two logical components:
+// All protocol logic — broker election, relay-filter merges, preferential
+// forwarding, copy accounting — lives in the engine's session state
+// machine. This package only:
 //
-//   - Broker allocation (Section V-B): an election. Each user tracks the
-//     brokers it meets within a time window W; meeting fewer than a lower
-//     bound T_l makes it designate the next node it meets as a broker,
-//     while meeting more than an upper bound T_u makes it demote
-//     below-average-degree brokers back to users. Socially active nodes
-//     thereby gravitate toward broker duty.
-//
-//   - Pub-sub forwarding (Sections V-C, V-D): consumers push their
-//     interests to brokers as TCBF "genuine filters" that brokers absorb
-//     into "relay filters" with A-merge (reinforcement); brokers exchange
-//     relay filters with M-merge (no bogus counters); producers replicate
-//     up to C copies of each message to brokers whose relay filter matches;
-//     brokers hand messages to better brokers by preferential query and
-//     deliver to consumers whose interest Bloom filter matches.
-//
-// Every transfer — filters and messages alike — is charged against the
-// contact session's bandwidth budget, and all temporal behaviour (decay,
-// TTL) is driven by the simulator clock.
+//   - maps trace.NodeID contacts onto engine sessions and moves the
+//     sessions' wire encodings across a function call (the live node moves
+//     the same bytes across TCP frames);
+//   - charges every transfer to the contact's bandwidth Budget and
+//     reports control/forwarding/delivery traffic to the sim.Env metrics;
+//   - maintains the simulator-side ground-truth "oracle" of each relay
+//     filter — the exact multiset of relayed interests with
+//     TCBF-identical counter semantics but no hash collisions — used
+//     solely to classify producer-to-broker matches as genuine or falsely
+//     injected (Section VI-B); the protocol never reads it.
 package core
 
 import (
-	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
-	"bsub/internal/analysis"
-	"bsub/internal/bloom"
-	"bsub/internal/msgstore"
+	"bsub/internal/engine"
 	"bsub/internal/sim"
 	"bsub/internal/tcbf"
 	"bsub/internal/trace"
 	"bsub/internal/workload"
 )
 
-// Config holds B-SUB's tunable parameters with the paper's evaluation
-// defaults documented per field.
-type Config struct {
-	// FilterM is the TCBF bit-vector length ("a bit-vector of 256 bits").
-	FilterM int
-	// FilterK is the TCBF hash count ("4 hash functions").
-	FilterK int
-	// InitialCounter is the TCBF insertion value C.
-	InitialCounter float64
-	// DecayPerMinute is the decaying factor DF. Zero disables decay
-	// (interests never leave relay filters).
-	DecayPerMinute float64
-	// CopyLimit is the producer replication bound C ("the maximum number
-	// of copies that can be forwarded by producers is 3").
-	CopyLimit int
-	// BrokerLow is T_l: meeting fewer brokers than this within Window
-	// triggers a promotion.
-	BrokerLow int
-	// BrokerHigh is T_u: meeting more brokers than this within Window
-	// triggers a demotion attempt.
-	BrokerHigh int
-	// Window is the broker-allocation time window W ("the time window is
-	// 5 hours").
-	Window time.Duration
-	// BrokerMerge selects how brokers combine each other's relay filters.
-	// The paper uses the maximum (M-merge) to avoid the bogus-counter
-	// feedback loop of Fig. 6; the additive variant exists for ablation.
-	// The zero value means BrokerMergeMax.
-	BrokerMerge BrokerMergeMode
-	// DFMode selects how the decaying factor is maintained. The zero
-	// value (DFFixed) uses DecayPerMinute as given.
-	DFMode DFMode
-	// TargetFPR is the relay-filter false-positive rate the DFFeedback
-	// controller steers toward (Section VI-B: "we can tentatively adjust
-	// the DF, then re-adjust its value by observing the resultant FPR;
-	// until a desirable FPR is achieved"). Required positive when DFMode
-	// is DFFeedback.
-	TargetFPR float64
-	// RelayPartitions applies the Section VI-D multi-filter allocation to
-	// relay filters: interests are hash-routed across this many TCBFs,
-	// lowering the joint false-positive rate (Eq. 7) at the cost of more
-	// control bytes. Zero or one means a single filter (the paper's
-	// evaluation setting).
-	RelayPartitions int
-}
+// Config re-exports the engine's parameter set; see engine.Config for the
+// per-field paper references.
+type Config = engine.Config
 
 // DFMode selects the decaying-factor policy.
-type DFMode int
+type DFMode = engine.DFMode
 
+// DF policies (see engine's docs).
 const (
-	// DFFixed uses Config.DecayPerMinute unchanged (the paper's
-	// evaluation setting, with the DF precomputed from Eq. 5).
-	DFFixed DFMode = iota
-	// DFOnlineEq5 recomputes each broker's DF from its own contact
-	// history: "it is straightforward to set an appropriate DF online by
-	// counting the number of nodes a broker meets in the time window"
-	// (Section VII-B). The TTL plays the role of the delay bound T.
-	DFOnlineEq5
-	// DFFeedback steers the DF so the relay filter's estimated FPR tracks
-	// Config.TargetFPR (Section VI-B's observe-and-adjust loop): too many
-	// false positives -> decay faster; comfortably below target -> decay
-	// slower and let interests propagate further.
-	DFFeedback
+	DFFixed     = engine.DFFixed
+	DFOnlineEq5 = engine.DFOnlineEq5
+	DFFeedback  = engine.DFFeedback
 )
 
 // BrokerMergeMode selects the broker-broker relay-filter merge operation.
-type BrokerMergeMode int
+type BrokerMergeMode = engine.BrokerMergeMode
 
+// Broker merge modes (see engine's docs).
 const (
-	// BrokerMergeMax is the paper's M-merge (the default).
-	BrokerMergeMax BrokerMergeMode = iota
-	// BrokerMergeAdditive is the A-merge the paper warns against between
-	// brokers (Fig. 6); provided for the ablation study.
-	BrokerMergeAdditive
+	BrokerMergeMax      = engine.BrokerMergeMax
+	BrokerMergeAdditive = engine.BrokerMergeAdditive
 )
 
 // DefaultConfig returns the paper's evaluation parameters with the given
 // decaying factor.
 func DefaultConfig(decayPerMinute float64) Config {
-	return Config{
-		FilterM:        256,
-		FilterK:        4,
-		InitialCounter: 10,
-		DecayPerMinute: decayPerMinute,
-		CopyLimit:      3,
-		BrokerLow:      3,
-		BrokerHigh:     5,
-		Window:         5 * time.Hour,
-	}
+	return engine.DefaultConfig(decayPerMinute)
 }
 
-func (c Config) validate() error {
-	switch {
-	case c.FilterM <= 0 || c.FilterK <= 0:
-		return fmt.Errorf("core: filter geometry (%d,%d) invalid", c.FilterM, c.FilterK)
-	case c.InitialCounter <= 0:
-		return fmt.Errorf("core: initial counter must be positive, got %g", c.InitialCounter)
-	case c.DecayPerMinute < 0:
-		return fmt.Errorf("core: decay factor must be non-negative, got %g", c.DecayPerMinute)
-	case c.CopyLimit < 1:
-		return fmt.Errorf("core: copy limit must be at least 1, got %d", c.CopyLimit)
-	case c.BrokerLow < 0 || c.BrokerHigh < c.BrokerLow:
-		return fmt.Errorf("core: broker thresholds (%d,%d) invalid", c.BrokerLow, c.BrokerHigh)
-	case c.Window <= 0:
-		return fmt.Errorf("core: window must be positive, got %v", c.Window)
-	case c.BrokerMerge != BrokerMergeMax && c.BrokerMerge != BrokerMergeAdditive:
-		return fmt.Errorf("core: unknown broker merge mode %d", c.BrokerMerge)
-	case c.DFMode < DFFixed || c.DFMode > DFFeedback:
-		return fmt.Errorf("core: unknown DF mode %d", c.DFMode)
-	case c.DFMode == DFFeedback && c.TargetFPR <= 0:
-		return fmt.Errorf("core: DF feedback requires a positive target FPR, got %g", c.TargetFPR)
-	case c.RelayPartitions < 0 || c.RelayPartitions > 255:
-		return fmt.Errorf("core: relay partitions must be in [0,255], got %d", c.RelayPartitions)
-	}
-	return nil
-}
-
-// brokerSighting is a user's record of a broker it met: when, and the
-// degree the broker reported at that meeting.
-type brokerSighting struct {
-	at     time.Duration
-	degree int
-}
-
-// node is the per-device protocol state.
+// node pairs a protocol engine with the simulator-side oracle state.
 type node struct {
-	id        trace.NodeID
-	interests []workload.Key
-	broker    bool
+	id  trace.NodeID
+	eng *engine.Node
 
-	// relay is the broker's relay filter (possibly partitioned per
-	// Section VI-D); nil for plain users.
-	relay *tcbf.Partitioned
-
-	// produced holds the node's own messages with their remaining
-	// replication budget; carried holds broker-relayed copies.
-	produced *msgstore.Store
-	carried  *msgstore.Store
-
-	// oracle is the simulator-side ground truth of the relay filter: the
-	// exact multiset of relayed interests with TCBF-identical counter
-	// semantics but no hash collisions. It exists only to classify
-	// producer-to-broker matches as genuine or falsely injected
-	// (Section VI-B); the protocol never reads it for forwarding.
+	// oracle mirrors the relay filter's content exactly (no collisions);
+	// non-nil iff the node is a broker. oracleAt is its decay clock.
 	oracle   map[workload.Key]float64
 	oracleAt time.Duration
-
-	// meetings maps peers to their last meeting time; a node's degree is
-	// the number of peers met within the window.
-	meetings map[trace.NodeID]time.Duration
-	// sightings maps broker IDs to the user's latest sighting of them.
-	sightings map[trace.NodeID]brokerSighting
 }
 
-func (n *node) degree(now, window time.Duration) int {
-	d := 0
-	for peer, at := range n.meetings {
-		if now-at <= window {
-			d++
-		} else {
-			delete(n.meetings, peer)
-		}
-	}
-	return d
-}
-
-// countPeers counts distinct peers met within window without pruning, so
-// it can use a different horizon than the election's Window. Entries older
-// than the election window may already be pruned; the count is then a
-// conservative lower bound.
-func (n *node) countPeers(now, window time.Duration) int {
-	d := 0
-	for _, at := range n.meetings {
-		if now-at <= window {
-			d++
-		}
-	}
-	return d
-}
-
-// brokersInWindow returns the number of distinct brokers sighted within
-// the window and the mean of their last-reported degrees.
-func (n *node) brokersInWindow(now, window time.Duration) (count int, meanDegree float64) {
-	sum := 0
-	for id, s := range n.sightings {
-		if now-s.at > window {
-			delete(n.sightings, id)
-			continue
-		}
-		count++
-		sum += s.degree
-	}
-	if count > 0 {
-		meanDegree = float64(sum) / float64(count)
-	}
-	return count, meanDegree
-}
-
-// handshakeBytes is the identity/role/degree exchange at contact start.
-const handshakeBytes = 16
-
-// BSub is the protocol driver; it owns all node state.
+// BSub is the simulator driver; per-node protocol state lives in the
+// engine.
 type BSub struct {
 	cfg   Config
 	env   sim.Env
 	nodes []*node
-
-	// sentDirect dedups producer-to-consumer direct transfers per
-	// (message, consumer).
-	sentDirect map[int]map[trace.NodeID]struct{}
-
-	filterCfg tcbf.Config
 
 	// brokerFractionSum accumulates the broker fraction observed at each
 	// contact, for MeanBrokerFraction.
@@ -269,190 +93,99 @@ func (p *BSub) Name() string { return "B-SUB" }
 
 // Init implements sim.Protocol.
 func (p *BSub) Init(env sim.Env, _ *rand.Rand) error {
-	if err := p.cfg.validate(); err != nil {
-		return err
-	}
-	if p.cfg.RelayPartitions == 0 {
-		p.cfg.RelayPartitions = 1
-	}
 	p.env = env
-	p.filterCfg = tcbf.Config{
-		M:              p.cfg.FilterM,
-		K:              p.cfg.FilterK,
-		Initial:        p.cfg.InitialCounter,
-		DecayPerMinute: p.cfg.DecayPerMinute,
-	}
 	p.nodes = make([]*node, env.Nodes())
 	for i := range p.nodes {
-		p.nodes[i] = &node{
-			id:        trace.NodeID(i),
-			interests: env.InterestSet(trace.NodeID(i)),
-			produced:  msgstore.New(),
-			carried:   msgstore.New(),
-			meetings:  make(map[trace.NodeID]time.Duration),
-			sightings: make(map[trace.NodeID]brokerSighting),
+		eng, err := engine.NewNode(i, p.cfg, env.TTL())
+		if err != nil {
+			return err
 		}
+		eng.Subscribe(env.InterestSet(trace.NodeID(i))...)
+		p.nodes[i] = &node{id: trace.NodeID(i), eng: eng}
 	}
-	p.sentDirect = make(map[int]map[trace.NodeID]struct{})
 	return nil
 }
 
 // OnMessage stores the fresh message at its producer with the full copy
-// budget.
+// budget. Simulated messages carry no payload bytes; budgets charge the
+// workload's Size field.
 func (p *BSub) OnMessage(msg workload.Message) {
-	p.nodes[msg.Origin].produced.Add(msg, msg.CreatedAt+p.env.TTL(), p.cfg.CopyLimit)
+	p.nodes[msg.Origin].eng.AddProduced(msg, nil)
 }
 
-// OnContact runs one contact session.
+// OnContact runs one contact session: handshake, election, interest
+// propagation or relay exchange, then per-side delivery and replication
+// pulls — the same step sequence the live node frames over TCP, with a
+// the session initiator.
 func (p *BSub) OnContact(aID, bID trace.NodeID, budget *sim.Budget) {
 	now := p.env.Now()
 	a, b := p.nodes[aID], p.nodes[bID]
 
 	// 1. Identity handshake. A contact too short even for this carries
 	// nothing.
-	if !budget.Spend(handshakeBytes) {
+	if !budget.Spend(engine.HandshakeBytes) {
 		return
 	}
-	p.env.RecordControl(handshakeBytes)
-	a.meetings[bID] = now
-	b.meetings[aID] = now
+	p.env.RecordControl(engine.HandshakeBytes)
 
-	// 2. Broker allocation (election).
-	p.allocate(a, b, now)
-	p.allocate(b, a, now)
-
-	// 2b. Online DF maintenance (Sections VI-B / VII-B).
-	p.retuneDF(a, now)
-	p.retuneDF(b, now)
+	// 2. Broker allocation: both sides elect on the hello snapshots, then
+	// apply the exchanged verdicts — the same simultaneous round trip the
+	// live node performs.
+	sa := a.eng.BeginContact(budget, now)
+	sb := b.eng.BeginContact(budget, now)
+	sa.SetPeer(sb.Hello())
+	sb.SetPeer(sa.Hello())
+	actA, actB := sa.Elect(), sb.Elect()
+	sa.Apply(actA, actB)
+	sb.Apply(actB, actA)
+	p.syncRole(a, now)
+	p.syncRole(b, now)
 
 	p.brokerFractionSum += float64(p.brokerCount) / float64(len(p.nodes))
 	p.brokerSamples++
 
-	// 3. Interest propagation.
-	if a.broker && b.broker {
-		p.exchangeRelays(a, b, now, budget)
+	// 3. Interest propagation: brokers exchange relay filters and forward
+	// preferentially; mixed contacts push the consumer's genuine filter.
+	if sa.RelayExchange() {
+		p.exchangeRelays(a, sa, b, sb, now)
 	} else {
-		p.propagateInterest(a, b, now, budget) // a's interests -> broker b
-		p.propagateInterest(b, a, now, budget)
+		p.propagateGenuine(a, sa, b, sb, now)
+		p.propagateGenuine(b, sb, a, sa, now)
 	}
 
-	// 4. Message forwarding, most-targeted flows first: broker-to-consumer
-	// delivery, broker-to-broker preferential handoff, producer-to-broker
-	// replication, and finally direct producer-to-consumer delivery.
-	p.brokerToConsumer(a, b, now, budget)
-	p.brokerToConsumer(b, a, now, budget)
-	p.producerToBroker(a, b, now, budget)
-	p.producerToBroker(b, a, now, budget)
-	p.direct(a, b, now, budget)
-	p.direct(b, a, now, budget)
+	// 4. Pulls, initiator first: each side asks for deliveries matching
+	// its interest BF, then (brokers only) for replicas matching its
+	// relay advert.
+	p.deliveryPull(a, sa, b, sb, now)
+	p.replicationPull(a, sa, b, sb, now)
+	p.deliveryPull(b, sb, a, sa, now)
+	p.replicationPull(b, sb, a, sa, now)
 }
 
-// allocate performs u's broker-allocation step against peer. Brokers
-// themselves do not perform these operations.
-func (p *BSub) allocate(u, peer *node, now time.Duration) {
-	if u.broker {
-		return
-	}
-	if peer.broker {
-		u.sightings[peer.id] = brokerSighting{
-			at:     now,
-			degree: peer.degree(now, p.cfg.Window),
-		}
-	}
-	count, meanDegree := u.brokersInWindow(now, p.cfg.Window)
+// syncRole reconciles the adapter's oracle and broker census with the
+// engine's post-election role; oracle non-nilness marks "was broker".
+func (p *BSub) syncRole(n *node, now time.Duration) {
 	switch {
-	case count < p.cfg.BrokerLow && !peer.broker:
-		// Too few brokers around: designate the node we are meeting.
-		p.promote(peer, now)
-		u.sightings[peer.id] = brokerSighting{
-			at:     now,
-			degree: peer.degree(now, p.cfg.Window),
-		}
-	case count > p.cfg.BrokerHigh && peer.broker:
-		// Too many brokers: demote this one if it is less popular than
-		// the average broker we have seen.
-		if float64(peer.degree(now, p.cfg.Window)) < meanDegree {
-			p.demote(peer)
-			delete(u.sightings, peer.id)
-		}
+	case n.eng.IsBroker() && n.oracle == nil:
+		n.oracle = make(map[workload.Key]float64)
+		n.oracleAt = now
+		p.brokerCount++
+	case !n.eng.IsBroker() && n.oracle != nil:
+		n.oracle = nil
+		p.brokerCount--
 	}
-}
-
-// Bounds for the DFFeedback controller: never decay slower than the Eq. 5
-// no-accident baseline C/T, never faster than one initial-value per
-// minute's worth of decay scaled by feedbackCeil.
-const (
-	feedbackGrow   = 1.25
-	feedbackShrink = 0.85
-	feedbackCeil   = 10.0 // x the baseline
-)
-
-// retuneDF maintains a broker's decaying factor per the configured policy.
-func (p *BSub) retuneDF(n *node, now time.Duration) {
-	if p.cfg.DFMode == DFFixed || !n.broker || n.relay == nil {
-		return
-	}
-	ttlMin := p.env.TTL().Minutes()
-	baseline := p.cfg.InitialCounter / ttlMin
-	switch p.cfg.DFMode {
-	case DFOnlineEq5:
-		// Count the distinct peers met within the delay bound T (= TTL),
-		// the broker's own live estimate of the keys it collects.
-		nKeys := n.countPeers(now, p.env.TTL())
-		df, err := analysis.DecayFactor(
-			p.cfg.InitialCounter, nKeys, p.cfg.FilterM, p.cfg.FilterK, ttlMin, 0.005)
-		if err != nil {
-			return
-		}
-		_ = n.relay.SetDecayFactor(df, now)
-	case DFFeedback:
-		if err := n.relay.Advance(now); err != nil {
-			return
-		}
-		df := n.relay.Config().DecayPerMinute
-		if df <= 0 {
-			df = baseline
-		}
-		est := n.relay.EstimatedFPR()
-		switch {
-		case est > p.cfg.TargetFPR:
-			df *= feedbackGrow
-		case est < p.cfg.TargetFPR/2:
-			df *= feedbackShrink
-		default:
-			return
-		}
-		if df < baseline {
-			df = baseline
-		}
-		if max := baseline * feedbackCeil; df > max {
-			df = max
-		}
-		_ = n.relay.SetDecayFactor(df, now)
-	}
-}
-
-func (p *BSub) promote(n *node, now time.Duration) {
-	if n.broker {
-		return
-	}
-	n.broker = true
-	n.relay = tcbf.MustNewPartitioned(p.filterCfg, p.cfg.RelayPartitions, now)
-	n.oracle = make(map[workload.Key]float64)
-	n.oracleAt = now
-	p.brokerCount++
 }
 
 // advanceOracle mirrors the relay filter's lazy decay on the ground-truth
-// oracle, using the DF currently in effect (retuneDF settles the filter
-// before changing the DF, and this is called at the same points).
+// oracle, using the DF currently in effect (the engine settles the filter
+// before retuning the DF, and this is called at the same points).
 func (p *BSub) advanceOracle(n *node, now time.Duration) {
-	if n.oracle == nil || n.relay == nil {
+	if n.oracle == nil {
 		return
 	}
 	elapsed := now - n.oracleAt
 	n.oracleAt = now
-	df := n.relay.Config().DecayPerMinute
+	df := n.eng.RelayDF()
 	if elapsed <= 0 || df == 0 {
 		return
 	}
@@ -467,87 +200,6 @@ func (p *BSub) advanceOracle(n *node, now time.Duration) {
 	}
 }
 
-func (p *BSub) demote(n *node) {
-	if !n.broker {
-		return
-	}
-	n.broker = false
-	n.relay = nil
-	n.oracle = nil
-	p.brokerCount--
-	// Carried copies remain until TTL so already-replicated messages can
-	// still reach consumers the ex-broker meets directly.
-}
-
-// propagateInterest sends consumer's genuine filter to broker, which
-// A-merges it into its relay filter (reinforcement).
-func (p *BSub) propagateInterest(consumer, broker *node, now time.Duration, budget *sim.Budget) {
-	if !broker.broker || broker.relay == nil {
-		return
-	}
-	genuine := tcbf.MustNewPartitioned(p.filterCfg, p.cfg.RelayPartitions, now)
-	if err := genuine.InsertAll(consumer.interests, now); err != nil {
-		return // cannot happen: fresh filter, monotone clock
-	}
-	size, err := genuine.WireSize(tcbf.CountersUniform)
-	if err != nil || !budget.Spend(size) {
-		return
-	}
-	p.env.RecordControl(size)
-	if err := broker.relay.AMerge(genuine, now); err != nil {
-		return
-	}
-	p.advanceOracle(broker, now)
-	for _, k := range consumer.interests {
-		broker.oracle[k] += p.cfg.InitialCounter
-	}
-}
-
-// exchangeRelays handles a broker-broker meeting: exchange relay filters,
-// make forwarding decisions against the peer's pre-merge filter, then
-// M-merge.
-func (p *BSub) exchangeRelays(a, b *node, now time.Duration, budget *sim.Budget) {
-	sizeA, errA := a.relay.WireSize(tcbf.CountersFull)
-	sizeB, errB := b.relay.WireSize(tcbf.CountersFull)
-	if errA != nil || errB != nil {
-		return
-	}
-	if !budget.Spend(sizeA + sizeB) {
-		return
-	}
-	p.env.RecordControl(sizeA + sizeB)
-
-	// Snapshot the pre-merge filters: "The two brokers ... make message
-	// forwarding decisions before merging their relay filters."
-	relayA := a.relay.Clone()
-	relayB := b.relay.Clone()
-
-	p.preferentialForward(a, relayB, b, now, budget)
-	p.preferentialForward(b, relayA, a, now, budget)
-
-	merge := (*tcbf.Partitioned).MMerge
-	if p.cfg.BrokerMerge == BrokerMergeAdditive {
-		merge = (*tcbf.Partitioned).AMerge
-	}
-	if err := merge(a.relay, relayB, now); err != nil {
-		return
-	}
-	if err := merge(b.relay, relayA, now); err != nil {
-		return
-	}
-
-	// Mirror the merge on the ground-truth oracles (pre-merge snapshots,
-	// like the filters).
-	p.advanceOracle(a, now)
-	p.advanceOracle(b, now)
-	snapA := make(map[workload.Key]float64, len(a.oracle))
-	for k, c := range a.oracle {
-		snapA[k] = c
-	}
-	mergeOracle(a.oracle, b.oracle, p.cfg.BrokerMerge)
-	mergeOracle(b.oracle, snapA, p.cfg.BrokerMerge)
-}
-
 // mergeOracle applies the broker merge semantics to ground-truth counters.
 func mergeOracle(dst, src map[workload.Key]float64, mode BrokerMergeMode) {
 	for k, c := range src {
@@ -560,204 +212,181 @@ func mergeOracle(dst, src map[workload.Key]float64, mode BrokerMergeMode) {
 	}
 }
 
-// preferentialForward moves the messages src carries toward dst when dst's
-// relay filter shows a strictly positive preference, largest first.
-// Forwarded messages leave src's memory ("this is to prevent excessive
-// copies in the network").
-func (p *BSub) preferentialForward(src *node, dstRelay *tcbf.Partitioned, dst *node, now time.Duration, budget *sim.Budget) {
-	type candidate struct {
-		msg  workload.Message
-		pref float64
+// propagateGenuine pushes the consumer side's genuine filter to the peer
+// broker, which A-merges it into its relay filter (reinforcement), and
+// mirrors the reinforcement on the broker's oracle.
+func (p *BSub) propagateGenuine(c *node, sc *engine.Session, br *node, sbr *engine.Session, now time.Duration) {
+	if !sc.SendsGenuine() {
+		return
 	}
-	var cands []candidate
-	for _, m := range src.carried.Live(now) {
-		// Multi-key messages take the best preference over their keys.
-		best, ok := 0.0, false
-		for _, k := range m.MatchKeys() {
-			pref, err := tcbf.PreferencePartitioned(k, dstRelay, src.relay, now)
-			if err != nil {
-				ok = false
-				break
-			}
-			if pref > best {
-				best, ok = pref, true
-			}
-		}
-		if !ok || best <= 0 {
-			continue
-		}
-		cands = append(cands, candidate{msg: m, pref: best})
+	data, err := sc.GenuineOut()
+	if err != nil || data == nil {
+		return
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].pref != cands[j].pref {
-			return cands[i].pref > cands[j].pref
-		}
-		return cands[i].msg.ID < cands[j].msg.ID
-	})
-	for _, c := range cands {
-		if dst.carried.Has(c.msg.ID) {
-			src.carried.Remove(c.msg.ID) // duplicate copy: collapse it
-			continue
-		}
-		if !budget.Spend(c.msg.Size) {
-			return
-		}
-		m := c.msg
-		dst.carried.Add(m, m.CreatedAt+p.env.TTL(), 0)
-		src.carried.Remove(m.ID)
-		p.env.RecordForwarding(&m)
+	p.env.RecordControl(len(data))
+	if err := sbr.AbsorbGenuine(data); err != nil {
+		return
+	}
+	if br.oracle == nil {
+		return
+	}
+	p.advanceOracle(br, now)
+	for _, k := range c.eng.Interests() {
+		br.oracle[k] += p.cfg.InitialCounter
 	}
 }
 
-// brokerToConsumer delivers the broker's carried messages that match the
-// consumer's interest Bloom filter. Ex-brokers keep serving their carried
-// copies the same way.
-func (p *BSub) brokerToConsumer(broker, consumer *node, now time.Duration, budget *sim.Budget) {
-	if broker.carried.Len() == 0 {
+// exchangeRelays handles a broker-broker meeting: exchange relay filters,
+// make forwarding decisions against the peer's pre-merge filter, then
+// merge — mirroring the merges on the ground-truth oracles.
+func (p *BSub) exchangeRelays(a *node, sa *engine.Session, b *node, sb *engine.Session, now time.Duration) {
+	dataA, errA := sa.RelayOut()
+	dataB, errB := sb.RelayOut()
+	if errA != nil || errB != nil || dataA == nil || dataB == nil {
 		return
 	}
-	// The broker requests the consumer's interests as a counter-less BF.
-	size, filter, ok := p.interestBF(consumer, now, budget)
-	if !ok {
+	p.env.RecordControl(len(dataA) + len(dataB))
+	if sa.SetPeerRelay(dataB) != nil || sb.SetPeerRelay(dataA) != nil {
 		return
 	}
-	p.env.RecordControl(size)
-	for _, m := range broker.carried.Live(now) {
-		if !anyKeyIn(&m, filter) {
+
+	p.forward(a, sa, b, now)
+	p.forward(b, sb, a, now)
+
+	if sa.MergeRelay() != nil || sb.MergeRelay() != nil {
+		return
+	}
+
+	// Mirror the merge on the oracles (pre-merge snapshots, like the
+	// filters).
+	p.advanceOracle(a, now)
+	p.advanceOracle(b, now)
+	snapA := make(map[workload.Key]float64, len(a.oracle))
+	for k, c := range a.oracle {
+		snapA[k] = c
+	}
+	mergeOracle(a.oracle, b.oracle, p.cfg.BrokerMerge)
+	mergeOracle(b.oracle, snapA, p.cfg.BrokerMerge)
+}
+
+// forward moves src's preferential-forwarding candidates to dst, largest
+// preference first. Forwarded messages leave src's memory ("this is to
+// prevent excessive copies in the network"); a copy dst already holds is
+// collapsed at src without spending budget.
+func (p *BSub) forward(src *node, ss *engine.Session, dst *node, now time.Duration) {
+	cands, err := ss.ForwardCandidates()
+	if err != nil {
+		return
+	}
+	for _, cand := range cands {
+		if dst.eng.HasCarried(cand.Msg.ID) {
+			src.eng.DropCarried(cand.Msg.ID) // duplicate copy: collapse it
 			continue
 		}
-		if !budget.Spend(m.Size) {
-			return
+		claim, ok := ss.ClaimCarried(cand.Msg.ID)
+		if !ok {
+			return // out of budget
 		}
-		m := m
-		broker.carried.Remove(m.ID)
+		if claim == nil {
+			continue
+		}
+		claim.Commit()
+		m := claim.Msg()
+		acc := dst.eng.AcceptCarried(m, claim.Payload(), now)
 		p.env.RecordForwarding(&m)
-		p.env.Deliver(&m, consumer.id)
+		if acc.Delivered {
+			p.env.Deliver(&m, dst.id)
+		}
 	}
 }
 
-// producerToBroker replicates the producer's matching messages to the
-// broker, bounded by the per-message copy limit. The broker advertises its
-// relay filter as a counter-less BF; false positives here are what inject
-// useless traffic.
-func (p *BSub) producerToBroker(producer, broker *node, now time.Duration, budget *sim.Budget) {
-	if !broker.broker || broker.relay == nil || producer.produced.Len() == 0 {
+// deliveryPull serves the asker from the peer's own and carried messages
+// matching the asker's counter-less interest BF; matching is what
+// introduces delivery-side false positives, and env.Deliver classifies
+// them.
+func (p *BSub) deliveryPull(asker *node, sAsker *engine.Session, server *node, sServer *engine.Session, now time.Duration) {
+	data, err := sAsker.InterestOut()
+	if err != nil || data == nil {
 		return
 	}
-	if err := broker.relay.Advance(now); err != nil {
+	p.env.RecordControl(len(data))
+	matches, err := sServer.DeliveryMatches(data)
+	if err != nil {
 		return
 	}
-	size, err := broker.relay.WireSize(tcbf.CountersNone)
-	if err != nil || !budget.Spend(size) {
-		return
-	}
-	p.env.RecordControl(size)
-	for _, m := range producer.produced.Live(now) {
-		if producer.produced.Copies(m.ID) == 0 {
+	for _, t := range matches {
+		var claim *engine.Claim
+		var ok bool
+		if t.Carried {
+			claim, ok = sServer.ClaimCarried(t.Msg.ID)
+		} else {
+			claim, ok = sServer.ClaimDirect(t.Msg.ID)
+		}
+		if !ok {
+			return // out of budget
+		}
+		if claim == nil {
 			continue
 		}
-		match := false
-		for _, k := range m.MatchKeys() {
-			ok, err := broker.relay.Contains(k, now)
-			if err != nil {
-				return
-			}
-			if ok {
-				match = true
-				break
-			}
-		}
-		if !match {
-			continue
-		}
-		if broker.carried.Has(m.ID) {
-			continue
-		}
-		if !budget.Spend(m.Size) {
-			return
-		}
-		m := m
-		broker.carried.Add(m, m.CreatedAt+p.env.TTL(), 0)
+		claim.Commit()
+		m := claim.Msg()
 		p.env.RecordForwarding(&m)
-		p.advanceOracle(broker, now)
+		p.env.Deliver(&m, asker.id)
+		asker.eng.ReceiveDelivery(m, int(server.id), now)
+	}
+}
+
+// replicationPull replicates the peer's matching produced messages to the
+// asker broker, bounded by the per-message copy limit. The broker
+// advertises its relay filter as a counter-less BF; false positives here
+// are what inject useless traffic, and the oracle classifies each
+// replication as genuine or injected.
+func (p *BSub) replicationPull(asker *node, sAsker *engine.Session, server *node, sServer *engine.Session, now time.Duration) {
+	if !sAsker.SelfBroker() {
+		return
+	}
+	data, err := sAsker.RelayAdvertOut()
+	if err != nil || data == nil {
+		return
+	}
+	p.env.RecordControl(len(data))
+	matches, err := sServer.ReplicationMatches(data)
+	if err != nil {
+		return
+	}
+	for _, t := range matches {
+		claim, ok := sServer.ClaimReplication(t.Msg.ID)
+		if !ok {
+			return // out of budget
+		}
+		if claim == nil {
+			continue
+		}
+		claim.Commit()
+		m := claim.Msg()
+		acc := asker.eng.AcceptCarried(m, claim.Payload(), now)
+		p.env.RecordForwarding(&m)
+		p.advanceOracle(asker, now)
 		genuineMatch := false
-		for _, k := range m.MatchKeys() {
-			if broker.oracle[k] > 0 {
-				genuineMatch = true
-				break
+		if asker.oracle != nil {
+			for _, k := range m.MatchKeys() {
+				if asker.oracle[k] > 0 {
+					genuineMatch = true
+					break
+				}
 			}
 		}
 		p.env.RecordReplication(!genuineMatch)
-		if left := producer.produced.DecrementCopies(m.ID); left == 0 {
-			producer.produced.Remove(m.ID)
+		if acc.Delivered {
+			p.env.Deliver(&m, asker.id)
 		}
 	}
-}
-
-// direct serves the consumer from the producer's own messages when they
-// meet: the consumer reports its interests in a BF, the producer forwards
-// every match. Direct deliveries are not counted against the copy limit.
-func (p *BSub) direct(producer, consumer *node, now time.Duration, budget *sim.Budget) {
-	if producer.produced.Len() == 0 {
-		return
-	}
-	size, filter, ok := p.interestBF(consumer, now, budget)
-	if !ok {
-		return
-	}
-	p.env.RecordControl(size)
-	for _, m := range producer.produced.Live(now) {
-		if !anyKeyIn(&m, filter) {
-			continue
-		}
-		if _, dup := p.sentDirect[m.ID][consumer.id]; dup {
-			continue
-		}
-		if !budget.Spend(m.Size) {
-			return
-		}
-		m := m
-		if p.sentDirect[m.ID] == nil {
-			p.sentDirect[m.ID] = make(map[trace.NodeID]struct{})
-		}
-		p.sentDirect[m.ID][consumer.id] = struct{}{}
-		p.env.RecordForwarding(&m)
-		p.env.Deliver(&m, consumer.id)
-	}
-}
-
-// interestBF builds and budgets the consumer's counter-less interest Bloom
-// filter ("the consumer reports its interests in a BF (not TCBF)");
-// matching against it is what introduces delivery-side false positives. It
-// returns the wire size, the filter, and whether the transfer fit the
-// budget.
-func (p *BSub) interestBF(consumer *node, now time.Duration, budget *sim.Budget) (int, *bloom.Filter, bool) {
-	genuine := tcbf.MustNew(p.filterCfg, now)
-	if err := genuine.InsertAll(consumer.interests, now); err != nil {
-		return 0, nil, false
-	}
-	size, err := genuine.WireSize(tcbf.CountersNone)
-	if err != nil || !budget.Spend(size) {
-		return 0, nil, false
-	}
-	return size, genuine.ToBloom(), true
-}
-
-// anyKeyIn reports whether any of the message's keys matches the Bloom
-// filter.
-func anyKeyIn(m *workload.Message, f *bloom.Filter) bool {
-	for _, k := range m.MatchKeys() {
-		if f.Contains(k) {
-			return true
-		}
-	}
-	return false
 }
 
 // --- Introspection (tests and experiments) --------------------------------
 
 // IsBroker reports whether node id currently serves as a broker.
-func (p *BSub) IsBroker(id trace.NodeID) bool { return p.nodes[id].broker }
+func (p *BSub) IsBroker(id trace.NodeID) bool { return p.nodes[id].eng.IsBroker() }
 
 // BrokerCount returns the number of current brokers.
 func (p *BSub) BrokerCount() int { return p.brokerCount }
@@ -774,7 +403,11 @@ func (p *BSub) MeanBrokerFraction() float64 {
 
 // RelayFilter returns node id's relay filter, or nil for non-brokers.
 // Callers must not mutate it.
-func (p *BSub) RelayFilter(id trace.NodeID) *tcbf.Partitioned { return p.nodes[id].relay }
+func (p *BSub) RelayFilter(id trace.NodeID) *tcbf.Partitioned { return p.nodes[id].eng.Relay() }
+
+// Engine returns node id's protocol engine, for white-box tests (notably
+// the sim/live parity test). Callers must not mutate it.
+func (p *BSub) Engine(id trace.NodeID) *engine.Node { return p.nodes[id].eng }
 
 // CarriedCount returns how many message copies node id currently carries.
-func (p *BSub) CarriedCount(id trace.NodeID) int { return p.nodes[id].carried.Len() }
+func (p *BSub) CarriedCount(id trace.NodeID) int { return p.nodes[id].eng.CarriedCount() }

@@ -692,27 +692,29 @@ func TestInjectionFPRTracksTheory(t *testing.T) {
 }
 
 func TestOracleMirrorsRelayDecay(t *testing.T) {
-	// White-box: an interest planted via A-merge must leave the oracle at
-	// the same time it decays out of the relay filter.
+	// White-box: an interest planted via genuine-filter A-merge must leave
+	// the oracle at the same time it decays out of the relay filter.
 	p := newTestBSub(t, 2)
 	n := p.nodes[1]
-	p.promote(n, 0)
+	n.eng.Promote(0)
+	p.syncRole(n, 0)
 
-	consumer := p.nodes[0]
-	budget := sim.NewBudget(1 << 20)
-	p.propagateInterest(consumer, n, 0, budget)
+	// A full contact at t=0 pushes consumer 0's genuine filter ("k") into
+	// broker 1's relay filter and oracle.
+	p.OnContact(0, 1, sim.NewBudget(1<<20))
 
 	if n.oracle["k"] <= 0 {
 		t.Fatalf("oracle missing planted interest: %v", n.oracle)
 	}
-	ok, err := n.relay.Contains("k", 0)
+	relay := n.eng.Relay()
+	ok, err := relay.Contains("k", 0)
 	if err != nil || !ok {
 		t.Fatal("relay filter missing planted interest")
 	}
 
 	// DF = 0.1/min, C = 10 -> lifetime 100 minutes.
 	later := 101 * time.Minute
-	ok, err = n.relay.Contains("k", later)
+	ok, err = relay.Contains("k", later)
 	if err != nil {
 		t.Fatal(err)
 	}

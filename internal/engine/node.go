@@ -1,0 +1,398 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bsub/internal/analysis"
+	"bsub/internal/tcbf"
+	"bsub/internal/workload"
+)
+
+// NodeID identifies a node across the mesh. It aliases int so the
+// simulator's trace.NodeID indices and the live node's uint32 identifiers
+// both convert trivially.
+type NodeID = int
+
+// Hello is the identity/role/degree announcement that opens a contact.
+type Hello struct {
+	ID     NodeID
+	Broker bool
+	// Degree is the number of distinct peers met within the election
+	// window, excluding the contact being opened.
+	Degree int
+}
+
+// Action is one side's election verdict for its peer.
+type Action int
+
+// Election actions; the values match the livenode wire bytes.
+const (
+	ActNone Action = iota
+	ActPromote
+	ActDemote
+)
+
+// Accept reports what happened to a message copy handed to a node.
+type Accept struct {
+	// Stored reports that the copy entered the carried store.
+	Stored bool
+	// Delivered reports a first-time delivery to this node's own
+	// subscriptions; the adapter should surface the message to the
+	// application (or the simulator's collector) exactly once.
+	Delivered bool
+	// Direct reports that the message came straight from its producer.
+	Direct bool
+}
+
+// sighting is a user's record of a broker it met: when, and the degree
+// the broker announced at that meeting.
+type sighting struct {
+	at     time.Duration
+	degree int
+}
+
+// Node is the per-device B-SUB protocol state. It is not safe for
+// concurrent use; adapters serialize access.
+type Node struct {
+	cfg  Config
+	fcfg tcbf.Config
+	ttl  time.Duration
+	id   NodeID
+
+	interests []workload.Key
+	broker    bool
+
+	// relay is the broker's relay filter (partitioned per Section VI-D);
+	// nil for plain users.
+	relay *tcbf.Partitioned
+
+	// produced holds the node's own messages with their remaining
+	// replication budget; carried holds broker-relayed copies.
+	produced *store
+	carried  *store
+
+	// delivered dedups application deliveries by message ID.
+	delivered map[int]struct{}
+
+	// meetings maps peers to their last meeting time; a node's degree is
+	// the number of peers met within the window.
+	meetings map[NodeID]time.Duration
+	// sightings maps broker IDs to this node's latest sighting of them.
+	sightings map[NodeID]sighting
+}
+
+// NewNode validates cfg and returns a fresh user node.
+func NewNode(id NodeID, cfg Config, ttl time.Duration) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("engine: TTL must be positive, got %v", ttl)
+	}
+	return &Node{
+		cfg:       cfg,
+		fcfg:      cfg.FilterConfig(),
+		ttl:       ttl,
+		id:        id,
+		produced:  newStore(),
+		carried:   newStore(),
+		delivered: make(map[int]struct{}),
+		meetings:  make(map[NodeID]time.Duration),
+		sightings: make(map[NodeID]sighting),
+	}, nil
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Config returns the protocol parameters the node runs.
+func (n *Node) Config() Config { return n.cfg }
+
+// TTL returns the message lifetime.
+func (n *Node) TTL() time.Duration { return n.ttl }
+
+// Subscribe adds interest keys, deduplicating.
+func (n *Node) Subscribe(keys ...workload.Key) {
+	for _, k := range keys {
+		dup := false
+		for _, have := range n.interests {
+			if have == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n.interests = append(n.interests, k)
+		}
+	}
+}
+
+// Interests returns a copy of the node's subscriptions.
+func (n *Node) Interests() []workload.Key {
+	return append([]workload.Key(nil), n.interests...)
+}
+
+// Wants reports whether the message matches the node's interests.
+func (n *Node) Wants(m *workload.Message) bool {
+	for _, want := range n.interests {
+		for _, k := range m.MatchKeys() {
+			if k == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AddProduced stores one of the node's own messages with the full copy
+// budget; it expires TTL after creation.
+func (n *Node) AddProduced(msg workload.Message, payload []byte) {
+	n.produced.add(&stored{
+		msg:       msg,
+		payload:   payload,
+		expiresAt: msg.CreatedAt + n.ttl,
+		copies:    n.cfg.CopyLimit,
+	})
+}
+
+// AcceptCarried ingests a relayed copy (preferential forward or
+// replication). Post-TTL copies are dropped; a copy the node itself wants
+// is marked delivered (once); duplicates collapse into the existing copy.
+func (n *Node) AcceptCarried(msg workload.Message, payload []byte, now time.Duration) Accept {
+	var acc Accept
+	if now > msg.CreatedAt+n.ttl {
+		return acc
+	}
+	acc.Delivered = n.markDelivered(&msg)
+	if n.carried.has(msg.ID) {
+		return acc
+	}
+	n.carried.add(&stored{
+		msg:       msg,
+		payload:   payload,
+		expiresAt: msg.CreatedAt + n.ttl,
+	})
+	acc.Stored = true
+	return acc
+}
+
+// ReceiveDelivery ingests a message served from a delivery pull. The match
+// was probabilistic (Bloom filter), so the copy counts as delivered only
+// if the node really wants it and has not seen it before.
+func (n *Node) ReceiveDelivery(msg workload.Message, from NodeID, now time.Duration) Accept {
+	var acc Accept
+	if now > msg.CreatedAt+n.ttl {
+		return acc
+	}
+	acc.Direct = msg.Origin == from
+	acc.Delivered = n.markDelivered(&msg)
+	return acc
+}
+
+// markDelivered records a first-time delivery of a wanted message. A node
+// never delivers its own message to itself, even when a broker carries a
+// copy back to the producer.
+func (n *Node) markDelivered(msg *workload.Message) bool {
+	if msg.Origin == n.id || !n.Wants(msg) {
+		return false
+	}
+	if _, dup := n.delivered[msg.ID]; dup {
+		return false
+	}
+	n.delivered[msg.ID] = struct{}{}
+	return true
+}
+
+// IsBroker reports whether the node currently serves as a broker.
+func (n *Node) IsBroker() bool { return n.broker }
+
+// Relay returns the node's relay filter, or nil for non-brokers. Callers
+// must not mutate it.
+func (n *Node) Relay() *tcbf.Partitioned { return n.relay }
+
+// RelayDF returns the decaying factor currently in effect on the relay
+// filter, or zero for non-brokers.
+func (n *Node) RelayDF() float64 {
+	if n.relay == nil {
+		return 0
+	}
+	return n.relay.Config().DecayPerMinute
+}
+
+// Promote installs a fresh relay filter and makes the node a broker.
+// Idempotent. Exported for adapters and tests; inside a contact the
+// election (Session.Apply) calls it.
+func (n *Node) Promote(now time.Duration) {
+	if n.broker {
+		return
+	}
+	n.broker = true
+	n.relay = tcbf.MustNewPartitioned(n.fcfg, n.cfg.partitions(), now)
+}
+
+// Demote returns the node to plain-user duty. Carried copies remain until
+// TTL so already-replicated messages can still reach consumers the
+// ex-broker meets directly. Idempotent.
+func (n *Node) Demote() {
+	n.broker = false
+	n.relay = nil
+}
+
+// RecordMeeting notes a contact with peer at the given time (Session
+// records it automatically; exported for tests and adapters seeding
+// history).
+func (n *Node) RecordMeeting(peer NodeID, at time.Duration) {
+	n.meetings[peer] = at
+}
+
+// RecordBrokerSighting seeds the election history with a broker sighting
+// (tests and adapters; Session records sightings automatically).
+func (n *Node) RecordBrokerSighting(peer NodeID, degree int, at time.Duration) {
+	n.sightings[peer] = sighting{at: at, degree: degree}
+}
+
+// Degree counts (and prunes) the distinct peers met within the election
+// window ending at now.
+func (n *Node) Degree(now time.Duration) int {
+	d := 0
+	for peer, at := range n.meetings {
+		if now-at <= n.cfg.Window {
+			d++
+		} else {
+			delete(n.meetings, peer)
+		}
+	}
+	return d
+}
+
+// countPeers counts distinct peers met within window without pruning, so
+// it can use a different horizon than the election's Window. Entries older
+// than the election window may already be pruned; the count is then a
+// conservative lower bound.
+func (n *Node) countPeers(now, window time.Duration) int {
+	d := 0
+	for _, at := range n.meetings {
+		if now-at <= window {
+			d++
+		}
+	}
+	return d
+}
+
+// brokersInWindow returns the number of distinct brokers sighted within
+// the window and the mean of their last-reported degrees, pruning expired
+// sightings.
+func (n *Node) brokersInWindow(now time.Duration) (count int, meanDegree float64) {
+	sum := 0
+	for id, s := range n.sightings {
+		if now-s.at > n.cfg.Window {
+			delete(n.sightings, id)
+			continue
+		}
+		count++
+		sum += s.degree
+	}
+	if count > 0 {
+		meanDegree = float64(sum) / float64(count)
+	}
+	return count, meanDegree
+}
+
+// RetuneDF maintains the broker's decaying factor per the configured
+// policy (Sections VI-B / VII-B). Session.Apply calls it once per contact;
+// exported for tests.
+func (n *Node) RetuneDF(now time.Duration) {
+	if n.cfg.DFMode == DFFixed || !n.broker || n.relay == nil {
+		return
+	}
+	ttlMin := n.ttl.Minutes()
+	baseline := n.cfg.InitialCounter / ttlMin
+	switch n.cfg.DFMode {
+	case DFOnlineEq5:
+		// Count the distinct peers met within the delay bound T (= TTL),
+		// the broker's own live estimate of the keys it collects.
+		nKeys := n.countPeers(now, n.ttl)
+		df, err := analysis.DecayFactor(
+			n.cfg.InitialCounter, nKeys, n.cfg.FilterM, n.cfg.FilterK, ttlMin, 0.005)
+		if err != nil {
+			return
+		}
+		_ = n.relay.SetDecayFactor(df, now)
+	case DFFeedback:
+		if err := n.relay.Advance(now); err != nil {
+			return
+		}
+		df := n.relay.Config().DecayPerMinute
+		if df <= 0 {
+			df = baseline
+		}
+		est := n.relay.EstimatedFPR()
+		switch {
+		case est > n.cfg.TargetFPR:
+			df *= feedbackGrow
+		case est < n.cfg.TargetFPR/2:
+			df *= feedbackShrink
+		default:
+			return
+		}
+		if df < baseline {
+			df = baseline
+		}
+		if max := baseline * feedbackCeil; df > max {
+			df = max
+		}
+		_ = n.relay.SetDecayFactor(df, now)
+	}
+}
+
+// --- Store introspection (adapters and tests) -----------------------------
+
+// CarriedCount returns how many relayed copies the node holds (possibly
+// including not-yet-purged expired ones).
+func (n *Node) CarriedCount() int { return n.carried.len() }
+
+// CarriedIDs returns the IDs of all carried copies in ascending order.
+func (n *Node) CarriedIDs() []int { return n.carried.ids() }
+
+// HasCarried reports whether the node carries a copy of message id.
+func (n *Node) HasCarried(id int) bool { return n.carried.has(id) }
+
+// DropCarried removes a carried copy without a session (the simulator
+// collapses duplicate copies this way).
+func (n *Node) DropCarried(id int) { n.carried.remove(id) }
+
+// ProducedCount returns how many own messages the node still holds.
+func (n *Node) ProducedCount() int { return n.produced.len() }
+
+// ProducedIDs returns the IDs of all held own messages in ascending order.
+func (n *Node) ProducedIDs() []int { return n.produced.ids() }
+
+// ProducedCopies returns the remaining replication budget of message id,
+// or zero if the message is gone.
+func (n *Node) ProducedCopies(id int) int {
+	if e := n.produced.get(id); e != nil {
+		return e.copies
+	}
+	return 0
+}
+
+// DeliveredIDs returns the IDs of all messages delivered to this node's
+// subscriptions, ascending.
+func (n *Node) DeliveredIDs() []int {
+	out := make([]int, 0, len(n.delivered))
+	for id := range n.delivered {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Purge drops expired copies from both stores, driven by the same
+// TTL-from-creation rule the stores' lazy expiry uses (no separate
+// wall-clock bookkeeping).
+func (n *Node) Purge(now time.Duration) {
+	n.produced.live(now)
+	n.carried.live(now)
+}

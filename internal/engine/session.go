@@ -1,0 +1,556 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bsub/internal/tcbf"
+	"bsub/internal/workload"
+)
+
+// Budget meters the bytes a contact may move; the simulator's
+// sim.Budget satisfies it. A failed Spend must deduct nothing.
+type Budget interface {
+	Spend(n int) bool
+}
+
+// Unlimited is the Budget for transports that do not meter bytes (the
+// live TCP node).
+type Unlimited struct{}
+
+// Spend always succeeds.
+func (Unlimited) Spend(int) bool { return true }
+
+// Transfer is a message copy a session step selected for the peer.
+type Transfer struct {
+	Msg     workload.Message
+	Payload []byte
+	// Carried distinguishes a relayed copy (claim it with ClaimCarried)
+	// from one of the node's own messages (ClaimDirect).
+	Carried bool
+}
+
+// Forward is a preferential-forwarding candidate with its preference
+// value (Section VI-B's counter difference).
+type Forward struct {
+	Msg     workload.Message
+	Payload []byte
+	Pref    float64
+}
+
+// Session is one side of a contact: a pinned view of the node's role plus
+// the typed protocol steps, in the order the contact runs them:
+//
+//	BeginContact → Hello/SetPeer → Elect/Apply →
+//	  both brokers:  RelayOut/SetPeerRelay → ForwardCandidates +
+//	                 ClaimCarried → MergeRelay
+//	  mixed roles:   GenuineOut → AbsorbGenuine
+//	  both, per side: InterestOut → DeliveryMatches → ClaimDirect /
+//	                 ClaimCarried; RelayAdvertOut → ReplicationMatches →
+//	                 ClaimReplication
+//
+// Each *Out step returns the Section VI-C wire encoding (charged to the
+// Budget; nil, nil when the budget refuses) and each consuming step
+// decodes it, so the two adapters exchange identical bytes. Claims remove
+// copies from the node's stores immediately; Commit settles them, Abort
+// (or Session.Abort after a severed contact) refunds them. Spent budget
+// is never refunded: a severed contact still transmitted the bytes.
+type Session struct {
+	n      *Node
+	budget Budget
+	now    time.Duration
+
+	// helloBroker pins the role announced at contact start; concurrent
+	// sessions on a live node may change n.broker underneath us, and the
+	// election must act on what the peer was told.
+	helloBroker bool
+	hello       Hello
+
+	peer    Hello
+	peerSet bool
+
+	// selfBroker/peerBroker are the post-election roles every later step
+	// keys off; relay/peerRelay are the filters pinned for this contact.
+	selfBroker bool
+	peerBroker bool
+	relay      *tcbf.Partitioned
+	peerRelay  *tcbf.Partitioned
+
+	claims   []*Claim
+	poisoned bool
+}
+
+// BeginContact opens a contact session at the given time. The hello
+// snapshot (role, degree) is taken before the meeting itself is recorded.
+func (n *Node) BeginContact(budget Budget, now time.Duration) *Session {
+	if budget == nil {
+		budget = Unlimited{}
+	}
+	return &Session{
+		n:           n,
+		budget:      budget,
+		now:         now,
+		helloBroker: n.broker,
+		hello:       Hello{ID: n.id, Broker: n.broker, Degree: n.Degree(now)},
+	}
+}
+
+// Hello returns the announcement this side opens the contact with.
+func (s *Session) Hello() Hello { return s.hello }
+
+// Peer returns the peer's announcement (zero until SetPeer).
+func (s *Session) Peer() Hello { return s.peer }
+
+// Now returns the contact time.
+func (s *Session) Now() time.Duration { return s.now }
+
+// SetPeer ingests the peer's hello and records the meeting.
+func (s *Session) SetPeer(peer Hello) {
+	s.peer = peer
+	s.peerSet = true
+	s.n.RecordMeeting(peer.ID, s.now)
+}
+
+// Elect runs the broker-allocation rule (Section VI-A) and returns this
+// side's verdict for the peer. Brokers never run allocation; users count
+// the distinct brokers sighted within the window and promote the peer
+// below T_l, or demote a below-mean-degree broker peer above T_u.
+func (s *Session) Elect() Action {
+	if !s.peerSet || s.helloBroker {
+		return ActNone
+	}
+	if s.peer.Broker {
+		s.n.RecordBrokerSighting(s.peer.ID, s.peer.Degree, s.now)
+	}
+	count, meanDegree := s.n.brokersInWindow(s.now)
+	switch {
+	case count < s.n.cfg.BrokerLow && !s.peer.Broker:
+		return ActPromote
+	case count > s.n.cfg.BrokerHigh && s.peer.Broker && float64(s.peer.Degree) < meanDegree:
+		// The demoted broker leaves our sighting window immediately.
+		delete(s.n.sightings, s.peer.ID)
+		return ActDemote
+	}
+	return ActNone
+}
+
+// Apply settles the election: own is this side's verdict from Elect, peer
+// is the verdict the peer sent for us. It fixes the roles every later
+// step uses, runs the DF retuning policy, and pins the relay filter.
+func (s *Session) Apply(own, peer Action) {
+	if own == ActPromote && peer == ActPromote {
+		// Mutual designation (two users in a broker-scarce neighbourhood
+		// each elect the other): promote only the higher-ID side, so a
+		// two-user bootstrap yields one broker and keeps a consumer. Both
+		// sides compute the same tie-break from the exchanged hellos.
+		if s.n.id > s.peer.ID {
+			own = ActNone
+		} else {
+			peer = ActNone
+		}
+	}
+	switch peer {
+	case ActPromote:
+		s.n.Promote(s.now)
+		s.selfBroker = true
+	case ActDemote:
+		s.n.Demote()
+		s.selfBroker = false
+	default:
+		// Use the announced role, not n.broker: a concurrent session may
+		// have changed it since, but this contact agreed on the hello.
+		s.selfBroker = s.helloBroker
+	}
+	switch own {
+	case ActPromote:
+		s.peerBroker = true
+		s.n.RecordBrokerSighting(s.peer.ID, s.peer.Degree, s.now)
+	case ActDemote:
+		s.peerBroker = false
+	default:
+		s.peerBroker = s.peer.Broker
+	}
+	s.n.RetuneDF(s.now)
+	if s.selfBroker {
+		s.relay = s.n.relay
+		if s.relay == nil {
+			// Demoted by a concurrent session after our hello: run the
+			// contact as announced against a throwaway filter.
+			s.relay = tcbf.MustNewPartitioned(s.n.fcfg, s.n.cfg.partitions(), s.now)
+		}
+	}
+}
+
+// SelfBroker reports this side's post-election role.
+func (s *Session) SelfBroker() bool { return s.selfBroker }
+
+// PeerBroker reports the peer's post-election role.
+func (s *Session) PeerBroker() bool { return s.peerBroker }
+
+// RelayExchange reports whether this contact is broker-broker.
+func (s *Session) RelayExchange() bool { return s.selfBroker && s.peerBroker }
+
+// SendsGenuine reports whether this side propagates its genuine interest
+// filter (consumer meeting a broker).
+func (s *Session) SendsGenuine() bool { return s.peerBroker && !s.selfBroker }
+
+// ReceivesGenuine reports whether this side absorbs the peer's genuine
+// interest filter (broker meeting a consumer).
+func (s *Session) ReceivesGenuine() bool { return s.selfBroker && !s.peerBroker }
+
+// GenuineOut encodes this node's genuine interest filter (counters at
+// the uniform initial value) for A-merge into the peer broker's relay
+// filter. Returns nil, nil when the budget refuses the transfer.
+func (s *Session) GenuineOut() ([]byte, error) {
+	g := tcbf.MustNewPartitioned(s.n.fcfg, s.n.cfg.partitions(), s.now)
+	if err := g.InsertAll(s.n.interests, s.now); err != nil {
+		return nil, err
+	}
+	data, err := g.Encode(tcbf.CountersUniform)
+	if err != nil {
+		return nil, err
+	}
+	if !s.budget.Spend(len(data)) {
+		return nil, nil
+	}
+	return data, nil
+}
+
+// AbsorbGenuine A-merges a peer consumer's genuine filter into the relay
+// filter ("brokers use A-merge to merge the genuine filters of
+// consumers"). A nil/empty input (peer budget refusal) is a no-op.
+func (s *Session) AbsorbGenuine(data []byte) error {
+	if len(data) == 0 || s.relay == nil {
+		return nil
+	}
+	g, err := tcbf.DecodePartitioned(data, s.n.fcfg, s.now)
+	if err != nil {
+		return err
+	}
+	return s.relay.AMerge(g, s.now)
+}
+
+// RelayOut advances and encodes this broker's relay filter with full
+// counters for the broker-broker exchange. Returns nil, nil when the
+// budget refuses.
+func (s *Session) RelayOut() ([]byte, error) {
+	if s.relay == nil {
+		return nil, nil
+	}
+	if err := s.relay.Advance(s.now); err != nil {
+		return nil, err
+	}
+	data, err := s.relay.Encode(tcbf.CountersFull)
+	if err != nil {
+		return nil, err
+	}
+	if !s.budget.Spend(len(data)) {
+		return nil, nil
+	}
+	return data, nil
+}
+
+// SetPeerRelay ingests the peer broker's encoded relay filter — its
+// pre-merge state, which forwarding decisions and MergeRelay both use.
+// nil/empty input leaves the peer relay unset (no exchange happened).
+func (s *Session) SetPeerRelay(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	pr, err := tcbf.DecodePartitioned(data, s.n.fcfg, s.now)
+	if err != nil {
+		return err
+	}
+	s.peerRelay = pr
+	return nil
+}
+
+// ForwardCandidates returns the carried messages to preferentially
+// forward to the peer broker — strictly positive preference against the
+// peer's pre-merge relay filter, largest first (ties by ascending ID).
+// "The two brokers ... make message forwarding decisions before merging
+// their relay filters."
+func (s *Session) ForwardCandidates() ([]Forward, error) {
+	if s.relay == nil || s.peerRelay == nil {
+		return nil, nil
+	}
+	var cands []Forward
+	for _, e := range s.n.carried.live(s.now) {
+		best, ok := 0.0, false
+		for _, k := range e.msg.MatchKeys() {
+			pref, err := tcbf.PreferencePartitioned(k, s.peerRelay, s.relay, s.now)
+			if err != nil {
+				return nil, err
+			}
+			if pref > best {
+				best, ok = pref, true
+			}
+		}
+		if !ok || best <= 0 {
+			continue
+		}
+		cands = append(cands, Forward{Msg: e.msg, Payload: e.payload, Pref: best})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Pref != cands[j].Pref {
+			return cands[i].Pref > cands[j].Pref
+		}
+		return cands[i].Msg.ID < cands[j].Msg.ID
+	})
+	return cands, nil
+}
+
+// MergeRelay folds the peer's pre-merge relay filter into this broker's
+// (M-merge by default; A-merge between brokers is the Fig. 6 ablation).
+// Run it after forwarding decisions. No-op without a completed exchange.
+func (s *Session) MergeRelay() error {
+	if s.relay == nil || s.peerRelay == nil {
+		return nil
+	}
+	if s.n.cfg.BrokerMerge == BrokerMergeAdditive {
+		return s.relay.AMerge(s.peerRelay, s.now)
+	}
+	return s.relay.MMerge(s.peerRelay, s.now)
+}
+
+// InterestOut encodes this node's interests as a counter-less Bloom
+// filter ("the consumer reports its interests in a BF (not TCBF)") to
+// pull deliveries from the peer. Returns nil, nil when the budget
+// refuses.
+func (s *Session) InterestOut() ([]byte, error) {
+	f := tcbf.MustNew(s.n.fcfg, s.now)
+	if err := f.InsertAll(s.n.interests, s.now); err != nil {
+		return nil, err
+	}
+	data, err := f.Encode(tcbf.CountersNone)
+	if err != nil {
+		return nil, err
+	}
+	if !s.budget.Spend(len(data)) {
+		return nil, nil
+	}
+	return data, nil
+}
+
+// DeliveryMatches decodes the peer's interest BF and returns the messages
+// to serve it: the node's own messages not yet sent to this peer, then
+// carried copies (which the peer consumes — a carried delivery hands the
+// copy off). Matching is probabilistic; the receiver decides whether a
+// delivery was genuine.
+func (s *Session) DeliveryMatches(data []byte) ([]Transfer, error) {
+	if !s.peerSet {
+		return nil, fmt.Errorf("engine: delivery matches before peer hello")
+	}
+	if len(data) == 0 {
+		return nil, nil
+	}
+	f, err := tcbf.Decode(data, s.n.fcfg, s.now)
+	if err != nil {
+		return nil, err
+	}
+	bf := f.ToBloom()
+	var out []Transfer
+	for _, e := range s.n.produced.live(s.now) {
+		if e.sentTo(s.peer.ID) || !anyKeyIn(&e.msg, bf) {
+			continue
+		}
+		out = append(out, Transfer{Msg: e.msg, Payload: e.payload})
+	}
+	for _, e := range s.n.carried.live(s.now) {
+		if e.msg.Origin == s.peer.ID || !anyKeyIn(&e.msg, bf) {
+			continue
+		}
+		out = append(out, Transfer{Msg: e.msg, Payload: e.payload, Carried: true})
+	}
+	return out, nil
+}
+
+// RelayAdvertOut advances and encodes this broker's relay filter as a
+// counter-less BF advert; producers answer with matching messages to
+// replicate ("false positives here are what inject useless traffic").
+// Returns nil, nil when the budget refuses or the node has no relay.
+func (s *Session) RelayAdvertOut() ([]byte, error) {
+	if s.relay == nil {
+		return nil, nil
+	}
+	if err := s.relay.Advance(s.now); err != nil {
+		return nil, err
+	}
+	data, err := s.relay.Encode(tcbf.CountersNone)
+	if err != nil {
+		return nil, err
+	}
+	if !s.budget.Spend(len(data)) {
+		return nil, nil
+	}
+	return data, nil
+}
+
+// ReplicationMatches decodes the peer broker's relay advert and returns
+// this producer's own messages with remaining copy budget that match it.
+func (s *Session) ReplicationMatches(data []byte) ([]Transfer, error) {
+	if !s.peerSet {
+		return nil, fmt.Errorf("engine: replication matches before peer hello")
+	}
+	if len(data) == 0 {
+		return nil, nil
+	}
+	adv, err := tcbf.DecodePartitioned(data, s.n.fcfg, s.now)
+	if err != nil {
+		return nil, err
+	}
+	var out []Transfer
+	for _, e := range s.n.produced.live(s.now) {
+		if e.copies <= 0 {
+			continue
+		}
+		match := false
+		for _, k := range e.msg.MatchKeys() {
+			ok, err := adv.Contains(k, s.now)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				match = true
+				break
+			}
+		}
+		if match {
+			out = append(out, Transfer{Msg: e.msg, Payload: e.payload})
+		}
+	}
+	return out, nil
+}
+
+// anyKeyIn reports whether any of the message's keys matches the Bloom
+// filter.
+func anyKeyIn(m *workload.Message, f interface{ Contains(string) bool }) bool {
+	for _, k := range m.MatchKeys() {
+		if f.Contains(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Claims ---------------------------------------------------------------
+
+// Claim is a message copy removed from its store pending transmission.
+// Commit settles it; Abort puts it back. Exactly one of the two runs —
+// later calls are no-ops.
+type Claim struct {
+	msg     workload.Message
+	payload []byte
+	settled bool
+	undo    func()
+}
+
+// Msg returns the claimed message.
+func (c *Claim) Msg() workload.Message { return c.msg }
+
+// Payload returns the claimed message's payload bytes.
+func (c *Claim) Payload() []byte { return c.payload }
+
+// Commit settles the claim: the copy is spent for good.
+func (c *Claim) Commit() { c.settled = true }
+
+// Abort refunds an unsettled claim.
+func (c *Claim) Abort() {
+	if c.settled {
+		return
+	}
+	c.settled = true
+	c.undo()
+}
+
+// claim charges the budget and registers an undo. The (claim, ok) shape
+// is shared by all three claim steps: (nil, true) means "skip this
+// message, keep going"; (nil, false) means "stop — no budget left (or the
+// session is aborted)".
+func (s *Session) claim(e *stored, undo func()) (*Claim, bool) {
+	if !s.budget.Spend(e.msg.Size) {
+		return nil, false
+	}
+	c := &Claim{msg: e.msg, payload: e.payload, undo: undo}
+	s.claims = append(s.claims, c)
+	return c, true
+}
+
+// ClaimCarried removes carried copy id for hand-off to the peer
+// (preferential forward or carried delivery). Abort restores the copy.
+func (s *Session) ClaimCarried(id int) (*Claim, bool) {
+	if s.poisoned {
+		return nil, false
+	}
+	e := s.n.carried.get(id)
+	if e == nil {
+		return nil, true
+	}
+	c, ok := s.claim(e, func() { s.n.carried.add(e) })
+	if c != nil {
+		s.n.carried.remove(id)
+	}
+	return c, ok
+}
+
+// ClaimDirect marks own message id as served directly to this peer
+// ("direct deliveries are not counted against the copy limit"). Abort
+// clears the mark so a later contact can retry.
+func (s *Session) ClaimDirect(id int) (*Claim, bool) {
+	if s.poisoned {
+		return nil, false
+	}
+	e := s.n.produced.get(id)
+	if e == nil || e.sentTo(s.peer.ID) {
+		return nil, true
+	}
+	peer := s.peer.ID
+	c, ok := s.claim(e, func() { delete(e.sent, peer) })
+	if c != nil {
+		e.markSent(peer)
+	}
+	return c, ok
+}
+
+// ClaimReplication spends one producer copy of own message id for
+// replication to the peer broker; the message leaves the store when its
+// budget is exhausted. Abort restores the copy (MSGACK refund).
+func (s *Session) ClaimReplication(id int) (*Claim, bool) {
+	if s.poisoned {
+		return nil, false
+	}
+	e := s.n.produced.get(id)
+	if e == nil || e.copies <= 0 {
+		return nil, true
+	}
+	c, ok := s.claim(e, func() {
+		if e.copies == 0 {
+			s.n.produced.add(e)
+		}
+		e.copies++
+	})
+	if c != nil {
+		e.copies--
+		if e.copies == 0 {
+			s.n.produced.remove(id)
+		}
+	}
+	return c, ok
+}
+
+// Abort refunds every unsettled claim (a severed contact's MSGACKs never
+// arrived) and poisons the session against further claims. It returns the
+// number of copies refunded. Spent budget is not returned: the bytes of a
+// severed contact were still transmitted.
+func (s *Session) Abort() int {
+	s.poisoned = true
+	refunded := 0
+	for _, c := range s.claims {
+		if !c.settled {
+			c.Abort()
+			refunded++
+		}
+	}
+	return refunded
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"bsub/internal/workload"
+)
+
+// stored is one message copy held by a node: the message, its payload (nil
+// inside the simulator, real bytes on a live node), its expiry, the
+// producer-side replication budget, and the set of peers the copy was
+// directly served to.
+type stored struct {
+	msg       workload.Message
+	payload   []byte
+	expiresAt time.Duration
+	copies    int
+	sent      map[NodeID]struct{}
+}
+
+func (e *stored) sentTo(peer NodeID) bool {
+	_, ok := e.sent[peer]
+	return ok
+}
+
+func (e *stored) markSent(peer NodeID) {
+	if e.sent == nil {
+		e.sent = make(map[NodeID]struct{})
+	}
+	e.sent[peer] = struct{}{}
+}
+
+// store is a keyed message buffer with lazy TTL expiry and deterministic
+// (ID-ordered) iteration — msgstore.Store's incremental-index design,
+// extended with payloads and direct-send bookkeeping. live is called once
+// or twice per contact on hot paths, so new IDs accumulate in a small
+// pending list merged into the sorted index on the next read instead of
+// re-sorting the whole buffer every contact.
+type store struct {
+	entries map[int]*stored
+	sorted  []int
+	pending []int
+}
+
+func newStore() *store { return &store{entries: make(map[int]*stored)} }
+
+// add inserts (or replaces) a copy.
+func (s *store) add(e *stored) {
+	if _, exists := s.entries[e.msg.ID]; !exists {
+		s.pending = append(s.pending, e.msg.ID)
+	}
+	s.entries[e.msg.ID] = e
+}
+
+func (s *store) has(id int) bool {
+	_, ok := s.entries[id]
+	return ok
+}
+
+func (s *store) get(id int) *stored { return s.entries[id] }
+
+func (s *store) remove(id int) { delete(s.entries, id) }
+
+func (s *store) len() int { return len(s.entries) }
+
+// live returns the unexpired copies sorted by ID, purging expired entries
+// (and sweeping stale index slots) as a side effect. The returned slice is
+// valid until the next store call.
+func (s *store) live(now time.Duration) []*stored {
+	s.settleIndex()
+	out := make([]*stored, 0, len(s.entries))
+	kept := s.sorted[:0]
+	for _, id := range s.sorted {
+		e, ok := s.entries[id]
+		if !ok {
+			continue // removed: sweep
+		}
+		if now > e.expiresAt {
+			delete(s.entries, id)
+			continue
+		}
+		kept = append(kept, id)
+		out = append(out, e)
+	}
+	s.sorted = kept
+	return out
+}
+
+// ids returns all present IDs (possibly expired) in ascending order.
+func (s *store) ids() []int {
+	out := make([]int, 0, len(s.entries))
+	for id := range s.entries {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// settleIndex merges pending IDs into the sorted index.
+func (s *store) settleIndex() {
+	if len(s.pending) == 0 {
+		return
+	}
+	sort.Ints(s.pending)
+	if len(s.sorted) == 0 {
+		s.sorted = append(s.sorted, s.pending...)
+		s.pending = s.pending[:0]
+		return
+	}
+	merged := make([]int, 0, len(s.sorted)+len(s.pending))
+	i, j := 0, 0
+	for i < len(s.sorted) && j < len(s.pending) {
+		switch {
+		case s.sorted[i] < s.pending[j]:
+			merged = append(merged, s.sorted[i])
+			i++
+		case s.sorted[i] > s.pending[j]:
+			merged = append(merged, s.pending[j])
+			j++
+		default: // re-added ID already indexed
+			merged = append(merged, s.sorted[i])
+			i, j = i+1, j+1
+		}
+	}
+	merged = append(merged, s.sorted[i:]...)
+	merged = append(merged, s.pending[j:]...)
+	s.sorted = merged
+	s.pending = s.pending[:0]
+}

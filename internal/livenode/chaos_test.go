@@ -41,29 +41,37 @@ func interestBytes(t *testing.T, n *Node, now time.Duration, keys ...workload.Ke
 	return out
 }
 
-// genuineBytes encodes a genuine-phase filter (uniform counters).
-func genuineBytes(t *testing.T, n *Node, now time.Duration, keys ...workload.Key) []byte {
+// advertBytes encodes a partitioned counter-less relay advert over keys,
+// as a hand-rolled broker peer would send in a replication pull.
+func advertBytes(t *testing.T, n *Node, now time.Duration, keys ...workload.Key) []byte {
 	t.Helper()
-	f, err := tcbf.New(n.filterCfg, now)
-	if err != nil {
-		t.Fatal(err)
+	parts := n.cfg.Protocol.RelayPartitions
+	if parts < 1 {
+		parts = 1
 	}
+	f := tcbf.MustNewPartitioned(n.filterCfg, parts, now)
 	if err := f.InsertAll(keys, now); err != nil {
 		t.Fatal(err)
 	}
-	out, err := f.Encode(tcbf.CountersUniform)
+	out, err := f.Encode(tcbf.CountersNone)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return out
 }
 
-// handshakeAsPeer speaks phases 0–2 (HELLO, election, genuine) of the
-// contact protocol against node from the initiator side, then sends one
-// interest-BF pull request and reads back one frameMessage — which it
+// pullOneMessageWithoutAck speaks phases 0–2 (HELLO, election, genuine) of
+// the contact protocol against node from the initiator side, then sends
+// one interest-BF pull request and reads back one frameMessage — which it
 // never ACKs. Returns with the message frame consumed and the session
 // parked exactly inside the sender's awaitAck.
-func pullOneMessageWithoutAck(t *testing.T, conn net.Conn, peerHello hello, pullPurpose byte, pullBody, genuine []byte, skipDelivery bool) {
+//
+// In both callers the node ends up the consumer side of the genuine phase
+// (it elects this peer a broker, or the peer announced itself as one), so
+// the harness reads the node's genuine frame and never sends its own.
+// A non-nil emptyDeliveryPull runs an empty delivery pull first so the
+// responder moves on to the replication answer.
+func pullOneMessageWithoutAck(t *testing.T, conn net.Conn, peerHello hello, pullPurpose byte, pullBody, emptyDeliveryPull []byte) {
 	t.Helper()
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 	if err := writeFrame(conn, frameHello, peerHello.encode()); err != nil {
@@ -78,16 +86,11 @@ func pullOneMessageWithoutAck(t *testing.T, conn net.Conn, peerHello hello, pull
 	if _, err := expectFrame(conn, frameElection); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(conn, frameGenuine, genuine); err != nil {
-		t.Fatal(err)
-	}
 	if _, err := expectFrame(conn, frameGenuine); err != nil {
 		t.Fatal(err)
 	}
-	if skipDelivery {
-		// Run an empty delivery pull first so the responder moves on to
-		// the replication answer.
-		if err := writeFrame(conn, frameInterestBF, append([]byte{pullDelivery}, genuine...)); err != nil {
+	if emptyDeliveryPull != nil {
+		if err := writeFrame(conn, frameInterestBF, append([]byte{pullDelivery}, emptyDeliveryPull...)); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := expectFrame(conn, frameEndMessages); err != nil {
@@ -129,7 +132,7 @@ func TestSeverBeforeAckRefundsCarriedCopy(t *testing.T) {
 	go func() { done <- node.runContact(remote, false) }()
 
 	pullOneMessageWithoutAck(t, local, hello{ID: 99}, pullDelivery,
-		interestBytes(t, node, now, "hot"), genuineBytes(t, node, now), false)
+		interestBytes(t, node, now, "hot"), nil)
 	local.Close() // sever before the ACK
 
 	err := <-done
@@ -171,20 +174,20 @@ func TestSeverBeforeAckRefundsReplicationCopy(t *testing.T) {
 	// Present as a broker so the responder answers a replication pull;
 	// the empty delivery pull runs first to stay in protocol lockstep.
 	pullOneMessageWithoutAck(t, local, hello{ID: 99, Broker: true}, pullReplication,
-		interestBytes(t, node, now, "hot"), genuineBytes(t, node, now), true)
+		advertBytes(t, node, now, "hot"), interestBytes(t, node, now))
 	local.Close() // sever before the ACK
 
 	if err := <-done; err == nil {
 		t.Fatal("severed session reported success")
 	}
-	node.storeMu.Lock()
-	sm, ok := node.produced[id]
-	node.storeMu.Unlock()
-	if !ok {
+	node.mu.Lock()
+	copies := node.eng.ProducedCopies(id)
+	node.mu.Unlock()
+	if copies == 0 {
 		t.Fatal("produced message vanished after severed, unACKed replication")
 	}
-	if sm.copies != copyLimit {
-		t.Errorf("copies = %d, want %d (claim refunded)", sm.copies, copyLimit)
+	if copies != copyLimit {
+		t.Errorf("copies = %d, want %d (claim refunded)", copies, copyLimit)
 	}
 	if c := node.Stats(); c.MsgsRefunded != 1 {
 		t.Errorf("MsgsRefunded = %d, want 1", c.MsgsRefunded)

@@ -489,15 +489,16 @@ func TestCopyLimitOverTCP(t *testing.T) {
 		brokers[i] = startNode(t, uint32(10+i), clock, nil)
 		brokers[i].Subscribe("elsewhere") // so relay filters match via interest
 	}
-	// Warm-up: pairwise meetings between users promote both sides (each
-	// sees zero brokers and designates its peer), giving us brokers fast.
-	if err := brokers[0].Meet(brokers[1].Addr()); err != nil {
-		t.Fatal(err)
+	// Warm-up: node 10 walks the others. Mutual promotions resolve to the
+	// higher-ID side (11, 12, 13 become brokers); at the fourth meeting
+	// node 10 has seen T_l brokers, stops designating, and is itself
+	// promoted by 14's unilateral verdict — four brokers total.
+	for i := 1; i < len(brokers); i++ {
+		if err := brokers[0].Meet(brokers[i].Addr()); err != nil {
+			t.Fatal(err)
+		}
+		clock.advance(time.Minute)
 	}
-	if err := brokers[2].Meet(brokers[3].Addr()); err != nil {
-		t.Fatal(err)
-	}
-	clock.advance(time.Minute)
 	// A helper consumer plants the "hot" interest in every broker's relay
 	// filter (the helper meets only brokers, so it is never promoted).
 	helper := startNode(t, 99, clock, nil)
@@ -539,12 +540,16 @@ func TestCopyLimitOverTCP(t *testing.T) {
 	}
 }
 
-func TestListenRejectsPartitionedRelay(t *testing.T) {
+func TestListenAcceptsPartitionedRelay(t *testing.T) {
+	// The engine supports partitioned relay filters everywhere, so the
+	// live node does too (it used to reject them).
 	cfg := core.DefaultConfig(0.1)
 	cfg.RelayPartitions = 4
-	if _, err := Listen("127.0.0.1:0", Config{ID: 1, Protocol: cfg, TTL: time.Hour}); err == nil {
-		t.Error("prototype accepted partitioned relay filters")
+	n, err := Listen("127.0.0.1:0", Config{ID: 1, Protocol: cfg, TTL: time.Hour})
+	if err != nil {
+		t.Fatalf("partitioned relay filters rejected: %v", err)
 	}
+	_ = n.Close()
 }
 
 func TestDemotionOverTCP(t *testing.T) {
@@ -555,15 +560,15 @@ func TestDemotionOverTCP(t *testing.T) {
 	user := startNode(t, 1, clock, nil)
 	weak := startNode(t, 2, clock, nil)
 
-	weak.roleMu.Lock()
-	weak.becomeBrokerLocked(clock.now())
-	weak.roleMu.Unlock()
+	weak.mu.Lock()
+	weak.eng.Promote(clock.now())
+	weak.mu.Unlock()
 
-	user.roleMu.Lock()
-	for i := uint32(10); i < 17; i++ { // 7 sightings > T_u = 5
-		user.sightings[i] = brokerSighting{at: clock.now(), degree: 20}
+	user.mu.Lock()
+	for i := 10; i < 17; i++ { // 7 sightings > T_u = 5
+		user.eng.RecordBrokerSighting(i, 20, clock.now())
 	}
-	user.roleMu.Unlock()
+	user.mu.Unlock()
 
 	if err := user.Meet(weak.Addr()); err != nil {
 		t.Fatal(err)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bsub/internal/core"
+	"bsub/internal/engine"
 	"bsub/internal/tcbf"
 	"bsub/internal/workload"
 )
@@ -87,21 +88,14 @@ type Config struct {
 	OnSession func(SessionStats)
 }
 
-type storedMessage struct {
-	msg       workload.Message
-	payload   []byte
-	expiresAt time.Duration
-	copies    int
-	sent      map[uint32]struct{} // peers this copy was directly served to
-}
-
 // Node is one live B-SUB device. Create with Listen, connect contacts with
 // Meet, publish with Publish, and stop with Close.
 //
-// Protocol state is split into three independently locked regions so
-// sessions with distinct peers run in parallel; no lock is ever held
-// across network I/O. Lock order (when nesting is unavoidable): none —
-// the code acquires at most one region lock at a time.
+// All protocol state lives in an engine.Node; the live node is a wire
+// adapter that frames the engine's session steps over TCP. The engine is
+// not safe for concurrent use, so every call into it holds mu — but mu is
+// never held across network I/O, so sessions with distinct peers still
+// run in parallel and a stalled peer never blocks the node.
 type Node struct {
 	cfg       Config
 	filterCfg tcbf.Config
@@ -116,33 +110,14 @@ type Node struct {
 	// either direction) holds one slot.
 	sessions chan struct{}
 
-	// subMu guards the subscription list.
-	subMu     sync.RWMutex
-	interests []workload.Key
-
-	// storeMu guards the message stores and the publish sequence.
-	storeMu   sync.Mutex
-	produced  map[int]*storedMessage
-	carried   map[int]*storedMessage
-	delivered map[int]struct{}
-	nextSeq   uint32
-
-	// roleMu guards broker role, the shared relay filter, and the
-	// meeting/sighting bookkeeping the election reads.
-	roleMu    sync.Mutex
-	broker    bool
-	relay     *tcbf.Filter
-	meetings  map[uint32]time.Duration
-	sightings map[uint32]brokerSighting
+	// mu guards the engine node and the publish sequence.
+	mu      sync.Mutex
+	eng     *engine.Node
+	nextSeq uint32
 
 	// statsMu guards the session counters (see stats.go).
 	statsMu  sync.Mutex
 	counters Counters
-}
-
-type brokerSighting struct {
-	at     time.Duration
-	degree int
 }
 
 // Listen starts a node serving contact sessions on addr (e.g.
@@ -151,8 +126,9 @@ func Listen(addr string, cfg Config) (*Node, error) {
 	if cfg.TTL <= 0 {
 		return nil, fmt.Errorf("livenode: TTL must be positive, got %v", cfg.TTL)
 	}
-	if err := validateProtocol(cfg.Protocol); err != nil {
-		return nil, err
+	eng, err := engine.NewNode(int(cfg.ID), cfg.Protocol, cfg.TTL)
+	if err != nil {
+		return nil, fmt.Errorf("livenode: %w", err)
 	}
 	if cfg.Clock == nil {
 		epoch := time.Unix(0, 0)
@@ -178,48 +154,16 @@ func Listen(addr string, cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("livenode: listen: %w", err)
 	}
 	n := &Node{
-		cfg: cfg,
-		filterCfg: tcbf.Config{
-			M:              cfg.Protocol.FilterM,
-			K:              cfg.Protocol.FilterK,
-			Initial:        cfg.Protocol.InitialCounter,
-			DecayPerMinute: cfg.Protocol.DecayPerMinute,
-		},
+		cfg:       cfg,
+		filterCfg: cfg.Protocol.FilterConfig(),
 		listener:  ln,
 		closed:    make(chan struct{}),
 		sessions:  make(chan struct{}, cfg.MaxSessions),
-		produced:  make(map[int]*storedMessage),
-		carried:   make(map[int]*storedMessage),
-		delivered: make(map[int]struct{}),
-		meetings:  make(map[uint32]time.Duration),
-		sightings: make(map[uint32]brokerSighting),
+		eng:       eng,
 	}
 	n.wg.Add(1)
 	go n.serve()
 	return n, nil
-}
-
-// validateProtocol re-checks the core parameters livenode depends on
-// (core validates them on Init inside the simulator; here there is no
-// simulator).
-func validateProtocol(c core.Config) error {
-	switch {
-	case c.FilterM <= 0 || c.FilterK <= 0:
-		return fmt.Errorf("livenode: filter geometry (%d,%d) invalid", c.FilterM, c.FilterK)
-	case c.InitialCounter <= 0:
-		return fmt.Errorf("livenode: initial counter must be positive, got %g", c.InitialCounter)
-	case c.DecayPerMinute < 0:
-		return fmt.Errorf("livenode: decay factor must be non-negative, got %g", c.DecayPerMinute)
-	case c.CopyLimit < 1:
-		return fmt.Errorf("livenode: copy limit must be at least 1, got %d", c.CopyLimit)
-	case c.BrokerLow < 0 || c.BrokerHigh < c.BrokerLow:
-		return fmt.Errorf("livenode: broker thresholds (%d,%d) invalid", c.BrokerLow, c.BrokerHigh)
-	case c.Window <= 0:
-		return fmt.Errorf("livenode: window must be positive, got %v", c.Window)
-	case c.RelayPartitions > 1:
-		return fmt.Errorf("livenode: partitioned relay filters (%d) are not supported by the prototype", c.RelayPartitions)
-	}
-	return nil
 }
 
 // Addr returns the node's listen address.
@@ -243,27 +187,16 @@ func (n *Node) Close() error {
 // Subscribe adds interest keys. In B-SUB terms, they enter the node's
 // genuine filter and will be pushed to brokers on future contacts.
 func (n *Node) Subscribe(keys ...workload.Key) {
-	n.subMu.Lock()
-	defer n.subMu.Unlock()
-	for _, k := range keys {
-		dup := false
-		for _, have := range n.interests {
-			if have == k {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			n.interests = append(n.interests, k)
-		}
-	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.eng.Subscribe(keys...)
 }
 
 // Interests returns a copy of the node's subscriptions.
 func (n *Node) Interests() []workload.Key {
-	n.subMu.RLock()
-	defer n.subMu.RUnlock()
-	return append([]workload.Key(nil), n.interests...)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.eng.Interests()
 }
 
 // Publish stores a message for dissemination and returns its mesh-wide ID.
@@ -277,8 +210,8 @@ func (n *Node) Publish(payload []byte, keys ...workload.Key) (int, error) {
 			len(payload), workload.MaxMessageBytes)
 	}
 	now := n.cfg.Clock()
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	id := int(uint64(n.cfg.ID)<<32 | uint64(n.nextSeq))
 	n.nextSeq++
 	msg := workload.Message{
@@ -291,27 +224,22 @@ func (n *Node) Publish(payload []byte, keys ...workload.Key) (int, error) {
 	if len(keys) > 1 {
 		msg.Extra = append([]workload.Key(nil), keys[1:]...)
 	}
-	n.produced[id] = &storedMessage{
-		msg:       msg,
-		payload:   append([]byte(nil), payload...),
-		expiresAt: now + n.cfg.TTL,
-		copies:    n.cfg.Protocol.CopyLimit,
-	}
+	n.eng.AddProduced(msg, append([]byte(nil), payload...))
 	return id, nil
 }
 
 // IsBroker reports whether the node currently serves as a broker.
 func (n *Node) IsBroker() bool {
-	n.roleMu.Lock()
-	defer n.roleMu.Unlock()
-	return n.broker
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.eng.IsBroker()
 }
 
 // CarriedCount returns how many relayed copies the node holds.
 func (n *Node) CarriedCount() int {
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
-	return len(n.carried)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.eng.CarriedCount()
 }
 
 // serve accepts inbound contact sessions until Close. Persistent accept
@@ -457,7 +385,9 @@ func (n *Node) meetOnce(addr string) (retry bool, err error) {
 	return errors.Is(err, ErrPeerBusy), err
 }
 
-// runContact executes one slot-holding session and accounts its stats.
+// runContact executes one slot-holding session and accounts its stats. A
+// failed session aborts its engine session, refunding any message copy
+// that was claimed but never ACKed.
 func (n *Node) runContact(conn io.ReadWriter, initiator bool) error {
 	start := time.Now()
 	n.sessionStarted()
@@ -467,6 +397,11 @@ func (n *Node) runContact(conn io.ReadWriter, initiator bool) error {
 	}
 	s.stats.Initiator = initiator
 	err := s.run(n.cfg.Clock())
+	if err != nil && s.es != nil {
+		n.mu.Lock()
+		s.stats.MsgsRefunded += s.es.Abort()
+		n.mu.Unlock()
+	}
 	s.stats.Duration = time.Since(start)
 	s.stats.Err = err
 	switch {
@@ -504,116 +439,33 @@ func outcomeForError(err error) SessionOutcome {
 	return OutcomeError
 }
 
-// --- State helpers ----------------------------------------------------------
+// --- Engine access ----------------------------------------------------------
 
-// degreeLocked counts (and prunes) meetings inside the window. roleMu held.
-func (n *Node) degreeLocked(now time.Duration) int {
-	d := 0
-	window := n.cfg.Protocol.Window
-	for peer, at := range n.meetings {
-		if now-at <= window {
-			d++
-		} else {
-			delete(n.meetings, peer)
-		}
-	}
-	return d
-}
-
-// brokersInWindowLocked counts (and prunes) recent broker sightings.
-// roleMu held.
-func (n *Node) brokersInWindowLocked(now time.Duration) (count int, meanDegree float64) {
-	sum := 0
-	window := n.cfg.Protocol.Window
-	for id, s := range n.sightings {
-		if now-s.at > window {
-			delete(n.sightings, id)
-			continue
-		}
-		count++
-		sum += s.degree
-	}
-	if count > 0 {
-		meanDegree = float64(sum) / float64(count)
-	}
-	return count, meanDegree
-}
-
-// becomeBrokerLocked promotes the node. roleMu held.
-func (n *Node) becomeBrokerLocked(now time.Duration) {
-	if n.broker {
-		return
-	}
-	n.broker = true
-	n.relay = tcbf.MustNew(n.filterCfg, now)
-}
-
-// becomeUserLocked demotes the node. roleMu held.
-func (n *Node) becomeUserLocked() {
-	n.broker = false
-	n.relay = nil
-}
-
-// genuineFilter builds a fresh, unshared TCBF holding a snapshot of the
-// node's interests.
-func (n *Node) genuineFilter(now time.Duration) (*tcbf.Filter, error) {
-	interests := n.Interests()
-	f, err := tcbf.New(n.filterCfg, now)
-	if err != nil {
-		return nil, err
-	}
-	if err := f.InsertAll(interests, now); err != nil {
-		return nil, err
-	}
-	return f, nil
-}
-
-// purge drops expired messages.
+// purge drops expired messages through the engine's decay-driven expiry
+// (TTL from creation, the same rule the stores' lazy expiry applies).
 func (n *Node) purge(now time.Duration) {
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
-	for id, s := range n.produced {
-		if now > s.expiresAt {
-			delete(n.produced, id)
-		}
-	}
-	for id, s := range n.carried {
-		if now > s.expiresAt {
-			delete(n.carried, id)
-		}
+	n.mu.Lock()
+	n.eng.Purge(now)
+	n.mu.Unlock()
+}
+
+// acceptCarried ingests a relayed copy through the engine and surfaces a
+// first-time delivery. The OnDeliver hook runs with no locks held so a
+// slow consumer stalls only its own session.
+func (n *Node) acceptCarried(msg workload.Message, payload []byte, now time.Duration) {
+	n.mu.Lock()
+	acc := n.eng.AcceptCarried(msg, payload, now)
+	n.mu.Unlock()
+	if acc.Delivered {
+		n.deliver(msg, payload, false)
 	}
 }
 
-// deliver surfaces a message to the application once. A node never
-// delivers its own message to itself, even when a broker carries a copy
-// back to the producer. The OnDeliver hook runs with no locks held so a
-// slow consumer stalls only its own session.
+// deliver surfaces a message to the application. The engine has already
+// deduplicated (a message is Delivered at most once, never to its own
+// producer); this only fires the hook.
 func (n *Node) deliver(msg workload.Message, payload []byte, direct bool) {
-	if msg.Origin == int(n.cfg.ID) {
-		return
-	}
-	n.storeMu.Lock()
-	if _, dup := n.delivered[msg.ID]; dup {
-		n.storeMu.Unlock()
-		return
-	}
-	n.delivered[msg.ID] = struct{}{}
-	n.storeMu.Unlock()
 	if n.cfg.OnDeliver != nil {
 		n.cfg.OnDeliver(Delivery{Message: msg, Payload: payload, Direct: direct})
 	}
-}
-
-// wants reports whether the message matches the node's interests.
-func (n *Node) wants(msg *workload.Message) bool {
-	n.subMu.RLock()
-	defer n.subMu.RUnlock()
-	for _, want := range n.interests {
-		for _, k := range msg.MatchKeys() {
-			if k == want {
-				return true
-			}
-		}
-	}
-	return false
 }

@@ -5,18 +5,19 @@ import (
 	"io"
 	"time"
 
-	"bsub/internal/core"
-	"bsub/internal/tcbf"
-	"bsub/internal/workload"
+	"bsub/internal/engine"
 )
 
-// session is one contact session in flight. Sessions with distinct peers
-// run concurrently: each holds one slot of the node's MaxSessions
-// semaphore and touches the node's locked state regions only briefly,
-// never across network I/O. Role decisions (broker or not) are pinned
-// per-session at HELLO/election time so the wire protocol stays in
-// lockstep even if a concurrent session changes the node's role
-// mid-flight.
+// session is one contact session in flight: the wire half of a contact.
+// Every protocol decision — election, filter contents, forwarding choices,
+// copy claims — comes from the engine.Session; this type only moves the
+// engine's byte steps across the connection in frames.
+//
+// Sessions with distinct peers run concurrently: each holds one slot of
+// the node's MaxSessions semaphore and takes n.mu only for engine calls,
+// never across network I/O. The engine session pins the roles and relay
+// filter at HELLO/election time, so the wire protocol stays in lockstep
+// even if a concurrent session changes the node's role mid-flight.
 type session struct {
 	n         *Node
 	conn      io.ReadWriter
@@ -32,14 +33,9 @@ type session struct {
 	// (TCP connections and net.Pipe do); nil otherwise.
 	dl deadlineConn
 
-	// selfBroker is this session's view of our role: the role announced
-	// in HELLO, updated only by this session's own election result.
-	selfBroker bool
-	// relay is the broker relay filter pinned for this session. It is
-	// usually the node's shared filter (all operations on it take
-	// n.roleMu); when a concurrent session demoted us mid-flight it is
-	// a throwaway replacement kept only to preserve protocol lockstep.
-	relay *tcbf.Filter
+	// es is the engine session driving this contact. Its claims commit on
+	// the peer's MSGACK and are refunded (aborted) when the contact dies.
+	es *engine.Session
 }
 
 // deadlineConn is the subset of net.Conn the session uses to arm
@@ -88,21 +84,27 @@ func (s *session) expectFrame(want byte) ([]byte, error) {
 	return body, nil
 }
 
-// sendClaimed writes a claimed message frame and waits for the peer's
-// ACK. The claim is spent only when the ACK arrives; on any failure —
-// torn write, severed link, missing ACK — undo refunds the claim to its
-// store and the error aborts the session. The receiver dedups by message
-// ID, so a copy resent after a lost ACK can never double-deliver.
-func (s *session) sendClaimed(id int, body []byte, undo func()) error {
-	err := s.writeFrame(frameMessage, body)
+// sendClaimed moves one claimed message copy across the wire. The claim
+// commits only when the peer's ACK arrives; on any failure — torn write,
+// severed link, missing ACK — the claim is aborted, refunding the copy to
+// its store, and the error ends the session. The receiver dedups by
+// message ID, so a copy resent after a lost ACK can never double-deliver.
+func (s *session) sendClaimed(c *engine.Claim) error {
+	body, err := encodeMessage(c.Msg(), c.Payload())
 	if err == nil {
-		err = s.awaitAck(id)
+		err = s.writeFrame(frameMessage, body)
+	}
+	if err == nil {
+		err = s.awaitAck(c.Msg().ID)
 	}
 	if err != nil {
-		undo()
+		s.n.mu.Lock()
+		c.Abort()
+		s.n.mu.Unlock()
 		s.stats.MsgsRefunded++
 		return err
 	}
+	c.Commit()
 	return nil
 }
 
@@ -146,23 +148,29 @@ func (s *session) lockstep(send, recv func() error) error {
 //
 //	0. HELLO exchange (identity, role, degree)
 //	1. election (PROMOTE/DEMOTE per the Section V-B rules)
-//	2. genuine filters (consumer -> broker interest propagation)
+//	2. genuine filter (consumer -> broker interest propagation; one
+//	   direction, both sides derive it from the shared election outcome)
 //	3. relay filters + preferential forwarding (broker <-> broker)
 //	4. interest-BF pulls (direct delivery + producer->broker replication)
 //	5. BYE
 func (s *session) run(now time.Duration) error {
 	n := s.n
-	n.purge(now)
 
-	// Phase 0: HELLO. The role and degree we announce are snapshotted
-	// here and pinned for the session.
-	n.roleMu.Lock()
-	self := hello{ID: n.cfg.ID, Broker: n.broker, Degree: uint16(min(n.degreeLocked(now), 1<<16-1))}
-	n.roleMu.Unlock()
-	s.selfBroker = self.Broker
+	// Phase 0: HELLO. BeginContact snapshots the role and degree this
+	// session announces; the engine pins them for the contact.
+	n.mu.Lock()
+	n.eng.Purge(now)
+	s.es = n.eng.BeginContact(nil, now)
+	self := s.es.Hello()
+	n.mu.Unlock()
+	wireSelf := hello{
+		ID:     n.cfg.ID,
+		Broker: self.Broker,
+		Degree: uint16(min(self.Degree, 1<<16-1)),
+	}
 	var peer hello
 	err := s.lockstep(
-		func() error { return s.writeFrame(frameHello, self.encode()) },
+		func() error { return s.writeFrame(frameHello, wireSelf.encode()) },
 		func() error {
 			typ, body, err := s.readFrame()
 			if err != nil {
@@ -185,17 +193,16 @@ func (s *session) run(now time.Duration) error {
 	}
 	s.stats.Peer = peer.ID
 	s.stats.Phase = PhaseHello
-	n.roleMu.Lock()
-	n.meetings[peer.ID] = now
-	n.roleMu.Unlock()
 
-	// Phase 1: election. Each side announces one action for the peer.
-	n.roleMu.Lock()
-	myAction := n.electLocked(peer, s.selfBroker, now)
-	n.roleMu.Unlock()
+	// Phase 1: election. Each side announces one action for the peer;
+	// the engine settles both (including the mutual-promotion tie-break).
+	n.mu.Lock()
+	s.es.SetPeer(engine.Hello{ID: int(peer.ID), Broker: peer.Broker, Degree: int(peer.Degree)})
+	myAction := s.es.Elect()
+	n.mu.Unlock()
 	var peerAction byte
 	err = s.lockstep(
-		func() error { return s.writeFrame(frameElection, []byte{myAction}) },
+		func() error { return s.writeFrame(frameElection, []byte{byte(myAction)}) },
 		func() error {
 			body, err := s.expectFrame(frameElection)
 			if err != nil {
@@ -210,71 +217,40 @@ func (s *session) run(now time.Duration) error {
 	if err != nil {
 		return err
 	}
-	peerBroker := peer.Broker
-	n.roleMu.Lock()
-	switch peerAction {
-	case electPromote:
-		n.becomeBrokerLocked(now)
-		s.selfBroker = true
-	case electDemote:
-		n.becomeUserLocked()
-		s.selfBroker = false
-	}
-	switch myAction {
-	case electPromote:
-		peerBroker = true
-		n.sightings[peer.ID] = brokerSighting{at: now, degree: int(peer.Degree)}
-	case electDemote:
-		peerBroker = false
-		delete(n.sightings, peer.ID)
-	}
-	if s.selfBroker {
-		s.relay = n.relay
-		if s.relay == nil {
-			// A concurrent session demoted us between HELLO and here.
-			// The peer still expects the broker side of the protocol, so
-			// speak it against a throwaway filter; its merges are
-			// discarded with it.
-			s.relay = tcbf.MustNew(n.filterCfg, now)
-		}
-	}
-	n.roleMu.Unlock()
+	n.mu.Lock()
+	s.es.Apply(myAction, engine.Action(peerAction))
+	n.mu.Unlock()
 	s.stats.Phase = PhaseElection
 
-	// Phase 2: genuine filters.
-	genuine, err := n.genuineFilter(now)
-	if err != nil {
-		return err
-	}
-	gBytes, err := genuine.Encode(tcbf.CountersUniform)
-	if err != nil {
-		return err
-	}
-	err = s.lockstep(
-		func() error { return s.writeFrame(frameGenuine, gBytes) },
-		func() error {
-			body, err := s.expectFrame(frameGenuine)
-			if err != nil {
-				return err
-			}
-			peerGenuine, err := tcbf.Decode(body, n.filterCfg, now)
-			if err != nil {
-				return err
-			}
-			if s.selfBroker {
-				n.roleMu.Lock()
-				defer n.roleMu.Unlock()
-				return s.relay.AMerge(peerGenuine, now)
-			}
-			return nil
-		})
-	if err != nil {
-		return err
+	// Phase 2: genuine filter, consumer -> broker only. Both sides agree
+	// on the direction because both computed the same election outcome.
+	switch {
+	case s.es.SendsGenuine():
+		n.mu.Lock()
+		data, err := s.es.GenuineOut()
+		n.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if err := s.writeFrame(frameGenuine, data); err != nil {
+			return err
+		}
+	case s.es.ReceivesGenuine():
+		body, err := s.expectFrame(frameGenuine)
+		if err != nil {
+			return err
+		}
+		n.mu.Lock()
+		err = s.es.AbsorbGenuine(body)
+		n.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
 	s.stats.Phase = PhaseGenuine
 
 	// Phase 3: relay exchange between brokers.
-	if s.selfBroker && peerBroker {
+	if s.es.RelayExchange() {
 		if err := s.relayPhase(now); err != nil {
 			return err
 		}
@@ -287,17 +263,17 @@ func (s *session) run(now time.Duration) error {
 			if err := s.askDelivery(peer.ID, now); err != nil {
 				return err
 			}
-			if s.selfBroker {
+			if s.es.SelfBroker() {
 				if err := s.askReplication(now); err != nil {
 					return err
 				}
 			}
 		} else {
-			if err := s.answerDelivery(peer.ID, now); err != nil {
+			if err := s.answerDelivery(); err != nil {
 				return err
 			}
-			if peerBroker {
-				if err := s.answerReplication(now); err != nil {
+			if s.es.PeerBroker() {
+				if err := s.answerReplication(); err != nil {
 					return err
 				}
 			}
@@ -314,52 +290,24 @@ func (s *session) run(now time.Duration) error {
 		})
 }
 
-// Election actions.
+// Election actions; the byte values match engine.Action.
 const (
 	electNone byte = iota
 	electPromote
 	electDemote
 )
 
-// electLocked runs the Section V-B allocation step against the peer and
-// returns the action to announce. Brokers themselves do not perform it.
-// roleMu held; selfBroker is the session's pinned view of our role.
-func (n *Node) electLocked(peer hello, selfBroker bool, now time.Duration) byte {
-	if selfBroker {
-		return electNone
-	}
-	if peer.Broker {
-		n.sightings[peer.ID] = brokerSighting{at: now, degree: int(peer.Degree)}
-	}
-	count, meanDegree := n.brokersInWindowLocked(now)
-	switch {
-	case count < n.cfg.Protocol.BrokerLow && !peer.Broker:
-		return electPromote
-	case count > n.cfg.Protocol.BrokerHigh && peer.Broker &&
-		float64(peer.Degree) < meanDegree:
-		delete(n.sightings, peer.ID)
-		return electDemote
-	}
-	return electNone
-}
-
 // relayPhase exchanges relay filters, runs preferential forwarding both
-// ways, then merges (M-merge by default). The filter is snapshotted
-// before the exchange and merged after it; forwarding decisions use the
-// pre-merge filters.
+// ways, then merges (M-merge by default). The engine snapshots the peer's
+// pre-merge filter, so forwarding decisions never see merged state.
 func (s *session) relayPhase(now time.Duration) error {
 	n := s.n
-	n.roleMu.Lock()
-	err := s.relay.Advance(now)
-	var rBytes []byte
-	if err == nil {
-		rBytes, err = s.relay.Encode(tcbf.CountersFull)
-	}
-	n.roleMu.Unlock()
+	n.mu.Lock()
+	rBytes, err := s.es.RelayOut()
+	n.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	var peerRelay *tcbf.Filter
 	err = s.lockstep(
 		func() error { return s.writeFrame(frameRelay, rBytes) },
 		func() error {
@@ -367,51 +315,37 @@ func (s *session) relayPhase(now time.Duration) error {
 			if err != nil {
 				return err
 			}
-			peerRelay, err = tcbf.Decode(body, n.filterCfg, now)
+			n.mu.Lock()
+			err = s.es.SetPeerRelay(body)
+			n.mu.Unlock()
 			return err
 		})
 	if err != nil {
 		return err
 	}
 
-	// Initiator sends its candidates first.
+	// Initiator sends its candidates first. Each copy is claimed through
+	// the engine immediately before it travels — a concurrent session may
+	// already have spent it, and two sessions must never move the same
+	// carried copy.
 	sendCands := func() error {
-		for _, c := range s.carriedSnapshot() {
-			best := 0.0
-			n.roleMu.Lock()
-			for _, k := range c.stored.msg.MatchKeys() {
-				pref, err := tcbf.Preference(k, peerRelay, s.relay, now)
-				if err != nil {
-					n.roleMu.Unlock()
-					return err
+		n.mu.Lock()
+		cands, err := s.es.ForwardCandidates()
+		n.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		for _, c := range cands {
+			n.mu.Lock()
+			claim, ok := s.es.ClaimCarried(c.Msg.ID)
+			n.mu.Unlock()
+			if claim == nil {
+				if !ok {
+					break
 				}
-				if pref > best {
-					best = pref
-				}
-			}
-			n.roleMu.Unlock()
-			if best <= 0 {
 				continue
 			}
-			body, err := encodeMessage(c.stored.msg, c.stored.payload)
-			if err != nil {
-				return err
-			}
-			// Claim the copy before it travels: a concurrent session may
-			// already have forwarded it, and two sessions must never
-			// spend the same carried copy.
-			n.storeMu.Lock()
-			_, present := n.carried[c.id]
-			delete(n.carried, c.id)
-			n.storeMu.Unlock()
-			if !present {
-				continue
-			}
-			if err := s.sendClaimed(c.id, body, func() {
-				n.storeMu.Lock()
-				n.carried[c.id] = c.stored
-				n.storeMu.Unlock()
-			}); err != nil {
+			if err := s.sendClaimed(claim); err != nil {
 				return err
 			}
 		}
@@ -443,61 +377,10 @@ func (s *session) relayPhase(now time.Duration) error {
 		return err
 	}
 
-	n.roleMu.Lock()
-	defer n.roleMu.Unlock()
-	if n.cfg.Protocol.BrokerMerge == core.BrokerMergeAdditive {
-		return s.relay.AMerge(peerRelay, now)
-	}
-	return s.relay.MMerge(peerRelay, now)
-}
-
-// storedRef pairs a store key with the message it held when snapshotted.
-type storedRef struct {
-	id     int
-	stored *storedMessage
-}
-
-// carriedSnapshot copies the carried index under storeMu; callers must
-// re-check (claim) each entry before spending it.
-func (s *session) carriedSnapshot() []storedRef {
-	s.n.storeMu.Lock()
-	defer s.n.storeMu.Unlock()
-	out := make([]storedRef, 0, len(s.n.carried))
-	for id, sm := range s.n.carried {
-		out = append(out, storedRef{id: id, stored: sm})
-	}
-	return out
-}
-
-// producedSnapshot copies the produced index under storeMu.
-func (s *session) producedSnapshot() []storedRef {
-	s.n.storeMu.Lock()
-	defer s.n.storeMu.Unlock()
-	out := make([]storedRef, 0, len(s.n.produced))
-	for id, sm := range s.n.produced {
-		out = append(out, storedRef{id: id, stored: sm})
-	}
-	return out
-}
-
-// acceptCarried stores a relayed copy (and claims it if we want it).
-func (n *Node) acceptCarried(msg workload.Message, payload []byte, now time.Duration) {
-	if now > msg.CreatedAt+n.cfg.TTL {
-		return
-	}
-	if n.wants(&msg) {
-		n.deliver(msg, payload, false)
-	}
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
-	if _, dup := n.carried[msg.ID]; dup {
-		return
-	}
-	n.carried[msg.ID] = &storedMessage{
-		msg:       msg,
-		payload:   payload,
-		expiresAt: msg.CreatedAt + n.cfg.TTL,
-	}
+	n.mu.Lock()
+	err = s.es.MergeRelay()
+	n.mu.Unlock()
+	return err
 }
 
 // Interest-BF purposes.
@@ -510,11 +393,9 @@ const (
 // response.
 func (s *session) askDelivery(peerID uint32, now time.Duration) error {
 	n := s.n
-	genuine, err := n.genuineFilter(now)
-	if err != nil {
-		return err
-	}
-	fBytes, err := genuine.Encode(tcbf.CountersNone)
+	n.mu.Lock()
+	fBytes, err := s.es.InterestOut()
+	n.mu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -536,12 +417,15 @@ func (s *session) askDelivery(peerID uint32, now time.Duration) error {
 		if err != nil {
 			return err
 		}
-		// The match was probabilistic (Bloom filter); deliver only if the
-		// copy is live and we really want it — a mismatch is a
-		// false-positive transfer. Either way the copy is ACKed: the ACK
-		// confirms receipt, not interest.
-		if now <= msg.CreatedAt+n.cfg.TTL && n.wants(&msg) {
-			n.deliver(msg, payload, msg.Origin == int(peerID))
+		// The match was probabilistic (Bloom filter); the engine counts a
+		// delivery only if the copy is live and we really want it — a
+		// mismatch is a false-positive transfer. Either way the copy is
+		// ACKed: the ACK confirms receipt, not interest.
+		n.mu.Lock()
+		acc := n.eng.ReceiveDelivery(msg, int(peerID), now)
+		n.mu.Unlock()
+		if acc.Delivered {
+			n.deliver(msg, payload, acc.Direct)
 		}
 		if err := s.writeAck(msg.ID); err != nil {
 			return err
@@ -550,58 +434,39 @@ func (s *session) askDelivery(peerID uint32, now time.Duration) error {
 }
 
 // answerDelivery serves the peer's delivery request from our produced
-// messages (direct) and carried copies (broker-mediated; removed after
-// forwarding, per Section V-D). Each copy is claimed under the store
-// lock immediately before it travels and refunded unless the peer ACKs
-// it — a contact severed mid-transfer loses no copies.
-func (s *session) answerDelivery(peerID uint32, now time.Duration) error {
+// messages (direct) and carried copies (broker-mediated; a carried
+// delivery hands the copy off, per Section V-D). Each copy is claimed
+// through the engine immediately before it travels and refunded unless
+// the peer ACKs it — a contact severed mid-transfer loses no copies.
+func (s *session) answerDelivery() error {
 	n := s.n
-	filter, err := s.readInterestBF(pullDelivery, now)
+	body, err := s.readPull(pullDelivery)
 	if err != nil {
 		return err
 	}
-	bf := filter.ToBloom()
-	for _, c := range s.producedSnapshot() {
-		n.storeMu.Lock()
-		sm, ok := n.produced[c.id]
-		if !ok || now > sm.expiresAt || sm.sentTo(peerID) || !anyWireKeyIn(&sm.msg, bf.Contains) {
-			n.storeMu.Unlock()
-			continue
-		}
-		body, err := encodeMessage(sm.msg, sm.payload)
-		if err != nil {
-			n.storeMu.Unlock()
-			return err
-		}
-		sm.markSent(peerID)
-		n.storeMu.Unlock()
-		if err := s.sendClaimed(c.id, body, func() {
-			n.storeMu.Lock()
-			delete(sm.sent, peerID)
-			n.storeMu.Unlock()
-		}); err != nil {
-			return err
-		}
+	n.mu.Lock()
+	transfers, err := s.es.DeliveryMatches(body)
+	n.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	for _, c := range s.carriedSnapshot() {
-		n.storeMu.Lock()
-		sm, ok := n.carried[c.id]
-		if !ok || now > sm.expiresAt || !anyWireKeyIn(&sm.msg, bf.Contains) {
-			n.storeMu.Unlock()
+	for _, t := range transfers {
+		n.mu.Lock()
+		var claim *engine.Claim
+		var ok bool
+		if t.Carried {
+			claim, ok = s.es.ClaimCarried(t.Msg.ID)
+		} else {
+			claim, ok = s.es.ClaimDirect(t.Msg.ID)
+		}
+		n.mu.Unlock()
+		if claim == nil {
+			if !ok {
+				break
+			}
 			continue
 		}
-		body, err := encodeMessage(sm.msg, sm.payload)
-		if err != nil {
-			n.storeMu.Unlock()
-			return err
-		}
-		delete(n.carried, c.id)
-		n.storeMu.Unlock()
-		if err := s.sendClaimed(c.id, body, func() {
-			n.storeMu.Lock()
-			n.carried[c.id] = sm
-			n.storeMu.Unlock()
-		}); err != nil {
+		if err := s.sendClaimed(claim); err != nil {
 			return err
 		}
 	}
@@ -612,13 +477,9 @@ func (s *session) answerDelivery(peerID uint32, now time.Duration) error {
 // copies.
 func (s *session) askReplication(now time.Duration) error {
 	n := s.n
-	n.roleMu.Lock()
-	err := s.relay.Advance(now)
-	var fBytes []byte
-	if err == nil {
-		fBytes, err = s.relay.Encode(tcbf.CountersNone)
-	}
-	n.roleMu.Unlock()
+	n.mu.Lock()
+	fBytes, err := s.es.RelayAdvertOut()
+	n.mu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -649,50 +510,40 @@ func (s *session) askReplication(now time.Duration) error {
 
 // answerReplication replicates matching produced messages to the broker,
 // bounded by the copy limit; a message leaves our memory when its copies
-// are exhausted. A copy is claimed (decremented) under the store lock
-// before it travels and refunded if the peer's ACK never arrives.
-func (s *session) answerReplication(now time.Duration) error {
+// are exhausted. A copy is claimed (decremented) through the engine before
+// it travels and refunded if the peer's ACK never arrives.
+func (s *session) answerReplication() error {
 	n := s.n
-	filter, err := s.readInterestBF(pullReplication, now)
+	body, err := s.readPull(pullReplication)
 	if err != nil {
 		return err
 	}
-	bf := filter.ToBloom()
-	for _, c := range s.producedSnapshot() {
-		n.storeMu.Lock()
-		sm, ok := n.produced[c.id]
-		if !ok || now > sm.expiresAt || sm.copies == 0 || !anyWireKeyIn(&sm.msg, bf.Contains) {
-			n.storeMu.Unlock()
+	n.mu.Lock()
+	transfers, err := s.es.ReplicationMatches(body)
+	n.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, t := range transfers {
+		n.mu.Lock()
+		claim, ok := s.es.ClaimReplication(t.Msg.ID)
+		n.mu.Unlock()
+		if claim == nil {
+			if !ok {
+				break
+			}
 			continue
 		}
-		body, err := encodeMessage(sm.msg, sm.payload)
-		if err != nil {
-			n.storeMu.Unlock()
-			return err
-		}
-		sm.copies--
-		removed := sm.copies == 0
-		if removed {
-			delete(n.produced, c.id)
-		}
-		n.storeMu.Unlock()
-		if err := s.sendClaimed(c.id, body, func() {
-			n.storeMu.Lock()
-			sm.copies++
-			if removed {
-				n.produced[c.id] = sm
-			}
-			n.storeMu.Unlock()
-		}); err != nil {
+		if err := s.sendClaimed(claim); err != nil {
 			return err
 		}
 	}
 	return s.writeFrame(frameEndMessages, nil)
 }
 
-// readInterestBF reads and validates an interest-BF frame of the expected
-// purpose.
-func (s *session) readInterestBF(purpose byte, now time.Duration) (*tcbf.Filter, error) {
+// readPull reads an interest-BF frame of the expected purpose and returns
+// its filter bytes for the engine to decode.
+func (s *session) readPull(purpose byte) ([]byte, error) {
 	body, err := s.expectFrame(frameInterestBF)
 	if err != nil {
 		return nil, err
@@ -700,26 +551,5 @@ func (s *session) readInterestBF(purpose byte, now time.Duration) (*tcbf.Filter,
 	if len(body) < 1 || body[0] != purpose {
 		return nil, fmt.Errorf("%w: interest BF purpose mismatch", ErrProtocol)
 	}
-	return tcbf.Decode(body[1:], s.n.filterCfg, now)
-}
-
-func anyWireKeyIn(m *workload.Message, contains func(string) bool) bool {
-	for _, k := range m.MatchKeys() {
-		if contains(k) {
-			return true
-		}
-	}
-	return false
-}
-
-func (s *storedMessage) sentTo(peer uint32) bool {
-	_, ok := s.sent[peer]
-	return ok
-}
-
-func (s *storedMessage) markSent(peer uint32) {
-	if s.sent == nil {
-		s.sent = make(map[uint32]struct{})
-	}
-	s.sent[peer] = struct{}{}
+	return body[1:], nil
 }

@@ -9,7 +9,8 @@
 //
 //	HELLO exchange          identity, role, degree
 //	election step           PROMOTE / DEMOTE per the Section V-B rules
-//	genuine filters         consumer interests, A-merged by brokers
+//	genuine filter          consumer -> broker interest propagation, one
+//	                        direction derived from the election outcome
 //	relay filters           broker<->broker, preferential forwarding,
 //	                        then M-merge
 //	interest BF + messages  direct and broker-mediated delivery
@@ -17,16 +18,21 @@
 // All filters travel in the Section VI-C compact encoding (package tcbf's
 // wire format); messages are length-prefixed binary frames.
 //
+// All protocol decisions come from the transport-agnostic engine package
+// (internal/engine): a session drives an engine.Session step by step and
+// ships the resulting byte encodings as frames. This package owns only
+// framing, deadlines, acknowledgements, and concurrency.
+//
 // # Concurrency
 //
 // A node runs sessions with distinct peers in parallel, bounded by
-// Config.MaxSessions. Protocol state is split into independently locked
-// regions — subscriptions, message stores, and meeting/role bookkeeping —
-// and every session touches each region only briefly, never across
-// network I/O: filters are snapshotted before a phase's exchange and
-// merged back after it (snapshot–exchange–commit), and message copies
-// are claimed under the store lock immediately before they travel, so
-// two sessions can never spend the same copy.
+// Config.MaxSessions. All protocol state lives in a single engine.Node
+// guarded by one mutex, which a session takes only around individual
+// engine calls, never across network I/O: the engine snapshots filters
+// at the start of each phase and merges after the exchange
+// (snapshot–exchange–commit), and message copies are claimed through the
+// engine immediately before they travel, so two sessions can never spend
+// the same copy.
 //
 // A node at capacity answers an inbound contact with a single BUSY frame
 // instead of slamming the connection; the dialer's Meet sees ErrPeerBusy
@@ -81,9 +87,12 @@ const (
 )
 
 // protoVersion is the contact-protocol version announced in the HELLO.
-// v2 added the CRC32 frame trailer and per-message ACKs; mismatched
-// peers must fail fast instead of trading garbage frames.
-const protoVersion = 2
+// v2 added the CRC32 frame trailer and per-message ACKs; v3 is the
+// engine-driven protocol — the genuine filter travels in one direction
+// only (consumer -> broker, derived from the election outcome) and relay
+// filters use the partitioned encoding. Mismatched peers must fail fast
+// instead of trading garbage frames.
+const protoVersion = 3
 
 // maxFrameBytes bounds a frame body; filters are tens of bytes and
 // messages are capped at 140 B payloads, so 64 KiB is generous.
