@@ -1,7 +1,7 @@
 GO ?= go
 SHADOW := $(shell command -v shadow 2>/dev/null)
 
-.PHONY: build test race vet vet-shadow parity chaos fuzz check bench
+.PHONY: build test race vet vet-shadow parity chaos fuzz golden bench-smoke check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -44,12 +44,34 @@ fuzz:
 	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzDecodeMessage -fuzztime 5s
 	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzDecodeHello -fuzztime 5s
 	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzSessionSteps -fuzztime 5s
+	$(GO) test ./internal/tcbf -run '^$$' -fuzz FuzzTCBFModel -fuzztime 5s
+
+# golden regenerates the quick-mode experiment CSVs (seed 1) and compares
+# them byte-for-byte against cmd/experiments/testdata, pinning the
+# zero-allocation contact path to the exact results of the straightforward
+# implementation it replaced.
+golden:
+	$(GO) test -count=1 -run TestGoldenCSVs ./cmd/experiments
+
+# bench-smoke runs the contact benchmark a handful of iterations so a PR
+# that breaks the benchmark harness (or its zero-alloc assumptions, see
+# TestContactAllocationFree) fails the gate without a full bench run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkEngineContact -benchtime 10x ./internal/engine
 
 # check is the PR gate: vet (plus the shadow pass) and the full suite
-# under the race detector, then sim/live parity, the chaos suite, and a
-# fuzz smoke pass over the wire decoders and the engine state machine.
-# The livenode session adapter is concurrent; never ship it unraced.
-check: vet vet-shadow race parity chaos fuzz
+# under the race detector, then sim/live parity, the chaos suite, a fuzz
+# smoke pass over the wire decoders, the engine state machine, and the
+# TCBF differential model, the golden-CSV comparison, and a benchmark
+# smoke run. The livenode session adapter is concurrent; never ship it
+# unraced.
+check: vet vet-shadow race parity chaos fuzz golden bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-json captures the hot-path benchmarks as a JSON document for
+# checking in (BENCH_PR4.json records the zero-allocation contact path).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineContact|InsertPre|ContainsPre|MMergeInPlace|EncodeTo|DecodeInto|EncodeFull|DecodeFull' \
+		-benchmem -count=1 ./internal/engine ./internal/tcbf | $(GO) run ./cmd/benchjson > BENCH_PR4.json

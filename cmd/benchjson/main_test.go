@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: bsub/internal/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngineContact/mmerge-8         	   89407	     13886 ns/op	      70 B/op	       0 allocs/op
+BenchmarkEngineContact/amerge-8         	   85626	     13150 ns/op	      70 B/op	       0 allocs/op
+PASS
+ok  	bsub/internal/engine	2.652s
+pkg: bsub/internal/tcbf
+BenchmarkContainsPre-8   	79945028	        14.35 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+	report, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" {
+		t.Errorf("platform = %s/%s", report.Goos, report.Goarch)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+	first := report.Benchmarks[0]
+	if first.Name != "BenchmarkEngineContact/mmerge" ||
+		first.Pkg != "bsub/internal/engine" ||
+		first.Iterations != 89407 || first.NsPerOp != 13886 ||
+		first.BytesPerOp != 70 || first.AllocsPerOp != 0 {
+		t.Errorf("first result = %+v", first)
+	}
+	last := report.Benchmarks[2]
+	if last.Pkg != "bsub/internal/tcbf" || last.NsPerOp != 14.35 {
+		t.Errorf("last result = %+v", last)
+	}
+}
+
+func TestParseBenchMalformed(t *testing.T) {
+	if _, err := parseBench("BenchmarkX only three"); err == nil {
+		t.Error("iteration garbage accepted")
+	}
+	if _, err := parseBench("BenchmarkX"); err == nil {
+		t.Error("short line accepted")
+	}
+}

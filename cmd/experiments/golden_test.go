@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenCSVs regenerates the quick-mode CSV artifacts that emit files
+// (seed 1) and compares them byte-for-byte against the committed goldens
+// in testdata/. The goldens were produced before the zero-allocation
+// contact path landed, so this test pins the refactor — scratch filters,
+// in-place encode/decode, precomputed digests — to the exact simulation
+// results of the straightforward implementation. Regenerate with:
+//
+//	go run ./cmd/experiments -artifact fig7 -seed 1 -quick -csv cmd/experiments/testdata
+//	go run ./cmd/experiments -artifact fig9 -seed 1 -quick -csv cmd/experiments/testdata
+func TestGoldenCSVs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-mode simulations still take a few seconds")
+	}
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		_ = null.Close()
+	}()
+
+	dir := t.TempDir()
+	files := map[string][]string{
+		"fig7": {"fig7.csv"},
+		"fig9": {"fig9-haggle.csv", "fig9-mit.csv"},
+	}
+	for _, artifact := range []string{"fig7", "fig9"} {
+		artifact := artifact
+		t.Run(artifact, func(t *testing.T) {
+			if err := runArtifact(artifact, 1, true, dir); err != nil {
+				t.Fatalf("%s: %v", artifact, err)
+			}
+			for _, name := range files[artifact] {
+				got, err := os.ReadFile(filepath.Join(dir, name))
+				if err != nil {
+					t.Fatalf("regenerated %s: %v", name, err)
+				}
+				want, err := os.ReadFile(filepath.Join("testdata", name))
+				if err != nil {
+					t.Fatalf("golden %s: %v", name, err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("%s diverged from testdata golden:\ngot:\n%s\nwant:\n%s",
+						name, got, want)
+				}
+			}
+		})
+	}
+}

@@ -160,6 +160,11 @@ func (p *BSub) OnContact(aID, bID trace.NodeID, budget *sim.Budget) {
 	p.replicationPull(a, sa, b, sb, now)
 	p.deliveryPull(b, sb, a, sa, now)
 	p.replicationPull(b, sb, a, sa, now)
+
+	// 5. Contact over: recycle both sessions' scratch arenas. Every claim
+	// above was committed inline, so Release refunds nothing.
+	sa.Release()
+	sb.Release()
 }
 
 // syncRole reconciles the adapter's oracle and broker census with the

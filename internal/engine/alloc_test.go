@@ -1,3 +1,5 @@
+//go:build !race
+
 package engine
 
 import (
@@ -8,61 +10,47 @@ import (
 	"bsub/internal/workload"
 )
 
-// BenchmarkEngineContact measures one full broker-broker contact session
-// through the engine — hello/election, relay-filter encode/decode
-// exchange, preferential-forwarding decisions with copy claims, the
-// configured merge, and both sides' delivery and replication pulls — in
-// both broker merge modes. Claims are aborted at the end of each
-// iteration so the stores stay stationary and iterations are comparable.
-func BenchmarkEngineContact(b *testing.B) {
-	modes := []struct {
+// TestContactAllocationFree pins the tentpole property of the contact hot
+// path: a warm BeginContact → full broker-broker exchange → Release cycle
+// performs zero heap allocations, in both broker merge modes. Excluded
+// under -race (the race runtime allocates during bookkeeping).
+func TestContactAllocationFree(t *testing.T) {
+	for _, m := range []struct {
 		name string
 		mode BrokerMergeMode
 	}{
 		{"mmerge", BrokerMergeMax},
 		{"amerge", BrokerMergeAdditive},
-	}
-	for _, m := range modes {
-		b.Run(m.name, func(b *testing.B) {
+	} {
+		t.Run(m.name, func(t *testing.T) {
 			const ttl = 100 * time.Hour
 			now := time.Hour
 			cfg := DefaultConfig(0.01)
 			cfg.BrokerMerge = m.mode
 			left, err := NewNode(1, cfg, ttl)
 			if err != nil {
-				b.Fatal(err)
+				t.Fatal(err)
 			}
 			right, err := NewNode(2, cfg, ttl)
 			if err != nil {
-				b.Fatal(err)
+				t.Fatal(err)
 			}
 			left.Subscribe("news")
 			right.Subscribe("sports")
 			left.Promote(now)
 			right.Promote(now)
-
-			// Seed realistic state: 32 relayed interests on each side
-			// (reinforced on the left so forwarding has positive
-			// preferences), and 16 carried copies at the right broker.
 			var topics []workload.Key
 			for i := 0; i < 32; i++ {
 				topics = append(topics, workload.Key(fmt.Sprintf("topic-%02d", i)))
 			}
-			reseed := func() {
-				left.Demote()
-				right.Demote()
-				left.Promote(now)
-				right.Promote(now)
-				for r := 0; r < 3; r++ {
-					if err := left.Relay().InsertAll(topics, now); err != nil {
-						b.Fatal(err)
-					}
-				}
-				if err := right.Relay().InsertAll(topics, now); err != nil {
-					b.Fatal(err)
+			for r := 0; r < 3; r++ {
+				if err := left.Relay().InsertAll(topics, now); err != nil {
+					t.Fatal(err)
 				}
 			}
-			reseed()
+			if err := right.Relay().InsertAll(topics, now); err != nil {
+				t.Fatal(err)
+			}
 			for i := 0; i < 16; i++ {
 				right.AcceptCarried(workload.Message{
 					ID:        1000 + i,
@@ -73,15 +61,7 @@ func BenchmarkEngineContact(b *testing.B) {
 				}, nil, now)
 			}
 
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if i%64 == 0 && i > 0 {
-					// Merges accumulate counters across iterations (the
-					// additive mode exponentially); a periodic amortized
-					// reseed keeps the filters in a realistic regime.
-					reseed()
-				}
+			contact := func() {
 				sl := left.BeginContact(nil, now)
 				sr := right.BeginContact(nil, now)
 				sl.SetPeer(sr.Hello())
@@ -89,61 +69,60 @@ func BenchmarkEngineContact(b *testing.B) {
 				actL, actR := sl.Elect(), sr.Elect()
 				sl.Apply(actL, actR)
 				sr.Apply(actR, actL)
-
 				dl, err := sl.RelayOut()
 				if err != nil {
-					b.Fatal(err)
+					t.Fatal(err)
 				}
 				dr, err := sr.RelayOut()
 				if err != nil {
-					b.Fatal(err)
+					t.Fatal(err)
 				}
 				if err := sl.SetPeerRelay(dr); err != nil {
-					b.Fatal(err)
+					t.Fatal(err)
 				}
 				if err := sr.SetPeerRelay(dl); err != nil {
-					b.Fatal(err)
+					t.Fatal(err)
 				}
 				cands, err := sr.ForwardCandidates()
 				if err != nil {
-					b.Fatal(err)
+					t.Fatal(err)
 				}
 				for _, c := range cands {
 					if claim, ok := sr.ClaimCarried(c.Msg.ID); claim == nil && !ok {
-						b.Fatal("claim refused")
+						t.Fatal("claim refused")
 					}
 				}
 				if err := sl.MergeRelay(); err != nil {
-					b.Fatal(err)
+					t.Fatal(err)
 				}
 				if err := sr.MergeRelay(); err != nil {
-					b.Fatal(err)
+					t.Fatal(err)
 				}
-
 				for _, pair := range [][2]*Session{{sl, sr}, {sr, sl}} {
 					asker, server := pair[0], pair[1]
 					in, err := asker.InterestOut()
 					if err != nil {
-						b.Fatal(err)
+						t.Fatal(err)
 					}
 					if _, err := server.DeliveryMatches(in); err != nil {
-						b.Fatal(err)
+						t.Fatal(err)
 					}
 					adv, err := asker.RelayAdvertOut()
 					if err != nil {
-						b.Fatal(err)
+						t.Fatal(err)
 					}
 					if _, err := server.ReplicationMatches(adv); err != nil {
-						b.Fatal(err)
+						t.Fatal(err)
 					}
 				}
-
-				// Release refunds the forwarding claims — the stores return
-				// to their seeded state — and recycles both sessions'
-				// scratch arenas, so warm iterations measure the
-				// steady-state (allocation-free) contact path.
+				// Release refunds the carried-copy claims, so the stores
+				// return to the seeded state for the next run.
 				sr.Release()
 				sl.Release()
+			}
+			contact() // warm the arenas
+			if avg := testing.AllocsPerRun(50, contact); avg != 0 {
+				t.Errorf("warm contact: %g allocs per run, want 0", avg)
 			}
 		})
 	}

@@ -32,6 +32,22 @@ func FuzzSessionSteps(f *testing.F) {
 	})
 	f.Add([]byte{1, 0, 0, 0, 3, 0, 4, 0, 7, 0, 10, 0, 12, 9, 13, 0})
 	f.Add([]byte{1, 1, 1, 2, 0, 0, 7, 3, 9, 0, 9, 1, 11, 0, 0, 0, 7, 0, 10, 0})
+	// Scratch-arena reuse: claim, sever (refund + release), then run a new
+	// contact on the recycled session memory and claim/commit again.
+	f.Add([]byte{
+		1, 0, 1, 1, // publish at A and B
+		2, 0, 2, 1, // promote both
+		0, 0, 5, 1, 6, 0, // contact, relay exchange, forward claim
+		11, 0, // sever: abort the claim, release both arenas
+		0, 0, 5, 1, 6, 0, // fresh contact reusing the arenas
+		9, 0, 11, 0, // commit, sever again
+	})
+	f.Add([]byte{
+		1, 0, 0, 0, 7, 0, // publish, contact, delivery claims
+		11, 0, // sever: release with claims outstanding
+		0, 0, 7, 1, 9, 0, 10, 0, // reused arena: claim both ways, settle
+		11, 0, 0, 0, 8, 0, 9, 0, // third reuse: replication claim + commit
+	})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const ttl = 1000 * time.Hour
@@ -77,13 +93,10 @@ func FuzzSessionSteps(f *testing.F) {
 		keys := []workload.Key{"news", "beta", "mix"}
 
 		settleSessions := func() {
-			// Session.Abort refunds exactly the unsettled claims — the ones
-			// still in our pending list for that session.
-			for _, s := range []*Session{sa, sb} {
-				if s != nil {
-					s.Abort()
-				}
-			}
+			// Drop the severed sessions' claims from the pending list
+			// first: Release refunds exactly the unsettled ones and then
+			// recycles the claim arena, so the next contact reuses the
+			// records and our stale pointers must be gone by then.
 			kept := pending[:0]
 			for _, p := range pending {
 				if p.session != sa && p.session != sb {
@@ -91,6 +104,11 @@ func FuzzSessionSteps(f *testing.F) {
 				}
 			}
 			pending = kept
+			for _, s := range []*Session{sa, sb} {
+				if s != nil {
+					s.Release()
+				}
+			}
 			sa, sb = nil, nil
 		}
 		truncate := func(data []byte, arg byte) []byte {

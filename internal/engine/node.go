@@ -62,7 +62,10 @@ type Node struct {
 	id   NodeID
 
 	interests []workload.Key
-	broker    bool
+	// preInterests mirrors interests with precomputed filter digests, so
+	// per-contact filter builds (GenuineOut, InterestOut) hash nothing.
+	preInterests []tcbf.PreKey
+	broker       bool
 
 	// relay is the broker's relay filter (partitioned per Section VI-D);
 	// nil for plain users.
@@ -81,6 +84,10 @@ type Node struct {
 	meetings map[NodeID]time.Duration
 	// sightings maps broker IDs to this node's latest sighting of them.
 	sightings map[NodeID]sighting
+
+	// freeSessions holds released sessions whose scratch arenas (filters,
+	// encode buffers, claim records) the next BeginContact reuses.
+	freeSessions []*Session
 }
 
 // NewNode validates cfg and returns a fresh user node.
@@ -125,6 +132,7 @@ func (n *Node) Subscribe(keys ...workload.Key) {
 		}
 		if !dup {
 			n.interests = append(n.interests, k)
+			n.preInterests = append(n.preInterests, tcbf.Precompute(k))
 		}
 	}
 }
@@ -152,6 +160,7 @@ func (n *Node) AddProduced(msg workload.Message, payload []byte) {
 	n.produced.add(&stored{
 		msg:       msg,
 		payload:   payload,
+		pre:       precomputeKeys(&msg),
 		expiresAt: msg.CreatedAt + n.ttl,
 		copies:    n.cfg.CopyLimit,
 	})
@@ -172,6 +181,7 @@ func (n *Node) AcceptCarried(msg workload.Message, payload []byte, now time.Dura
 	n.carried.add(&stored{
 		msg:       msg,
 		payload:   payload,
+		pre:       precomputeKeys(&msg),
 		expiresAt: msg.CreatedAt + n.ttl,
 	})
 	acc.Stored = true

@@ -2,7 +2,7 @@ package engine
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"bsub/internal/tcbf"
@@ -56,6 +56,15 @@ type Forward struct {
 // copies from the node's stores immediately; Commit settles them, Abort
 // (or Session.Abort after a severed contact) refunds them. Spent budget
 // is never refunded: a severed contact still transmitted the bytes.
+//
+// A session owns a scratch arena — filters, encode buffers, candidate and
+// transfer lists, claim records — that Release returns to the node for the
+// next contact, so a warm BeginContact → … → Release cycle allocates
+// nothing. The arena implies an aliasing contract: bytes returned by an
+// *Out step are valid until the same step runs again on this session (or
+// the session is released), and the slices returned by ForwardCandidates,
+// DeliveryMatches, and ReplicationMatches are valid until the same kind of
+// step runs again.
 type Session struct {
 	n      *Node
 	budget Budget
@@ -75,25 +84,93 @@ type Session struct {
 	selfBroker bool
 	peerBroker bool
 	relay      *tcbf.Partitioned
-	peerRelay  *tcbf.Partitioned
+	peerRelay  *tcbf.Partitioned // points at peerRelayBuf once set
 
 	claims   []*Claim
 	poisoned bool
+	released bool
+
+	// --- scratch arena, recycled across contacts by Release ---------------
+	// Filters are allocated lazily (a plain user's sessions never build the
+	// partitioned scratch); each *Out step owns a byte buffer, and decoded
+	// peer state lives in its own filter so one step cannot clobber state a
+	// later step still reads (SetPeerRelay's decode must survive until
+	// ForwardCandidates/MergeRelay, which may interleave with the pulls).
+	peerRelayBuf *tcbf.Partitioned // SetPeerRelay decode target
+	genuineBuf   *tcbf.Partitioned // GenuineOut build / AbsorbGenuine decode
+	advertBuf    *tcbf.Partitioned // ReplicationMatches decode target
+	interestBuf  *tcbf.Filter      // InterestOut build
+	deliveryBuf  *tcbf.Filter      // DeliveryMatches decode target
+
+	relayEnc    []byte
+	genuineEnc  []byte
+	interestEnc []byte
+	advertEnc   []byte
+
+	cands     []Forward
+	transfers []Transfer
+
+	claimArena claimArena
 }
 
-// BeginContact opens a contact session at the given time. The hello
+// BeginContact opens a contact session at the given time, reusing a
+// released session's scratch arena when one is available. The hello
 // snapshot (role, degree) is taken before the meeting itself is recorded.
 func (n *Node) BeginContact(budget Budget, now time.Duration) *Session {
 	if budget == nil {
 		budget = Unlimited{}
 	}
-	return &Session{
-		n:           n,
-		budget:      budget,
-		now:         now,
-		helloBroker: n.broker,
-		hello:       Hello{ID: n.id, Broker: n.broker, Degree: n.Degree(now)},
+	var s *Session
+	if k := len(n.freeSessions); k > 0 {
+		s = n.freeSessions[k-1]
+		n.freeSessions[k-1] = nil
+		n.freeSessions = n.freeSessions[:k-1]
+	} else {
+		s = &Session{n: n}
 	}
+	s.budget = budget
+	s.now = now
+	s.helloBroker = n.broker
+	s.hello = Hello{ID: n.id, Broker: n.broker, Degree: n.Degree(now)}
+	s.peer = Hello{}
+	s.peerSet = false
+	s.selfBroker, s.peerBroker = false, false
+	s.relay, s.peerRelay = nil, nil
+	s.claims = s.claims[:0]
+	s.claimArena.reset()
+	s.poisoned = false
+	s.released = false
+	return s
+}
+
+// Release ends the session's lifecycle: any unsettled claim is refunded
+// (as by Abort) and the session's scratch arena returns to the node, where
+// the next BeginContact reuses its filters, buffers, and claim records.
+// The session, its claims, and any slice a step returned must not be used
+// after Release. Idempotent.
+func (s *Session) Release() {
+	if s.released {
+		return
+	}
+	s.Abort()
+	s.released = true
+	s.n.freeSessions = append(s.n.freeSessions, s)
+}
+
+// scratchPartitioned lazily builds the partitioned scratch filter in slot.
+func (s *Session) scratchPartitioned(slot **tcbf.Partitioned) *tcbf.Partitioned {
+	if *slot == nil {
+		*slot = tcbf.MustNewPartitioned(s.n.fcfg, s.n.cfg.partitions(), s.now)
+	}
+	return *slot
+}
+
+// scratchFilter lazily builds the plain scratch filter in slot.
+func (s *Session) scratchFilter(slot **tcbf.Filter) *tcbf.Filter {
+	if *slot == nil {
+		*slot = tcbf.MustNew(s.n.fcfg, s.now)
+	}
+	return *slot
 }
 
 // Hello returns the announcement this side opens the contact with.
@@ -203,14 +280,16 @@ func (s *Session) ReceivesGenuine() bool { return s.selfBroker && !s.peerBroker 
 // the uniform initial value) for A-merge into the peer broker's relay
 // filter. Returns nil, nil when the budget refuses the transfer.
 func (s *Session) GenuineOut() ([]byte, error) {
-	g := tcbf.MustNewPartitioned(s.n.fcfg, s.n.cfg.partitions(), s.now)
-	if err := g.InsertAll(s.n.interests, s.now); err != nil {
+	g := s.scratchPartitioned(&s.genuineBuf)
+	g.Reset(s.now)
+	if err := g.InsertAllPre(s.n.preInterests, s.now); err != nil {
 		return nil, err
 	}
-	data, err := g.Encode(tcbf.CountersUniform)
+	data, err := g.EncodeTo(s.genuineEnc[:0], tcbf.CountersUniform)
 	if err != nil {
 		return nil, err
 	}
+	s.genuineEnc = data
 	if !s.budget.Spend(len(data)) {
 		return nil, nil
 	}
@@ -224,8 +303,11 @@ func (s *Session) AbsorbGenuine(data []byte) error {
 	if len(data) == 0 || s.relay == nil {
 		return nil
 	}
-	g, err := tcbf.DecodePartitioned(data, s.n.fcfg, s.now)
-	if err != nil {
+	// genuineBuf is safe to reuse as the decode target: a session either
+	// sends or receives genuine filters, never both (the roles are fixed
+	// by Apply), and the merge consumes the decoded state immediately.
+	g := s.scratchPartitioned(&s.genuineBuf)
+	if err := g.DecodeInto(data, s.now); err != nil {
 		return err
 	}
 	return s.relay.AMerge(g, s.now)
@@ -241,10 +323,11 @@ func (s *Session) RelayOut() ([]byte, error) {
 	if err := s.relay.Advance(s.now); err != nil {
 		return nil, err
 	}
-	data, err := s.relay.Encode(tcbf.CountersFull)
+	data, err := s.relay.EncodeTo(s.relayEnc[:0], tcbf.CountersFull)
 	if err != nil {
 		return nil, err
 	}
+	s.relayEnc = data
 	if !s.budget.Spend(len(data)) {
 		return nil, nil
 	}
@@ -258,8 +341,12 @@ func (s *Session) SetPeerRelay(data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
-	pr, err := tcbf.DecodePartitioned(data, s.n.fcfg, s.now)
-	if err != nil {
+	pr := s.scratchPartitioned(&s.peerRelayBuf)
+	if err := pr.DecodeInto(data, s.now); err != nil {
+		// The in-place decode may have left a partial mix of old and new
+		// state in the scratch filter; unpin it so later steps cannot act
+		// on corrupt data.
+		s.peerRelay = nil
 		return err
 	}
 	s.peerRelay = pr
@@ -275,11 +362,11 @@ func (s *Session) ForwardCandidates() ([]Forward, error) {
 	if s.relay == nil || s.peerRelay == nil {
 		return nil, nil
 	}
-	var cands []Forward
+	cands := s.cands[:0]
 	for _, e := range s.n.carried.live(s.now) {
 		best, ok := 0.0, false
-		for _, k := range e.msg.MatchKeys() {
-			pref, err := tcbf.PreferencePartitioned(k, s.peerRelay, s.relay, s.now)
+		for _, k := range e.pre {
+			pref, err := tcbf.PreferencePartitionedPre(k, s.peerRelay, s.relay, s.now)
 			if err != nil {
 				return nil, err
 			}
@@ -292,12 +379,20 @@ func (s *Session) ForwardCandidates() ([]Forward, error) {
 		}
 		cands = append(cands, Forward{Msg: e.msg, Payload: e.payload, Pref: best})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Pref != cands[j].Pref {
-			return cands[i].Pref > cands[j].Pref
+	slices.SortFunc(cands, func(a, b Forward) int {
+		switch {
+		case a.Pref > b.Pref:
+			return -1
+		case a.Pref < b.Pref:
+			return 1
+		case a.Msg.ID < b.Msg.ID:
+			return -1
+		case a.Msg.ID > b.Msg.ID:
+			return 1
 		}
-		return cands[i].Msg.ID < cands[j].Msg.ID
+		return 0
 	})
+	s.cands = cands
 	return cands, nil
 }
 
@@ -319,14 +414,18 @@ func (s *Session) MergeRelay() error {
 // pull deliveries from the peer. Returns nil, nil when the budget
 // refuses.
 func (s *Session) InterestOut() ([]byte, error) {
-	f := tcbf.MustNew(s.n.fcfg, s.now)
-	if err := f.InsertAll(s.n.interests, s.now); err != nil {
-		return nil, err
+	f := s.scratchFilter(&s.interestBuf)
+	f.Reset(s.now)
+	for _, k := range s.n.preInterests {
+		if err := f.InsertPre(k, s.now); err != nil {
+			return nil, err
+		}
 	}
-	data, err := f.Encode(tcbf.CountersNone)
+	data, err := f.EncodeTo(s.interestEnc[:0], tcbf.CountersNone)
 	if err != nil {
 		return nil, err
 	}
+	s.interestEnc = data
 	if !s.budget.Spend(len(data)) {
 		return nil, nil
 	}
@@ -345,24 +444,38 @@ func (s *Session) DeliveryMatches(data []byte) ([]Transfer, error) {
 	if len(data) == 0 {
 		return nil, nil
 	}
-	f, err := tcbf.Decode(data, s.n.fcfg, s.now)
-	if err != nil {
+	f := s.scratchFilter(&s.deliveryBuf)
+	if err := f.DecodeInto(data, s.now); err != nil {
 		return nil, err
 	}
-	bf := f.ToBloom()
-	var out []Transfer
+	out := s.transfers[:0]
 	for _, e := range s.n.produced.live(s.now) {
-		if e.sentTo(s.peer.ID) || !anyKeyIn(&e.msg, bf) {
+		if e.sentTo(s.peer.ID) {
+			continue
+		}
+		match, err := anyPreIn(e.pre, f, s.now)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
 			continue
 		}
 		out = append(out, Transfer{Msg: e.msg, Payload: e.payload})
 	}
 	for _, e := range s.n.carried.live(s.now) {
-		if e.msg.Origin == s.peer.ID || !anyKeyIn(&e.msg, bf) {
+		if e.msg.Origin == s.peer.ID {
+			continue
+		}
+		match, err := anyPreIn(e.pre, f, s.now)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
 			continue
 		}
 		out = append(out, Transfer{Msg: e.msg, Payload: e.payload, Carried: true})
 	}
+	s.transfers = out
 	return out, nil
 }
 
@@ -377,10 +490,11 @@ func (s *Session) RelayAdvertOut() ([]byte, error) {
 	if err := s.relay.Advance(s.now); err != nil {
 		return nil, err
 	}
-	data, err := s.relay.Encode(tcbf.CountersNone)
+	data, err := s.relay.EncodeTo(s.advertEnc[:0], tcbf.CountersNone)
 	if err != nil {
 		return nil, err
 	}
+	s.advertEnc = data
 	if !s.budget.Spend(len(data)) {
 		return nil, nil
 	}
@@ -396,18 +510,18 @@ func (s *Session) ReplicationMatches(data []byte) ([]Transfer, error) {
 	if len(data) == 0 {
 		return nil, nil
 	}
-	adv, err := tcbf.DecodePartitioned(data, s.n.fcfg, s.now)
-	if err != nil {
+	adv := s.scratchPartitioned(&s.advertBuf)
+	if err := adv.DecodeInto(data, s.now); err != nil {
 		return nil, err
 	}
-	var out []Transfer
+	out := s.transfers[:0]
 	for _, e := range s.n.produced.live(s.now) {
 		if e.copies <= 0 {
 			continue
 		}
 		match := false
-		for _, k := range e.msg.MatchKeys() {
-			ok, err := adv.Contains(k, s.now)
+		for _, k := range e.pre {
+			ok, err := adv.ContainsPre(k, s.now)
 			if err != nil {
 				return nil, err
 			}
@@ -420,21 +534,33 @@ func (s *Session) ReplicationMatches(data []byte) ([]Transfer, error) {
 			out = append(out, Transfer{Msg: e.msg, Payload: e.payload})
 		}
 	}
+	s.transfers = out
 	return out, nil
 }
 
-// anyKeyIn reports whether any of the message's keys matches the Bloom
-// filter.
-func anyKeyIn(m *workload.Message, f interface{ Contains(string) bool }) bool {
-	for _, k := range m.MatchKeys() {
-		if f.Contains(k) {
-			return true
+// anyPreIn reports whether any of the precomputed keys is in the decoded
+// interest filter — membership-equivalent to projecting the filter onto a
+// classic Bloom filter first, without materializing one.
+func anyPreIn(keys []tcbf.PreKey, f *tcbf.Filter, now time.Duration) (bool, error) {
+	for _, k := range keys {
+		ok, err := f.ContainsPre(k, now)
+		if err != nil || ok {
+			return ok, err
 		}
 	}
-	return false
+	return false, nil
 }
 
 // --- Claims ---------------------------------------------------------------
+
+// claimKind selects the Abort (refund) action of a claim.
+type claimKind uint8
+
+const (
+	claimCarried claimKind = iota + 1
+	claimDirect
+	claimReplication
+)
 
 // Claim is a message copy removed from its store pending transmission.
 // Commit settles it; Abort puts it back. Exactly one of the two runs —
@@ -443,7 +569,13 @@ type Claim struct {
 	msg     workload.Message
 	payload []byte
 	settled bool
-	undo    func()
+
+	// kind, entry, and peer fully describe the refund action; a typed
+	// record instead of a closure keeps claims allocation-free.
+	kind  claimKind
+	n     *Node
+	entry *stored
+	peer  NodeID
 }
 
 // Msg returns the claimed message.
@@ -461,18 +593,55 @@ func (c *Claim) Abort() {
 		return
 	}
 	c.settled = true
-	c.undo()
+	switch c.kind {
+	case claimCarried:
+		c.n.carried.add(c.entry)
+	case claimDirect:
+		delete(c.entry.sent, c.peer)
+	case claimReplication:
+		if c.entry.copies == 0 {
+			c.n.produced.add(c.entry)
+		}
+		c.entry.copies++
+	}
 }
 
-// claim charges the budget and registers an undo. The (claim, ok) shape
-// is shared by all three claim steps: (nil, true) means "skip this
+// claimArena hands out Claim records from fixed-size chunks, so the
+// pointers a session returns stay stable while the backing memory is
+// reused across contacts. (A plain slice would not do: append growth
+// relocates earlier records, dangling the *Claim pointers already handed
+// to the adapter.)
+type claimArena struct {
+	chunks [][]Claim
+	used   int
+}
+
+const claimChunkSize = 16
+
+func (a *claimArena) take() *Claim {
+	ci, off := a.used/claimChunkSize, a.used%claimChunkSize
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Claim, claimChunkSize))
+	}
+	a.used++
+	c := &a.chunks[ci][off]
+	*c = Claim{}
+	return c
+}
+
+func (a *claimArena) reset() { a.used = 0 }
+
+// claim charges the budget and records the refund action. The (claim, ok)
+// shape is shared by all three claim steps: (nil, true) means "skip this
 // message, keep going"; (nil, false) means "stop — no budget left (or the
 // session is aborted)".
-func (s *Session) claim(e *stored, undo func()) (*Claim, bool) {
+func (s *Session) claim(e *stored, kind claimKind) (*Claim, bool) {
 	if !s.budget.Spend(e.msg.Size) {
 		return nil, false
 	}
-	c := &Claim{msg: e.msg, payload: e.payload, undo: undo}
+	c := s.claimArena.take()
+	c.msg, c.payload = e.msg, e.payload
+	c.kind, c.n, c.entry, c.peer = kind, s.n, e, s.peer.ID
 	s.claims = append(s.claims, c)
 	return c, true
 }
@@ -487,7 +656,7 @@ func (s *Session) ClaimCarried(id int) (*Claim, bool) {
 	if e == nil {
 		return nil, true
 	}
-	c, ok := s.claim(e, func() { s.n.carried.add(e) })
+	c, ok := s.claim(e, claimCarried)
 	if c != nil {
 		s.n.carried.remove(id)
 	}
@@ -505,10 +674,9 @@ func (s *Session) ClaimDirect(id int) (*Claim, bool) {
 	if e == nil || e.sentTo(s.peer.ID) {
 		return nil, true
 	}
-	peer := s.peer.ID
-	c, ok := s.claim(e, func() { delete(e.sent, peer) })
+	c, ok := s.claim(e, claimDirect)
 	if c != nil {
-		e.markSent(peer)
+		e.markSent(s.peer.ID)
 	}
 	return c, ok
 }
@@ -524,12 +692,7 @@ func (s *Session) ClaimReplication(id int) (*Claim, bool) {
 	if e == nil || e.copies <= 0 {
 		return nil, true
 	}
-	c, ok := s.claim(e, func() {
-		if e.copies == 0 {
-			s.n.produced.add(e)
-		}
-		e.copies++
-	})
+	c, ok := s.claim(e, claimReplication)
 	if c != nil {
 		e.copies--
 		if e.copies == 0 {

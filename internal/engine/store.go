@@ -4,19 +4,32 @@ import (
 	"sort"
 	"time"
 
+	"bsub/internal/tcbf"
 	"bsub/internal/workload"
 )
 
 // stored is one message copy held by a node: the message, its payload (nil
-// inside the simulator, real bytes on a live node), its expiry, the
-// producer-side replication budget, and the set of peers the copy was
-// directly served to.
+// inside the simulator, real bytes on a live node), its match keys with
+// precomputed filter digests, its expiry, the producer-side replication
+// budget, and the set of peers the copy was directly served to.
 type stored struct {
 	msg       workload.Message
 	payload   []byte
+	pre       []tcbf.PreKey
 	expiresAt time.Duration
 	copies    int
 	sent      map[NodeID]struct{}
+}
+
+// precomputeKeys hashes all of a message's match keys once at store time,
+// so per-contact filter queries reuse the digests instead of rehashing.
+func precomputeKeys(m *workload.Message) []tcbf.PreKey {
+	out := make([]tcbf.PreKey, 1, 1+len(m.Extra))
+	out[0] = tcbf.Precompute(m.Key)
+	for _, k := range m.Extra {
+		out = append(out, tcbf.Precompute(k))
+	}
+	return out
 }
 
 func (e *stored) sentTo(peer NodeID) bool {
@@ -41,6 +54,8 @@ type store struct {
 	entries map[int]*stored
 	sorted  []int
 	pending []int
+	// liveBuf backs the slice live returns, reused call to call.
+	liveBuf []*stored
 }
 
 func newStore() *store { return &store{entries: make(map[int]*stored)} }
@@ -66,10 +81,11 @@ func (s *store) len() int { return len(s.entries) }
 
 // live returns the unexpired copies sorted by ID, purging expired entries
 // (and sweeping stale index slots) as a side effect. The returned slice is
-// valid until the next store call.
+// valid until the next store call — the backing buffer is reused by the
+// next live call.
 func (s *store) live(now time.Duration) []*stored {
 	s.settleIndex()
-	out := make([]*stored, 0, len(s.entries))
+	out := s.liveBuf[:0]
 	kept := s.sorted[:0]
 	for _, id := range s.sorted {
 		e, ok := s.entries[id]
@@ -84,6 +100,7 @@ func (s *store) live(now time.Duration) []*stored {
 		out = append(out, e)
 	}
 	s.sorted = kept
+	s.liveBuf = out
 	return out
 }
 

@@ -12,7 +12,6 @@ package hashkit
 
 import (
 	"fmt"
-	"hash/fnv"
 )
 
 // MaxK bounds the number of hash functions a Hasher will derive. The paper
@@ -60,11 +59,41 @@ func (h Hasher) K() int { return h.k }
 // "omit[s] the probability that multiple hash functions return the same
 // location"); callers that need distinct positions must deduplicate.
 func (h Hasher) Positions(dst []uint32, key string) []uint32 {
-	h1, h2 := mix(key)
+	return h.PositionsDigest(dst, DigestOf(key))
+}
+
+// Digest is a key's double-hashing state — the two 32-bit halves of its
+// FNV-1a/64 digest — precomputed once so hot paths that probe the same key
+// against many filters (or the same filter across many contacts) never
+// re-hash the key bytes. A Digest is geometry-independent: the same Digest
+// yields positions for any Hasher.
+type Digest struct {
+	h1, h2 uint32
+}
+
+// DigestOf hashes key once with FNV-1a/64 and splits the digest into the
+// two halves used by double hashing. It allocates nothing.
+func DigestOf(key string) Digest {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return Digest{h1: uint32(h), h2: uint32(h >> 32)}
+}
+
+// PositionsDigest appends the k bit positions for a precomputed digest to
+// dst and returns the extended slice; Positions(dst, key) is exactly
+// PositionsDigest(dst, DigestOf(key)).
+func (h Hasher) PositionsDigest(dst []uint32, d Digest) []uint32 {
 	// Force h2 odd so the stride cycles through all residues when m is a
 	// power of two, avoiding degenerate single-position keys.
-	h2 |= 1
-	pos := h1 % h.m
+	h2 := d.h2 | 1
+	pos := d.h1 % h.m
 	step := h2 % h.m
 	for i := 0; i < h.k; i++ {
 		dst = append(dst, pos)
@@ -74,14 +103,4 @@ func (h Hasher) Positions(dst []uint32, key string) []uint32 {
 		}
 	}
 	return dst
-}
-
-// mix hashes key once with FNV-1a/64 and splits the digest into the two
-// 32-bit halves used by double hashing.
-func mix(key string) (h1, h2 uint32) {
-	f := fnv.New64a()
-	// hash.Hash64 writes never fail.
-	_, _ = f.Write([]byte(key))
-	sum := f.Sum64()
-	return uint32(sum), uint32(sum >> 32)
 }

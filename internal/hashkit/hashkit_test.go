@@ -1,6 +1,7 @@
 package hashkit
 
 import (
+	"hash/fnv"
 	"testing"
 	"testing/quick"
 )
@@ -152,6 +153,57 @@ func TestPositionsPureProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Property: the inlined FNV-1a/64 in DigestOf matches the standard
+// library's hash/fnv bit-for-bit — the digest halves are a wire-visible
+// protocol constant (they decide every filter bit), so the allocation-free
+// rewrite must not drift from the reference implementation.
+func TestDigestMatchesStdlibFNV(t *testing.T) {
+	prop := func(key string) bool {
+		f := fnv.New64a()
+		_, _ = f.Write([]byte(key))
+		sum := f.Sum64()
+		d := DigestOf(key)
+		return d.h1 == uint32(sum) && d.h2 == uint32(sum>>32)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	for _, key := range []string{"", "a", "openwebawards", "日本語"} {
+		if !prop(key) {
+			t.Errorf("DigestOf(%q) differs from hash/fnv", key)
+		}
+	}
+}
+
+// Property: Positions is exactly PositionsDigest over the precomputed
+// digest, for arbitrary keys.
+func TestPositionsDigestEquivalence(t *testing.T) {
+	h := MustNew(256, 4)
+	prop := func(key string) bool {
+		a := h.Positions(nil, key)
+		b := h.PositionsDigest(nil, DigestOf(key))
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return len(a) == len(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigestOfAllocationFree(t *testing.T) {
+	h := MustNew(256, 4)
+	buf := make([]uint32, 0, 4)
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = h.PositionsDigest(buf[:0], DigestOf("openwebawards"))
+	}); avg != 0 {
+		t.Errorf("DigestOf+PositionsDigest allocates %.1f times per run, want 0", avg)
 	}
 }
 

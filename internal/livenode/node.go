@@ -397,9 +397,14 @@ func (n *Node) runContact(conn io.ReadWriter, initiator bool) error {
 	}
 	s.stats.Initiator = initiator
 	err := s.run(n.cfg.Clock())
-	if err != nil && s.es != nil {
+	if s.es != nil {
 		n.mu.Lock()
-		s.stats.MsgsRefunded += s.es.Abort()
+		if err != nil {
+			s.stats.MsgsRefunded += s.es.Abort()
+		}
+		// Recycle the engine session's scratch arena for the next contact;
+		// on the error path the Abort above already refunded the claims.
+		s.es.Release()
 		n.mu.Unlock()
 	}
 	s.stats.Duration = time.Since(start)

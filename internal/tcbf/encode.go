@@ -52,58 +52,121 @@ var (
 // The filter should be settled (Advance) before encoding; Encode reads the
 // counters as they are.
 func (f *Filter) Encode(mode CounterMode) ([]byte, error) {
+	return f.EncodeTo(nil, mode)
+}
+
+// EncodeTo appends the filter's wire encoding to dst and returns the
+// extended slice — the same bytes Encode produces, but into a
+// caller-reused buffer, so a warm hot path encodes without allocating.
+func (f *Filter) EncodeTo(dst []byte, mode CounterMode) ([]byte, error) {
 	if mode < CountersNone || mode > CountersFull {
 		return nil, fmt.Errorf("tcbf: unknown counter mode %d", mode)
 	}
-	set := make([]uint32, 0, f.SetBits())
-	maxC := 0.0
-	for p, c := range f.counters {
+	nSet, maxC := 0, 0.0
+	for _, c := range f.counters {
 		if c > 0 {
-			set = append(set, uint32(p))
+			nSet++
 			if c > maxC {
 				maxC = c
 			}
 		}
 	}
 	locBits := bitsFor(f.M())
-	useBitmap := len(set)*locBits >= f.M()
+	useBitmap := nSet*locBits >= f.M()
 
-	var buf []byte
-	buf = append(buf, wireMagic)
+	dst = append(dst, wireMagic)
 	flags := byte(mode)
 	if useBitmap {
 		flags |= flagBitmap
 	}
-	buf = append(buf, flags)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(f.M()))
-	buf = append(buf, byte(f.K()))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(set)))
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.M()))
+	dst = append(dst, byte(f.K()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(nSet))
 
 	if useBitmap {
-		bm := make([]byte, (f.M()+7)/8)
-		for _, p := range set {
-			bm[p/8] |= 1 << (p % 8)
+		start := len(dst)
+		for n := (f.M() + 7) / 8; n > 0; n-- {
+			dst = append(dst, 0)
 		}
-		buf = append(buf, bm...)
+		for p, c := range f.counters {
+			if c > 0 {
+				dst[start+p/8] |= 1 << (p % 8)
+			}
+		}
 	} else {
-		var bw bitWriter
-		for _, p := range set {
-			bw.write(uint64(p), locBits)
+		// Pack each set position in locBits bits, MSB first.
+		var cur uint64
+		ncur := 0
+		for p, c := range f.counters {
+			if c <= 0 {
+				continue
+			}
+			for i := locBits - 1; i >= 0; i-- {
+				cur = cur<<1 | (uint64(p)>>uint(i))&1
+				ncur++
+				if ncur == 8 {
+					dst = append(dst, byte(cur))
+					cur, ncur = 0, 0
+				}
+			}
 		}
-		buf = append(buf, bw.finish()...)
+		if ncur > 0 {
+			dst = append(dst, byte(cur<<uint(8-ncur)))
+		}
 	}
 
 	switch mode {
 	case CountersNone:
 	case CountersUniform:
-		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(maxC))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(maxC))
 	case CountersFull:
-		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(maxC))
-		for _, p := range set {
-			buf = append(buf, quantize(f.counters[p], maxC))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(maxC))
+		for _, c := range f.counters {
+			if c > 0 {
+				dst = append(dst, quantize(c, maxC))
+			}
 		}
 	}
-	return buf, nil
+	return dst, nil
+}
+
+// wireHeader is the parsed fixed-size prefix of a filter encoding.
+type wireHeader struct {
+	mode   CounterMode
+	bitmap bool
+	m, k   int
+	nSet   int
+	body   []byte
+}
+
+// parseHeader validates the fixed 11-byte header and returns it with the
+// remaining body bytes.
+func parseHeader(data []byte) (wireHeader, error) {
+	var h wireHeader
+	if len(data) < 11 {
+		return h, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if data[0] != wireMagic {
+		return h, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, data[0])
+	}
+	flags := data[1]
+	h.mode = CounterMode(flags &^ flagBitmap)
+	if h.mode < CountersNone || h.mode > CountersFull {
+		return h, fmt.Errorf("%w: unknown counter mode %d", ErrCorrupt, h.mode)
+	}
+	h.bitmap = flags&flagBitmap != 0
+	h.m = int(binary.BigEndian.Uint32(data[2:6]))
+	h.k = int(data[6])
+	h.nSet = int(binary.BigEndian.Uint32(data[7:11]))
+	if h.m > maxWireM {
+		return h, fmt.Errorf("%w: bit-vector length %d exceeds decoder cap %d", ErrCorrupt, h.m, maxWireM)
+	}
+	if h.nSet > h.m {
+		return h, fmt.Errorf("%w: %d set bits exceed vector length %d", ErrCorrupt, h.nSet, h.m)
+	}
+	h.body = data[11:]
+	return h, nil
 }
 
 // Decode reconstructs a filter from data. The decay configuration (initial
@@ -116,101 +179,135 @@ func (f *Filter) Encode(mode CounterMode) ([]byte, error) {
 // Filters encoded with CountersNone decode with every set counter equal to
 // cfg.Initial.
 func Decode(data []byte, cfg Config, now time.Duration) (*Filter, error) {
-	if len(data) < 11 {
-		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
 	}
-	if data[0] != wireMagic {
-		return nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, data[0])
+	if cfg.M != 0 && cfg.M != h.m {
+		return nil, fmt.Errorf("%w: wire m=%d, expected %d", ErrCorrupt, h.m, cfg.M)
 	}
-	flags := data[1]
-	mode := CounterMode(flags &^ flagBitmap)
-	if mode < CountersNone || mode > CountersFull {
-		return nil, fmt.Errorf("%w: unknown counter mode %d", ErrCorrupt, mode)
+	if cfg.K != 0 && cfg.K != h.k {
+		return nil, fmt.Errorf("%w: wire k=%d, expected %d", ErrCorrupt, h.k, cfg.K)
 	}
-	m := int(binary.BigEndian.Uint32(data[2:6]))
-	k := int(data[6])
-	nSet := int(binary.BigEndian.Uint32(data[7:11]))
-	if m > maxWireM {
-		return nil, fmt.Errorf("%w: bit-vector length %d exceeds decoder cap %d", ErrCorrupt, m, maxWireM)
-	}
-	if cfg.M != 0 && cfg.M != m {
-		return nil, fmt.Errorf("%w: wire m=%d, expected %d", ErrCorrupt, m, cfg.M)
-	}
-	if cfg.K != 0 && cfg.K != k {
-		return nil, fmt.Errorf("%w: wire k=%d, expected %d", ErrCorrupt, k, cfg.K)
-	}
-	if nSet > m {
-		return nil, fmt.Errorf("%w: %d set bits exceed vector length %d", ErrCorrupt, nSet, m)
-	}
-	cfg.M, cfg.K = m, k
+	cfg.M, cfg.K = h.m, h.k
 	f, err := New(cfg, now)
 	if err != nil {
 		return nil, err
 	}
-	f.merged = true
-
-	body := data[11:]
-	set := make([]uint32, 0, nSet)
-	if flags&flagBitmap != 0 {
-		need := (m + 7) / 8
-		if len(body) < need {
-			return nil, fmt.Errorf("%w: truncated bitmap", ErrCorrupt)
-		}
-		for p := 0; p < m; p++ {
-			if body[p/8]&(1<<(p%8)) != 0 {
-				set = append(set, uint32(p))
-			}
-		}
-		if len(set) != nSet {
-			return nil, fmt.Errorf("%w: bitmap has %d set bits, header says %d", ErrCorrupt, len(set), nSet)
-		}
-		body = body[need:]
-	} else {
-		locBits := bitsFor(m)
-		need := (nSet*locBits + 7) / 8
-		if len(body) < need {
-			return nil, fmt.Errorf("%w: truncated location list", ErrCorrupt)
-		}
-		br := bitReader{data: body[:need]}
-		for i := 0; i < nSet; i++ {
-			v, ok := br.read(locBits)
-			if !ok || v >= uint64(m) {
-				return nil, fmt.Errorf("%w: bad location", ErrCorrupt)
-			}
-			set = append(set, uint32(v))
-		}
-		body = body[need:]
-	}
-
-	switch mode {
-	case CountersNone:
-		for _, p := range set {
-			f.counters[p] = cfg.Initial
-		}
-	case CountersUniform:
-		if len(body) < 8 {
-			return nil, fmt.Errorf("%w: truncated uniform counter", ErrCorrupt)
-		}
-		v := math.Float64frombits(binary.BigEndian.Uint64(body[:8]))
-		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("%w: bad counter value %g", ErrCorrupt, v)
-		}
-		for _, p := range set {
-			f.counters[p] = v
-		}
-	case CountersFull:
-		if len(body) < 8+len(set) {
-			return nil, fmt.Errorf("%w: truncated counters", ErrCorrupt)
-		}
-		maxC := math.Float64frombits(binary.BigEndian.Uint64(body[:8]))
-		if maxC < 0 || math.IsNaN(maxC) || math.IsInf(maxC, 0) {
-			return nil, fmt.Errorf("%w: bad counter scale %g", ErrCorrupt, maxC)
-		}
-		for i, p := range set {
-			f.counters[p] = dequantize(body[8+i], maxC)
-		}
+	if err := f.decodeBody(h); err != nil {
+		return nil, err
 	}
 	return f, nil
+}
+
+// DecodeInto reconstructs a filter from data in place, reusing f's counter
+// slab instead of allocating a fresh filter — the hot-path variant of
+// Decode for a scratch filter reused across contacts. The wire geometry
+// must match f's (the protocol fixes m and k globally); on any error f is
+// left in an unspecified state and must be Reset before reuse. As with
+// Decode, f's clock restarts at now and f is marked merged.
+func (f *Filter) DecodeInto(data []byte, now time.Duration) error {
+	h, err := parseHeader(data)
+	if err != nil {
+		return err
+	}
+	if h.m != f.M() || h.k != f.K() {
+		return fmt.Errorf("%w: wire geometry (%d,%d), filter has (%d,%d)",
+			ErrCorrupt, h.m, h.k, f.M(), f.K())
+	}
+	f.Reset(now)
+	return f.decodeBody(h)
+}
+
+// decodeBody fills a zeroed filter of matching geometry from a parsed
+// encoding, marking it merged. It allocates nothing.
+func (f *Filter) decodeBody(h wireHeader) error {
+	f.merged = true
+	body := h.body
+	if h.bitmap {
+		need := (h.m + 7) / 8
+		if len(body) < need {
+			return fmt.Errorf("%w: truncated bitmap", ErrCorrupt)
+		}
+		found := 0
+		for p := 0; p < h.m; p++ {
+			if body[p/8]&(1<<(p%8)) != 0 {
+				found++
+			}
+		}
+		if found != h.nSet {
+			return fmt.Errorf("%w: bitmap has %d set bits, header says %d", ErrCorrupt, found, h.nSet)
+		}
+	} else {
+		locBits := bitsFor(h.m)
+		need := (h.nSet*locBits + 7) / 8
+		if len(body) < need {
+			return fmt.Errorf("%w: truncated location list", ErrCorrupt)
+		}
+	}
+
+	// Determine the counter value source before walking the positions, so
+	// positions and counters stream through in one paired pass.
+	var uniform, maxC float64
+	counters := []byte(nil)
+	locEnd := 0
+	switch h.bitmap {
+	case true:
+		locEnd = (h.m + 7) / 8
+	case false:
+		locEnd = (h.nSet*bitsFor(h.m) + 7) / 8
+	}
+	switch h.mode {
+	case CountersNone:
+		uniform = f.cfg.Initial
+	case CountersUniform:
+		if len(body) < locEnd+8 {
+			return fmt.Errorf("%w: truncated uniform counter", ErrCorrupt)
+		}
+		uniform = math.Float64frombits(binary.BigEndian.Uint64(body[locEnd:]))
+		if uniform < 0 || math.IsNaN(uniform) || math.IsInf(uniform, 0) {
+			return fmt.Errorf("%w: bad counter value %g", ErrCorrupt, uniform)
+		}
+	case CountersFull:
+		if len(body) < locEnd+8+h.nSet {
+			return fmt.Errorf("%w: truncated counters", ErrCorrupt)
+		}
+		maxC = math.Float64frombits(binary.BigEndian.Uint64(body[locEnd:]))
+		if maxC < 0 || math.IsNaN(maxC) || math.IsInf(maxC, 0) {
+			return fmt.Errorf("%w: bad counter scale %g", ErrCorrupt, maxC)
+		}
+		counters = body[locEnd+8:]
+	}
+
+	if h.bitmap {
+		i := 0
+		for p := 0; p < h.m; p++ {
+			if body[p/8]&(1<<(p%8)) == 0 {
+				continue
+			}
+			if counters != nil {
+				f.counters[p] = dequantize(counters[i], maxC)
+			} else {
+				f.counters[p] = uniform
+			}
+			i++
+		}
+	} else {
+		locBits := bitsFor(h.m)
+		br := bitReader{data: body[:locEnd]}
+		for i := 0; i < h.nSet; i++ {
+			v, ok := br.read(locBits)
+			if !ok || v >= uint64(h.m) {
+				return fmt.Errorf("%w: bad location", ErrCorrupt)
+			}
+			if counters != nil {
+				f.counters[v] = dequantize(counters[i], maxC)
+			} else {
+				f.counters[v] = uniform
+			}
+		}
+	}
+	return nil
 }
 
 // WireSize returns the number of bytes Encode would produce in the given
@@ -274,31 +371,6 @@ func bitsFor(m int) int {
 		b = 1
 	}
 	return b
-}
-
-type bitWriter struct {
-	out  []byte
-	cur  uint64
-	ncur int
-}
-
-func (w *bitWriter) write(v uint64, bits int) {
-	for i := bits - 1; i >= 0; i-- {
-		w.cur = w.cur<<1 | (v>>uint(i))&1
-		w.ncur++
-		if w.ncur == 8 {
-			w.out = append(w.out, byte(w.cur))
-			w.cur, w.ncur = 0, 0
-		}
-	}
-}
-
-func (w *bitWriter) finish() []byte {
-	if w.ncur > 0 {
-		w.out = append(w.out, byte(w.cur<<uint(8-w.ncur)))
-		w.cur, w.ncur = 0, 0
-	}
-	return w.out
 }
 
 type bitReader struct {

@@ -234,6 +234,33 @@ func TestBitsFor(t *testing.T) {
 	}
 }
 
+// bitWriter is the test-side inverse of bitReader: EncodeTo packs location
+// bits inline, so the round-trip partner lives here.
+type bitWriter struct {
+	out  []byte
+	cur  uint64
+	ncur int
+}
+
+func (w *bitWriter) write(v uint64, bits int) {
+	for i := bits - 1; i >= 0; i-- {
+		w.cur = w.cur<<1 | (v>>uint(i))&1
+		w.ncur++
+		if w.ncur == 8 {
+			w.out = append(w.out, byte(w.cur))
+			w.cur, w.ncur = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) finish() []byte {
+	if w.ncur > 0 {
+		w.out = append(w.out, byte(w.cur<<uint(8-w.ncur)))
+		w.cur, w.ncur = 0, 0
+	}
+	return w.out
+}
+
 func TestBitWriterReaderRoundTrip(t *testing.T) {
 	var w bitWriter
 	vals := []uint64{0, 1, 255, 13, 200, 7}

@@ -1,0 +1,343 @@
+package tcbf
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// This file checks the TCBF against a deliberately naive reference model: a
+// map of position → counter, straight-line reimplementations of insert,
+// decay, both merges, and both queries, and an independent stdlib-FNV
+// reimplementation of the double-hashing position derivation. A randomized
+// op tape drives the real filter and the model in lockstep, comparing the
+// full counter state bit-for-bit after every op — so every fast-path
+// shortcut in the production code (inline FNV, precomputed digests, scratch
+// reuse, in-place encode/decode) must agree exactly with the obvious
+// implementation. FuzzTCBFModel feeds the same interpreter
+// coverage-guided tapes.
+
+// refPositions derives the k bit positions for key with hash/fnv and
+// uint64 arithmetic — independent of hashkit's inline FNV and
+// overflow-avoiding modular stepping.
+func refPositions(m, k int, key string) []int {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, key)
+	sum := h.Sum64()
+	h1 := uint64(uint32(sum))
+	h2 := uint64(uint32(sum>>32) | 1)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = int((h1%uint64(m) + uint64(i)*(h2%uint64(m))) % uint64(m))
+	}
+	return out
+}
+
+// refTCBF is the reference model. Counters live in a map (absent == 0);
+// every temporal rule is written out longhand.
+type refTCBF struct {
+	m, k   int
+	cfg    Config
+	c      map[int]float64
+	last   time.Duration
+	merged bool
+}
+
+func newRefTCBF(cfg Config, now time.Duration) *refTCBF {
+	return &refTCBF{m: cfg.M, k: cfg.K, cfg: cfg, c: make(map[int]float64), last: now}
+}
+
+func (r *refTCBF) advance(now time.Duration) {
+	elapsed := now - r.last
+	r.last = now
+	if elapsed == 0 || r.cfg.DecayPerMinute == 0 {
+		return
+	}
+	dec := r.cfg.DecayPerMinute * elapsed.Minutes()
+	for p, c := range r.c {
+		c -= dec
+		if c <= 0 {
+			delete(r.c, p)
+		} else {
+			r.c[p] = c
+		}
+	}
+}
+
+func (r *refTCBF) insert(key string, now time.Duration) error {
+	if r.merged {
+		return ErrMerged
+	}
+	r.advance(now)
+	for _, p := range refPositions(r.m, r.k, key) {
+		if r.c[p] == 0 {
+			r.c[p] = r.cfg.Initial
+		}
+	}
+	return nil
+}
+
+func (r *refTCBF) merge(other *refTCBF, now time.Duration, additive bool) {
+	r.advance(now)
+	other.advance(now)
+	for p, c := range other.c {
+		switch {
+		case r.c[p] == 0:
+			r.c[p] = c
+		case additive:
+			r.c[p] = r.c[p] + c
+		default:
+			r.c[p] = math.Max(r.c[p], c)
+		}
+	}
+	r.merged = true
+}
+
+func (r *refTCBF) contains(key string, now time.Duration) bool {
+	r.advance(now)
+	for _, p := range refPositions(r.m, r.k, key) {
+		if r.c[p] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *refTCBF) minCounter(key string, now time.Duration) float64 {
+	r.advance(now)
+	minC := math.Inf(1)
+	for _, p := range refPositions(r.m, r.k, key) {
+		if r.c[p] < minC {
+			minC = r.c[p]
+		}
+	}
+	if math.IsInf(minC, 1) {
+		return 0
+	}
+	return minC
+}
+
+func (r *refTCBF) setDF(perMinute float64, now time.Duration) {
+	r.advance(now)
+	r.cfg.DecayPerMinute = perMinute
+}
+
+func (r *refTCBF) reset(now time.Duration) {
+	r.c = make(map[int]float64)
+	r.last = now
+	r.merged = false
+}
+
+// modelState is the interpreter state: two filter/model pairs (so merges
+// have a source), a monotonic clock, and a scratch filter for DecodeInto.
+type modelState struct {
+	f1, f2  *Filter
+	r1, r2  *refTCBF
+	scratch *Filter
+	now     time.Duration
+}
+
+func newModelState(cfg Config) *modelState {
+	return &modelState{
+		f1:      MustNew(cfg, 0),
+		f2:      MustNew(cfg, 0),
+		r1:      newRefTCBF(cfg, 0),
+		r2:      newRefTCBF(cfg, 0),
+		scratch: MustNew(cfg, 0),
+	}
+}
+
+func (st *modelState) compare(t *testing.T, tag string) {
+	t.Helper()
+	pairs := []struct {
+		name string
+		f    *Filter
+		r    *refTCBF
+	}{{"f1", st.f1, st.r1}, {"f2", st.f2, st.r2}}
+	for _, pr := range pairs {
+		if pr.f.Merged() != pr.r.merged {
+			t.Fatalf("%s: %s merged = %v, model %v", tag, pr.name, pr.f.Merged(), pr.r.merged)
+		}
+		for p := 0; p < pr.r.m; p++ {
+			if got, want := pr.f.Counter(p), pr.r.c[p]; got != want {
+				t.Fatalf("%s: %s counter[%d] = %v, model %v (diff %g)",
+					tag, pr.name, p, got, want, got-want)
+			}
+		}
+	}
+}
+
+// modelKeys is the small key universe; collisions in a 64-bit filter are
+// frequent, which is the point.
+var modelKeys = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+	"golf", "hotel", "india", "juliet", "kilo", "lima",
+}
+
+// step applies one (op, arg) pair to the filter and the model and fails the
+// test on any divergence — in errors, results, or full counter state.
+func (st *modelState) step(t *testing.T, op, arg byte) {
+	t.Helper()
+	key := modelKeys[int(arg)%len(modelKeys)]
+	switch op % 10 {
+	case 0, 1: // insert into f1 / f2
+		f, r := st.f1, st.r1
+		if op%10 == 1 {
+			f, r = st.f2, st.r2
+		}
+		ferr := f.Insert(key, st.now)
+		rerr := r.insert(key, st.now)
+		if (ferr != nil) != (rerr != nil) || (ferr != nil && !errors.Is(ferr, ErrMerged)) {
+			t.Fatalf("insert %q: filter err %v, model err %v", key, ferr, rerr)
+		}
+	case 2: // time passes (fractional minutes exercise decay rounding)
+		st.now += time.Duration(arg) * time.Second
+		if err := st.f1.Advance(st.now); err != nil {
+			t.Fatalf("advance f1: %v", err)
+		}
+		if err := st.f2.Advance(st.now); err != nil {
+			t.Fatalf("advance f2: %v", err)
+		}
+		st.r1.advance(st.now)
+		st.r2.advance(st.now)
+	case 3: // A-merge f2 into f1
+		if err := st.f1.AMerge(st.f2, st.now); err != nil {
+			t.Fatalf("amerge: %v", err)
+		}
+		st.r1.merge(st.r2, st.now, true)
+	case 4: // M-merge f2 into f1
+		if err := st.f1.MMerge(st.f2, st.now); err != nil {
+			t.Fatalf("mmerge: %v", err)
+		}
+		st.r1.merge(st.r2, st.now, false)
+	case 5: // existential query, plain and precomputed
+		got, err := st.f1.Contains(key, st.now)
+		if err != nil {
+			t.Fatalf("contains: %v", err)
+		}
+		gotPre, err := st.f1.ContainsPre(Precompute(key), st.now)
+		if err != nil {
+			t.Fatalf("contains pre: %v", err)
+		}
+		if want := st.r1.contains(key, st.now); got != want || gotPre != want {
+			t.Fatalf("contains %q = %v/%v, model %v", key, got, gotPre, want)
+		}
+	case 6: // min-counter query
+		got, err := st.f1.MinCounter(key, st.now)
+		if err != nil {
+			t.Fatalf("min counter: %v", err)
+		}
+		if want := st.r1.minCounter(key, st.now); got != want {
+			t.Fatalf("min counter %q = %v, model %v", key, got, want)
+		}
+	case 7: // preferential query f2 (peer) vs f1 (self)
+		got, err := Preference(key, st.f2, st.f1, st.now)
+		if err != nil {
+			t.Fatalf("preference: %v", err)
+		}
+		peer := st.r2.minCounter(key, st.now)
+		self := st.r1.minCounter(key, st.now)
+		want := peer
+		if self != 0 {
+			want = peer - self
+		}
+		if got != want {
+			t.Fatalf("preference %q = %v, model %v", key, got, want)
+		}
+	case 8: // wire round-trip: Encode==EncodeTo, Decode==DecodeInto
+		mode := CountersNone + CounterMode(arg)%3
+		st.checkWire(t, mode)
+	case 9: // retune DF (coarse grid keeps decay values interesting)
+		df := float64(arg%40) / 8.0
+		if err := st.f1.SetDecayFactor(df, st.now); err != nil {
+			t.Fatalf("set df: %v", err)
+		}
+		st.r1.setDF(df, st.now)
+		// f2 must stay merge-compatible in geometry only; its DF is
+		// independent, so also reset it occasionally to unlock inserts.
+		if arg%4 == 0 {
+			st.f2.Reset(st.now)
+			st.r2.reset(st.now)
+		}
+	}
+	st.compare(t, "after op")
+}
+
+// checkWire pins the append-style encoder and the in-place decoder to
+// their allocating counterparts on f1's current state.
+func (st *modelState) checkWire(t *testing.T, mode CounterMode) {
+	t.Helper()
+	plain, err := st.f1.Encode(mode)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	prefix := []byte{0xDE, 0xAD}
+	appended, err := st.f1.EncodeTo(prefix, mode)
+	if err != nil {
+		t.Fatalf("encode to: %v", err)
+	}
+	if !bytes.Equal(appended[:2], prefix) || !bytes.Equal(appended[2:], plain) {
+		t.Fatalf("EncodeTo bytes diverge from Encode (mode %d)", mode)
+	}
+	fresh, err := Decode(plain, st.f1.Config(), st.now)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := st.scratch.DecodeInto(plain, st.now); err != nil {
+		t.Fatalf("decode into: %v", err)
+	}
+	for p := 0; p < st.f1.M(); p++ {
+		if fresh.Counter(p) != st.scratch.Counter(p) {
+			t.Fatalf("DecodeInto counter[%d] = %v, Decode %v (mode %d)",
+				p, st.scratch.Counter(p), fresh.Counter(p), mode)
+		}
+	}
+	if fresh.Merged() != st.scratch.Merged() {
+		t.Fatalf("DecodeInto merged = %v, Decode %v", st.scratch.Merged(), fresh.Merged())
+	}
+}
+
+// runModelTape interprets a byte tape as (op, arg) pairs.
+func runModelTape(t *testing.T, tape []byte) {
+	t.Helper()
+	cfg := Config{M: 64, K: 4, Initial: 3, DecayPerMinute: 1}
+	st := newModelState(cfg)
+	for i := 0; i+1 < len(tape); i += 2 {
+		st.step(t, tape[i], tape[i+1])
+	}
+}
+
+// TestTCBFDifferentialModel drives long random op tapes; it runs under
+// -race in make check.
+func TestTCBFDifferentialModel(t *testing.T) {
+	const ops = 400
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tape := make([]byte, 2*ops)
+		rng.Read(tape)
+		t.Run("", func(t *testing.T) {
+			runModelTape(t, tape)
+		})
+	}
+}
+
+// FuzzTCBFModel hands the differential interpreter to the fuzzer: any
+// coverage-guided tape on which the filter and the naive model disagree is
+// a real bug.
+func FuzzTCBFModel(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 3, 0, 5, 1, 8, 2})                   // insert, merge, query, wire
+	f.Add([]byte{0, 0, 2, 90, 6, 0, 4, 0, 7, 0})                  // decay then M-merge
+	f.Add([]byte{0, 3, 9, 16, 2, 200, 5, 3, 8, 0, 8, 1, 8, 2})    // DF retune + all wire modes
+	f.Add([]byte{1, 5, 3, 0, 0, 5, 9, 4, 1, 7, 4, 0, 2, 30, 7, 5}) // merged-insert rejection path
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) > 4096 {
+			t.Skip("tape longer than useful")
+		}
+		runModelTape(t, tape)
+	})
+}

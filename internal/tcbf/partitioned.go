@@ -3,7 +3,6 @@ package tcbf
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"time"
 )
 
@@ -55,21 +54,49 @@ func (p *Partitioned) Partitions() int { return len(p.parts) }
 // Config returns the per-partition configuration.
 func (p *Partitioned) Config() Config { return p.cfg }
 
+// routeHash is an allocation-free FNV-1a/32 over a 0x7A prefix byte plus
+// the key bytes — the same digest hash/fnv produced for the original
+// two-Write sequence, domain-separated from hashkit's key hashing.
+func routeHash(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	h ^= 0x7A
+	h *= prime32
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
 // route selects the partition for a key with a hash independent of the
 // filters' bit hashing (different FNV offset via a prefix byte).
 func (p *Partitioned) route(key string) int {
 	if len(p.parts) == 1 {
 		return 0
 	}
-	h := fnv.New32a()
-	_, _ = h.Write([]byte{0x7A}) // domain-separate from hashkit's key hashing
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(p.parts)))
+	return int(routeHash(key) % uint32(len(p.parts)))
+}
+
+// routePre selects the partition for a precomputed key.
+func (p *Partitioned) routePre(k PreKey) int {
+	if len(p.parts) == 1 {
+		return 0
+	}
+	return int(k.route % uint32(len(p.parts)))
 }
 
 // Insert adds key to its partition.
 func (p *Partitioned) Insert(key string, now time.Duration) error {
 	return p.parts[p.route(key)].Insert(key, now)
+}
+
+// InsertPre is Insert for a precomputed key.
+func (p *Partitioned) InsertPre(k PreKey, now time.Duration) error {
+	return p.parts[p.routePre(k)].InsertPre(k, now)
 }
 
 // InsertAll inserts each key.
@@ -82,9 +109,24 @@ func (p *Partitioned) InsertAll(keys []string, now time.Duration) error {
 	return nil
 }
 
+// InsertAllPre inserts each precomputed key.
+func (p *Partitioned) InsertAllPre(keys []PreKey, now time.Duration) error {
+	for _, k := range keys {
+		if err := p.InsertPre(k, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Contains answers the existential query against key's partition.
 func (p *Partitioned) Contains(key string, now time.Duration) (bool, error) {
 	return p.parts[p.route(key)].Contains(key, now)
+}
+
+// ContainsPre is Contains for a precomputed key.
+func (p *Partitioned) ContainsPre(k PreKey, now time.Duration) (bool, error) {
+	return p.parts[p.routePre(k)].ContainsPre(k, now)
 }
 
 // MinCounter returns the key's minimum counter in its partition.
@@ -156,6 +198,24 @@ func PreferencePartitioned(key string, peer, self *Partitioned, now time.Duratio
 	return Preference(key, peer.parts[i], self.parts[i], now)
 }
 
+// PreferencePartitionedPre is PreferencePartitioned for a precomputed key.
+func PreferencePartitionedPre(k PreKey, peer, self *Partitioned, now time.Duration) (float64, error) {
+	if err := self.checkCompatible(peer); err != nil {
+		return 0, err
+	}
+	i := self.routePre(k)
+	return PreferencePre(k, peer.parts[i], self.parts[i], now)
+}
+
+// Reset clears every partition to the state NewPartitioned would produce,
+// with all clocks at now; it lets a scratch partitioned filter be reused
+// across contacts instead of reallocated.
+func (p *Partitioned) Reset(now time.Duration) {
+	for _, f := range p.parts {
+		f.Reset(now)
+	}
+}
+
 // Clone returns a deep copy.
 func (p *Partitioned) Clone() *Partitioned {
 	parts := make([]*Filter, len(p.parts))
@@ -190,20 +250,31 @@ func (p *Partitioned) EstimatedFPR() float64 {
 // length-prefixed per-partition encodings, empty partitions compressed to
 // a zero length.
 func (p *Partitioned) Encode(mode CounterMode) ([]byte, error) {
-	out := []byte{wireMagic ^ 0x0F, byte(len(p.parts))}
+	return p.EncodeTo(nil, mode)
+}
+
+// EncodeTo appends the partitioned wire encoding to dst and returns the
+// extended slice — the same bytes Encode produces, into a caller-reused
+// buffer.
+func (p *Partitioned) EncodeTo(dst []byte, mode CounterMode) ([]byte, error) {
+	dst = append(dst, wireMagic^0x0F, byte(len(p.parts)))
 	for _, f := range p.parts {
 		if f.SetBits() == 0 {
-			out = binary.BigEndian.AppendUint32(out, 0)
+			dst = binary.BigEndian.AppendUint32(dst, 0)
 			continue
 		}
-		enc, err := f.Encode(mode)
+		// Reserve the length prefix and backpatch it once the partition's
+		// actual encoded size is known.
+		lenAt := len(dst)
+		dst = append(dst, 0, 0, 0, 0)
+		var err error
+		dst, err = f.EncodeTo(dst, mode)
 		if err != nil {
 			return nil, err
 		}
-		out = binary.BigEndian.AppendUint32(out, uint32(len(enc)))
-		out = append(out, enc...)
+		binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // WireSize returns the encoded size in bytes.
@@ -256,4 +327,47 @@ func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
 	}
 	return p, nil
+}
+
+// DecodeInto reconstructs a partitioned filter from data in place, reusing
+// p's counter slabs — the hot-path variant of DecodePartitioned for a
+// scratch filter reused across contacts. The wire partition count and
+// per-partition geometry must match p's (the protocol fixes them
+// globally); on any error p is left in an unspecified state and must be
+// Reset before reuse. As with DecodePartitioned, empty partitions come
+// back as fresh unmerged filters and decoded ones are marked merged, all
+// with clocks at now.
+func (p *Partitioned) DecodeInto(data []byte, now time.Duration) error {
+	if len(data) < 2 {
+		return fmt.Errorf("%w: truncated partitioned header", ErrCorrupt)
+	}
+	if data[0] != wireMagic^0x0F {
+		return fmt.Errorf("%w: bad partitioned magic 0x%02x", ErrCorrupt, data[0])
+	}
+	if h := int(data[1]); h != len(p.parts) {
+		return fmt.Errorf("%w: wire has %d partitions, filter has %d", ErrCorrupt, h, len(p.parts))
+	}
+	rest := data[2:]
+	for _, f := range p.parts {
+		if len(rest) < 4 {
+			return fmt.Errorf("%w: truncated partition length", ErrCorrupt)
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if n == 0 {
+			f.Reset(now)
+			continue
+		}
+		if len(rest) < n {
+			return fmt.Errorf("%w: truncated partition body", ErrCorrupt)
+		}
+		if err := f.DecodeInto(rest[:n], now); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return nil
 }

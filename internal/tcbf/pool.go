@@ -14,6 +14,12 @@ type Pool struct {
 	cfg       Config
 	threshold float64
 	filters   []*Filter
+
+	// free holds filters whose key population fully decayed away; their
+	// counter slabs are reused by the next overflow allocation instead of
+	// going back to the garbage collector. In steady state a pool under
+	// churn allocates no new slabs at all.
+	free []*Filter
 }
 
 // NewPool returns a pool over filters configured by cfg that allocates a
@@ -31,14 +37,15 @@ func NewPool(cfg Config, threshold float64, now time.Duration) (*Pool, error) {
 }
 
 // Insert adds key at time now, allocating a fresh filter first if the
-// current filter's fill ratio exceeds the pool's threshold.
+// current filter's fill ratio exceeds the pool's threshold. Fully-decayed
+// filters recycled by Advance are reused before new slabs are allocated.
 func (p *Pool) Insert(key string, now time.Duration) error {
 	cur := p.filters[len(p.filters)-1]
 	if err := cur.Advance(now); err != nil {
 		return err
 	}
 	if cur.FillRatio() > p.threshold {
-		next, err := New(p.cfg, now)
+		next, err := p.obtain(now)
 		if err != nil {
 			return err
 		}
@@ -46,6 +53,19 @@ func (p *Pool) Insert(key string, now time.Duration) error {
 		cur = next
 	}
 	return cur.Insert(key, now)
+}
+
+// obtain returns an empty filter, recycling a retired slab when one is
+// available.
+func (p *Pool) obtain(now time.Duration) (*Filter, error) {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		f.Reset(now)
+		return f, nil
+	}
+	return New(p.cfg, now)
 }
 
 // Contains reports whether any filter in the pool may contain key at now.
@@ -62,21 +82,28 @@ func (p *Pool) Contains(key string, now time.Duration) (bool, error) {
 	return false, nil
 }
 
-// Advance settles decay on every filter and drops filters that have decayed
-// to empty (keeping at least one).
+// Advance settles decay on every filter, retiring filters that have
+// decayed to empty (keeping at least one) onto the reuse free list.
 func (p *Pool) Advance(now time.Duration) error {
 	kept := p.filters[:0]
+	var retired *Filter
 	for _, f := range p.filters {
 		if err := f.Advance(now); err != nil {
 			return err
 		}
 		if f.SetBits() > 0 {
 			kept = append(kept, f)
+		} else {
+			retired = f
+			p.free = append(p.free, f)
 		}
 	}
 	if len(kept) == 0 {
-		kept = append(kept, p.filters[0])
-		kept[0].Reset(now)
+		// Every filter decayed away: keep the last retired one as the
+		// single live filter.
+		p.free = p.free[:len(p.free)-1]
+		retired.Reset(now)
+		kept = append(kept, retired)
 	}
 	p.filters = kept
 	return nil

@@ -168,19 +168,48 @@ func (f *Filter) Advance(now time.Duration) error {
 	return nil
 }
 
+// PreKey is a key whose hashes — the double-hashing digest that decides
+// its filter bits and the routing hash that picks its partition — have
+// been computed once up front. Hot paths that probe the same key against
+// many filters, or the same filter across many contacts, precompute keys
+// at subscription/store time and never touch the key bytes again.
+type PreKey struct {
+	// Key is the original key string.
+	Key string
+
+	dig   hashkit.Digest
+	route uint32
+}
+
+// Precompute hashes key once for both bit derivation and partition
+// routing. The resulting PreKey behaves identically to the plain string
+// key in every filter operation.
+func Precompute(key string) PreKey {
+	return PreKey{Key: key, dig: hashkit.DigestOf(key), route: routeHash(key)}
+}
+
 // Insert adds key at time now, setting the counters of its hashed bits to
 // the initial value C. Counters that are already non-zero are left
 // unchanged ("the results of insertions are always a TCBF with identical
 // counters of a value of C"). Inserting into a merged filter returns
 // ErrMerged.
 func (f *Filter) Insert(key string, now time.Duration) error {
+	return f.insertDigest(key, hashkit.DigestOf(key), now)
+}
+
+// InsertPre is Insert for a precomputed key.
+func (f *Filter) InsertPre(k PreKey, now time.Duration) error {
+	return f.insertDigest(k.Key, k.dig, now)
+}
+
+func (f *Filter) insertDigest(key string, d hashkit.Digest, now time.Duration) error {
 	if f.merged {
 		return fmt.Errorf("insert %q: %w", key, ErrMerged)
 	}
 	if err := f.Advance(now); err != nil {
 		return err
 	}
-	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	f.scratch = f.hasher.PositionsDigest(f.scratch[:0], d)
 	for _, p := range f.scratch {
 		if f.counters[p] == 0 {
 			f.counters[p] = f.cfg.Initial
@@ -204,10 +233,19 @@ func (f *Filter) InsertAll(keys []string, now time.Duration) error {
 // existential queries, but the FPR tends to decrease over time as decayed
 // elements are removed.
 func (f *Filter) Contains(key string, now time.Duration) (bool, error) {
+	return f.containsDigest(hashkit.DigestOf(key), now)
+}
+
+// ContainsPre is Contains for a precomputed key.
+func (f *Filter) ContainsPre(k PreKey, now time.Duration) (bool, error) {
+	return f.containsDigest(k.dig, now)
+}
+
+func (f *Filter) containsDigest(d hashkit.Digest, now time.Duration) (bool, error) {
 	if err := f.Advance(now); err != nil {
 		return false, err
 	}
-	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	f.scratch = f.hasher.PositionsDigest(f.scratch[:0], d)
 	for _, p := range f.scratch {
 		if f.counters[p] == 0 {
 			return false, nil
@@ -221,10 +259,19 @@ func (f *Filter) Contains(key string, now time.Duration) (bool, error) {
 // under decay is MinCounter/DF, which is why the minimum (not the sum)
 // defines both removal (Section IV-A) and preference.
 func (f *Filter) MinCounter(key string, now time.Duration) (float64, error) {
+	return f.minCounterDigest(hashkit.DigestOf(key), now)
+}
+
+// MinCounterPre is MinCounter for a precomputed key.
+func (f *Filter) MinCounterPre(k PreKey, now time.Duration) (float64, error) {
+	return f.minCounterDigest(k.dig, now)
+}
+
+func (f *Filter) minCounterDigest(d hashkit.Digest, now time.Duration) (float64, error) {
 	if err := f.Advance(now); err != nil {
 		return 0, err
 	}
-	f.scratch = f.hasher.Positions(f.scratch[:0], key)
+	f.scratch = f.hasher.PositionsDigest(f.scratch[:0], d)
 	minC := math.Inf(1)
 	for _, p := range f.scratch {
 		if f.counters[p] < minC {
@@ -282,11 +329,20 @@ func (f *Filter) merge(other *Filter, now time.Duration, combine func(a, b float
 // returns f-g when g is non-zero, or f when g is zero. A positive
 // preference means the peer is a better carrier for messages matching x.
 func Preference(key string, peer, self *Filter, now time.Duration) (float64, error) {
-	pf, err := peer.MinCounter(key, now)
+	return preferenceDigest(hashkit.DigestOf(key), peer, self, now)
+}
+
+// PreferencePre is Preference for a precomputed key.
+func PreferencePre(k PreKey, peer, self *Filter, now time.Duration) (float64, error) {
+	return preferenceDigest(k.dig, peer, self, now)
+}
+
+func preferenceDigest(d hashkit.Digest, peer, self *Filter, now time.Duration) (float64, error) {
+	pf, err := peer.minCounterDigest(d, now)
 	if err != nil {
 		return 0, fmt.Errorf("peer: %w", err)
 	}
-	g, err := self.MinCounter(key, now)
+	g, err := self.minCounterDigest(d, now)
 	if err != nil {
 		return 0, fmt.Errorf("self: %w", err)
 	}
@@ -352,13 +408,13 @@ func (f *Filter) Clone() *Filter {
 	return c
 }
 
-// Reset clears all counters and the merged flag, settling the clock to now.
+// Reset clears all counters and the merged flag and sets the clock to now,
+// returning the filter to the state New would produce — which is what lets
+// scratch filters be reused across contacts instead of reallocated.
 func (f *Filter) Reset(now time.Duration) {
 	for i := range f.counters {
 		f.counters[i] = 0
 	}
 	f.merged = false
-	if now > f.last {
-		f.last = now
-	}
+	f.last = now
 }
