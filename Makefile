@@ -1,7 +1,7 @@
 GO ?= go
 SHADOW := $(shell command -v shadow 2>/dev/null)
 
-.PHONY: build test race vet vet-shadow parity chaos fuzz golden bench-smoke check bench bench-json
+.PHONY: build test race vet vet-shadow lint lint-one parity chaos fuzz golden bench-smoke check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -17,13 +17,25 @@ vet:
 
 # vet-shadow runs the variable-shadowing analyzer when the shadow vettool
 # is installed; otherwise it falls back to a stricter flag subset of the
-# stock vet (still useful, and always available offline).
+# stock vet (still useful, and always available offline; the flag set is
+# verified against go1.24, which accepts all three).
 vet-shadow:
 ifdef SHADOW
 	$(GO) vet -vettool=$(SHADOW) ./...
 else
 	$(GO) vet -unreachable -unusedresult -lostcancel ./...
 endif
+
+# lint runs the repo-specific analyzers (cmd/bsublint): claims settled on
+# every path, allocation-free //bsub:hotpath functions, deterministic
+# core, no blocking I/O under locks, no dropped wire errors. See
+# DESIGN.md §9 for the invariant table.
+lint:
+	$(GO) run ./cmd/bsublint ./...
+
+# lint-one runs a single analyzer, e.g. `make lint-one ANALYZER=lockio`.
+lint-one:
+	$(GO) run ./cmd/bsublint -analyzers $(ANALYZER) ./...
 
 # parity replays one deterministic contact sequence through the simulator
 # adapter and through live TCP-framed nodes under the race detector and
@@ -59,13 +71,13 @@ golden:
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkEngineContact -benchtime 10x ./internal/engine
 
-# check is the PR gate: vet (plus the shadow pass) and the full suite
-# under the race detector, then sim/live parity, the chaos suite, a fuzz
-# smoke pass over the wire decoders, the engine state machine, and the
-# TCBF differential model, the golden-CSV comparison, and a benchmark
-# smoke run. The livenode session adapter is concurrent; never ship it
-# unraced.
-check: vet vet-shadow race parity chaos fuzz golden bench-smoke
+# check is the PR gate: vet (plus the shadow pass), the repo-specific
+# analyzers, and the full suite under the race detector, then sim/live
+# parity, the chaos suite, a fuzz smoke pass over the wire decoders, the
+# engine state machine, and the TCBF differential model, the golden-CSV
+# comparison, and a benchmark smoke run. The livenode session adapter is
+# concurrent; never ship it unraced.
+check: vet vet-shadow lint race parity chaos fuzz golden bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

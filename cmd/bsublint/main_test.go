@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var fixtureDir = filepath.Join("testdata", "module")
+
+func runIn(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(dir, args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunReportsPlantedFindings(t *testing.T) {
+	code, stdout, stderr := runIn(t, fixtureDir, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	lineFormat := regexp.MustCompile(`^[^:]+\.go:\d+: bsub/[a-z]+: .+$`)
+	var lines []string
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if line == "" {
+			continue
+		}
+		if !lineFormat.MatchString(line) {
+			t.Errorf("malformed diagnostic line: %q", line)
+		}
+		lines = append(lines, line)
+	}
+	for _, want := range []string{
+		`hot.go:\d+: bsub/hotpathalloc: hotpath function calls fmt.Sprintf, which allocates`,
+		`internal/engine/clock.go:\d+: bsub/determinism: time.Now reads the wall clock`,
+	} {
+		re := regexp.MustCompile(want)
+		found := false
+		for _, line := range lines {
+			if re.MatchString(line) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr summary missing: %q", stderr)
+	}
+}
+
+func TestRunAnalyzerSubsetClean(t *testing.T) {
+	// The fixture module has no livenode package, so the lockio-only run
+	// comes back clean.
+	code, stdout, stderr := runIn(t, fixtureDir, "-analyzers", "lockio", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed: %q", stdout)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	code, stdout, _ := runIn(t, fixtureDir, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"claimsettle", "hotpathalloc", "determinism", "lockio", "wireerr"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if code, _, _ := runIn(t, fixtureDir, "-analyzers", "nosuch"); code != 2 {
+		t.Errorf("unknown analyzer: exit = %d, want 2", code)
+	}
+	if code, _, _ := runIn(t, fixtureDir, "-bogusflag"); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+}

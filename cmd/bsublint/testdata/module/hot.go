@@ -1,0 +1,11 @@
+// Package fixturemod is the bsublint integration fixture: a tiny module
+// with one planted finding per layer the driver must report.
+package fixturemod
+
+import "fmt"
+
+//bsub:hotpath
+func hotFormat(x int) {
+	s := fmt.Sprintf("%d", x)
+	_ = s
+}

@@ -1,0 +1,9 @@
+// Package engine plants a determinism finding inside the analyzer's
+// scoped package set.
+package engine
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}

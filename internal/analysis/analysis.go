@@ -77,6 +77,8 @@ func FPRFromFillRatio(fr float64, k int) float64 {
 // paper n = |N| is the number of keys a broker collects within the delay
 // bound and p = k/m is the per-bit collision probability; the result is the
 // expected number of accidental increments on a key's weakest counter.
+//
+//bsub:hotpath
 func ExpectedMinBinomial(n int, p float64, k int) float64 {
 	if n <= 0 || p <= 0 {
 		return 0
@@ -114,6 +116,8 @@ func ExpectedMinBinomial(n int, p float64, k int) float64 {
 // collects within T, m and k the filter geometry, and delta the small
 // safety constant the paper adds for the cases the analysis ignores
 // (M-merge inflation).
+//
+//bsub:hotpath
 func DecayFactor(initial float64, nKeys, m, k int, tMinutes, delta float64) (float64, error) {
 	if initial <= 0 {
 		return 0, fmt.Errorf("analysis: initial counter value must be positive, got %g", initial)
@@ -256,6 +260,8 @@ func ceilLog2(m int) int {
 }
 
 // logChoose returns ln(n choose c) via the log-gamma function.
+//
+//bsub:hotpath
 func logChoose(n, c int) float64 {
 	if c < 0 || c > n {
 		return math.Inf(-1)

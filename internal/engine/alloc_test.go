@@ -115,8 +115,11 @@ func TestContactAllocationFree(t *testing.T) {
 						t.Fatal(err)
 					}
 				}
-				// Release refunds the carried-copy claims, so the stores
-				// return to the seeded state for the next run.
+				// Abort refunds the carried-copy claims, so the stores
+				// return to the seeded state for the next run; Release then
+				// recycles the (claim-free) sessions.
+				sr.Abort()
+				sl.Abort()
 				sr.Release()
 				sl.Release()
 			}

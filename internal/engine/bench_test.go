@@ -138,10 +138,12 @@ func BenchmarkEngineContact(b *testing.B) {
 					}
 				}
 
-				// Release refunds the forwarding claims — the stores return
-				// to their seeded state — and recycles both sessions'
-				// scratch arenas, so warm iterations measure the
+				// Abort refunds the forwarding claims — the stores return
+				// to their seeded state — and Release recycles both
+				// sessions' scratch arenas, so warm iterations measure the
 				// steady-state (allocation-free) contact path.
+				sr.Abort()
+				sl.Abort()
 				sr.Release()
 				sl.Release()
 			}

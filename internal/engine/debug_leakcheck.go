@@ -1,0 +1,15 @@
+//go:build bsubdebug
+
+package engine
+
+import "fmt"
+
+// Under the bsubdebug tag, a Release that has to refund unsettled claims
+// panics instead of silently mopping up. Severed live contacts legitimately
+// release mid-claim, so this stays out of production builds; simulator and
+// test runs compiled with -tags bsubdebug turn claim leaks into crashes.
+func init() {
+	claimLeakHook = func(leaked int) {
+		panic(fmt.Sprintf("engine: Release refunded %d unsettled claim(s); callers must Commit or Abort every claim", leaked))
+	}
+}

@@ -162,6 +162,8 @@ func (c Config) FilterConfig() tcbf.Config {
 }
 
 // partitions normalizes the configured partition count (zero means one).
+//
+//bsub:hotpath
 func (c Config) partitions() int {
 	if c.RelayPartitions < 1 {
 		return 1

@@ -106,6 +106,10 @@ func FuzzSessionSteps(f *testing.F) {
 			pending = kept
 			for _, s := range []*Session{sa, sb} {
 				if s != nil {
+					// Abort plays the adapter's part on a severed contact —
+					// refund whatever was claimed — so Release never has
+					// leftovers to mop up (see claimLeakHook).
+					s.Abort()
 					s.Release()
 				}
 			}

@@ -234,6 +234,8 @@ func (n *Node) RelayDF() float64 {
 // Promote installs a fresh relay filter and makes the node a broker.
 // Idempotent. Exported for adapters and tests; inside a contact the
 // election (Session.Apply) calls it.
+//
+//bsub:coldpath
 func (n *Node) Promote(now time.Duration) {
 	if n.broker {
 		return
@@ -245,6 +247,8 @@ func (n *Node) Promote(now time.Duration) {
 // Demote returns the node to plain-user duty. Carried copies remain until
 // TTL so already-replicated messages can still reach consumers the
 // ex-broker meets directly. Idempotent.
+//
+//bsub:coldpath
 func (n *Node) Demote() {
 	n.broker = false
 	n.relay = nil
@@ -253,18 +257,24 @@ func (n *Node) Demote() {
 // RecordMeeting notes a contact with peer at the given time (Session
 // records it automatically; exported for tests and adapters seeding
 // history).
+//
+//bsub:hotpath
 func (n *Node) RecordMeeting(peer NodeID, at time.Duration) {
 	n.meetings[peer] = at
 }
 
 // RecordBrokerSighting seeds the election history with a broker sighting
 // (tests and adapters; Session records sightings automatically).
+//
+//bsub:hotpath
 func (n *Node) RecordBrokerSighting(peer NodeID, degree int, at time.Duration) {
 	n.sightings[peer] = sighting{at: at, degree: degree}
 }
 
 // Degree counts (and prunes) the distinct peers met within the election
 // window ending at now.
+//
+//bsub:hotpath
 func (n *Node) Degree(now time.Duration) int {
 	d := 0
 	for peer, at := range n.meetings {
@@ -281,6 +291,8 @@ func (n *Node) Degree(now time.Duration) int {
 // it can use a different horizon than the election's Window. Entries older
 // than the election window may already be pruned; the count is then a
 // conservative lower bound.
+//
+//bsub:hotpath
 func (n *Node) countPeers(now, window time.Duration) int {
 	d := 0
 	for _, at := range n.meetings {
@@ -294,6 +306,8 @@ func (n *Node) countPeers(now, window time.Duration) int {
 // brokersInWindow returns the number of distinct brokers sighted within
 // the window and the mean of their last-reported degrees, pruning expired
 // sightings.
+//
+//bsub:hotpath
 func (n *Node) brokersInWindow(now time.Duration) (count int, meanDegree float64) {
 	sum := 0
 	for id, s := range n.sightings {
@@ -313,6 +327,8 @@ func (n *Node) brokersInWindow(now time.Duration) (count int, meanDegree float64
 // RetuneDF maintains the broker's decaying factor per the configured
 // policy (Sections VI-B / VII-B). Session.Apply calls it once per contact;
 // exported for tests.
+//
+//bsub:hotpath
 func (n *Node) RetuneDF(now time.Duration) {
 	if n.cfg.DFMode == DFFixed || !n.broker || n.relay == nil {
 		return

@@ -116,6 +116,8 @@ type Session struct {
 // BeginContact opens a contact session at the given time, reusing a
 // released session's scratch arena when one is available. The hello
 // snapshot (role, degree) is taken before the meeting itself is recorded.
+//
+//bsub:hotpath
 func (n *Node) BeginContact(budget Budget, now time.Duration) *Session {
 	if budget == nil {
 		budget = Unlimited{}
@@ -143,21 +145,41 @@ func (n *Node) BeginContact(budget Budget, now time.Duration) *Session {
 	return s
 }
 
+// claimLeakHook, when non-nil, observes the number of unsettled claims a
+// Release had to refund. Well-behaved adapters settle every claim before
+// releasing, so a non-zero count is a copy-accounting bug waiting to
+// happen under the conservation invariant. Tests install an observer to
+// assert hygiene; builds with the bsubdebug tag install a panicking hook
+// at init so leaks fail loudly during development runs.
+var claimLeakHook func(leaked int)
+
 // Release ends the session's lifecycle: any unsettled claim is refunded
 // (as by Abort) and the session's scratch arena returns to the node, where
 // the next BeginContact reuses its filters, buffers, and claim records.
 // The session, its claims, and any slice a step returned must not be used
 // after Release. Idempotent.
+//
+// Release forgives unsettled claims only as a severed-contact backstop:
+// the refund keeps conservation intact, but leaving claims for Release to
+// mop up is a bug in the caller. claimLeakHook (always-on under the
+// bsubdebug build tag) asserts that the count is zero.
+//
+//bsub:hotpath
 func (s *Session) Release() {
 	if s.released {
 		return
 	}
-	s.Abort()
+	leaked := s.Abort()
+	if leaked > 0 && claimLeakHook != nil {
+		claimLeakHook(leaked)
+	}
 	s.released = true
 	s.n.freeSessions = append(s.n.freeSessions, s)
 }
 
 // scratchPartitioned lazily builds the partitioned scratch filter in slot.
+//
+//bsub:coldpath
 func (s *Session) scratchPartitioned(slot **tcbf.Partitioned) *tcbf.Partitioned {
 	if *slot == nil {
 		*slot = tcbf.MustNewPartitioned(s.n.fcfg, s.n.cfg.partitions(), s.now)
@@ -166,6 +188,8 @@ func (s *Session) scratchPartitioned(slot **tcbf.Partitioned) *tcbf.Partitioned 
 }
 
 // scratchFilter lazily builds the plain scratch filter in slot.
+//
+//bsub:coldpath
 func (s *Session) scratchFilter(slot **tcbf.Filter) *tcbf.Filter {
 	if *slot == nil {
 		*slot = tcbf.MustNew(s.n.fcfg, s.now)
@@ -174,15 +198,23 @@ func (s *Session) scratchFilter(slot **tcbf.Filter) *tcbf.Filter {
 }
 
 // Hello returns the announcement this side opens the contact with.
+//
+//bsub:hotpath
 func (s *Session) Hello() Hello { return s.hello }
 
 // Peer returns the peer's announcement (zero until SetPeer).
+//
+//bsub:hotpath
 func (s *Session) Peer() Hello { return s.peer }
 
 // Now returns the contact time.
+//
+//bsub:hotpath
 func (s *Session) Now() time.Duration { return s.now }
 
 // SetPeer ingests the peer's hello and records the meeting.
+//
+//bsub:hotpath
 func (s *Session) SetPeer(peer Hello) {
 	s.peer = peer
 	s.peerSet = true
@@ -193,6 +225,8 @@ func (s *Session) SetPeer(peer Hello) {
 // side's verdict for the peer. Brokers never run allocation; users count
 // the distinct brokers sighted within the window and promote the peer
 // below T_l, or demote a below-mean-degree broker peer above T_u.
+//
+//bsub:hotpath
 func (s *Session) Elect() Action {
 	if !s.peerSet || s.helloBroker {
 		return ActNone
@@ -215,6 +249,8 @@ func (s *Session) Elect() Action {
 // Apply settles the election: own is this side's verdict from Elect, peer
 // is the verdict the peer sent for us. It fixes the roles every later
 // step uses, runs the DF retuning policy, and pins the relay filter.
+//
+//bsub:hotpath
 func (s *Session) Apply(own, peer Action) {
 	if own == ActPromote && peer == ActPromote {
 		// Mutual designation (two users in a broker-scarce neighbourhood
@@ -260,25 +296,37 @@ func (s *Session) Apply(own, peer Action) {
 }
 
 // SelfBroker reports this side's post-election role.
+//
+//bsub:hotpath
 func (s *Session) SelfBroker() bool { return s.selfBroker }
 
 // PeerBroker reports the peer's post-election role.
+//
+//bsub:hotpath
 func (s *Session) PeerBroker() bool { return s.peerBroker }
 
 // RelayExchange reports whether this contact is broker-broker.
+//
+//bsub:hotpath
 func (s *Session) RelayExchange() bool { return s.selfBroker && s.peerBroker }
 
 // SendsGenuine reports whether this side propagates its genuine interest
 // filter (consumer meeting a broker).
+//
+//bsub:hotpath
 func (s *Session) SendsGenuine() bool { return s.peerBroker && !s.selfBroker }
 
 // ReceivesGenuine reports whether this side absorbs the peer's genuine
 // interest filter (broker meeting a consumer).
+//
+//bsub:hotpath
 func (s *Session) ReceivesGenuine() bool { return s.selfBroker && !s.peerBroker }
 
 // GenuineOut encodes this node's genuine interest filter (counters at
 // the uniform initial value) for A-merge into the peer broker's relay
 // filter. Returns nil, nil when the budget refuses the transfer.
+//
+//bsub:hotpath
 func (s *Session) GenuineOut() ([]byte, error) {
 	g := s.scratchPartitioned(&s.genuineBuf)
 	g.Reset(s.now)
@@ -299,6 +347,8 @@ func (s *Session) GenuineOut() ([]byte, error) {
 // AbsorbGenuine A-merges a peer consumer's genuine filter into the relay
 // filter ("brokers use A-merge to merge the genuine filters of
 // consumers"). A nil/empty input (peer budget refusal) is a no-op.
+//
+//bsub:hotpath
 func (s *Session) AbsorbGenuine(data []byte) error {
 	if len(data) == 0 || s.relay == nil {
 		return nil
@@ -316,6 +366,8 @@ func (s *Session) AbsorbGenuine(data []byte) error {
 // RelayOut advances and encodes this broker's relay filter with full
 // counters for the broker-broker exchange. Returns nil, nil when the
 // budget refuses.
+//
+//bsub:hotpath
 func (s *Session) RelayOut() ([]byte, error) {
 	if s.relay == nil {
 		return nil, nil
@@ -337,6 +389,8 @@ func (s *Session) RelayOut() ([]byte, error) {
 // SetPeerRelay ingests the peer broker's encoded relay filter — its
 // pre-merge state, which forwarding decisions and MergeRelay both use.
 // nil/empty input leaves the peer relay unset (no exchange happened).
+//
+//bsub:hotpath
 func (s *Session) SetPeerRelay(data []byte) error {
 	if len(data) == 0 {
 		return nil
@@ -358,6 +412,8 @@ func (s *Session) SetPeerRelay(data []byte) error {
 // peer's pre-merge relay filter, largest first (ties by ascending ID).
 // "The two brokers ... make message forwarding decisions before merging
 // their relay filters."
+//
+//bsub:hotpath
 func (s *Session) ForwardCandidates() ([]Forward, error) {
 	if s.relay == nil || s.peerRelay == nil {
 		return nil, nil
@@ -399,6 +455,8 @@ func (s *Session) ForwardCandidates() ([]Forward, error) {
 // MergeRelay folds the peer's pre-merge relay filter into this broker's
 // (M-merge by default; A-merge between brokers is the Fig. 6 ablation).
 // Run it after forwarding decisions. No-op without a completed exchange.
+//
+//bsub:hotpath
 func (s *Session) MergeRelay() error {
 	if s.relay == nil || s.peerRelay == nil {
 		return nil
@@ -413,6 +471,8 @@ func (s *Session) MergeRelay() error {
 // filter ("the consumer reports its interests in a BF (not TCBF)") to
 // pull deliveries from the peer. Returns nil, nil when the budget
 // refuses.
+//
+//bsub:hotpath
 func (s *Session) InterestOut() ([]byte, error) {
 	f := s.scratchFilter(&s.interestBuf)
 	f.Reset(s.now)
@@ -437,6 +497,8 @@ func (s *Session) InterestOut() ([]byte, error) {
 // carried copies (which the peer consumes — a carried delivery hands the
 // copy off). Matching is probabilistic; the receiver decides whether a
 // delivery was genuine.
+//
+//bsub:hotpath
 func (s *Session) DeliveryMatches(data []byte) ([]Transfer, error) {
 	if !s.peerSet {
 		return nil, fmt.Errorf("engine: delivery matches before peer hello")
@@ -483,6 +545,8 @@ func (s *Session) DeliveryMatches(data []byte) ([]Transfer, error) {
 // counter-less BF advert; producers answer with matching messages to
 // replicate ("false positives here are what inject useless traffic").
 // Returns nil, nil when the budget refuses or the node has no relay.
+//
+//bsub:hotpath
 func (s *Session) RelayAdvertOut() ([]byte, error) {
 	if s.relay == nil {
 		return nil, nil
@@ -503,6 +567,8 @@ func (s *Session) RelayAdvertOut() ([]byte, error) {
 
 // ReplicationMatches decodes the peer broker's relay advert and returns
 // this producer's own messages with remaining copy budget that match it.
+//
+//bsub:hotpath
 func (s *Session) ReplicationMatches(data []byte) ([]Transfer, error) {
 	if !s.peerSet {
 		return nil, fmt.Errorf("engine: replication matches before peer hello")
@@ -541,6 +607,8 @@ func (s *Session) ReplicationMatches(data []byte) ([]Transfer, error) {
 // anyPreIn reports whether any of the precomputed keys is in the decoded
 // interest filter — membership-equivalent to projecting the filter onto a
 // classic Bloom filter first, without materializing one.
+//
+//bsub:hotpath
 func anyPreIn(keys []tcbf.PreKey, f *tcbf.Filter, now time.Duration) (bool, error) {
 	for _, k := range keys {
 		ok, err := f.ContainsPre(k, now)
@@ -579,15 +647,23 @@ type Claim struct {
 }
 
 // Msg returns the claimed message.
+//
+//bsub:hotpath
 func (c *Claim) Msg() workload.Message { return c.msg }
 
 // Payload returns the claimed message's payload bytes.
+//
+//bsub:hotpath
 func (c *Claim) Payload() []byte { return c.payload }
 
 // Commit settles the claim: the copy is spent for good.
+//
+//bsub:hotpath
 func (c *Claim) Commit() { c.settled = true }
 
 // Abort refunds an unsettled claim.
+//
+//bsub:hotpath
 func (c *Claim) Abort() {
 	if c.settled {
 		return
@@ -618,6 +694,7 @@ type claimArena struct {
 
 const claimChunkSize = 16
 
+//bsub:hotpath
 func (a *claimArena) take() *Claim {
 	ci, off := a.used/claimChunkSize, a.used%claimChunkSize
 	if ci == len(a.chunks) {
@@ -629,12 +706,15 @@ func (a *claimArena) take() *Claim {
 	return c
 }
 
+//bsub:hotpath
 func (a *claimArena) reset() { a.used = 0 }
 
 // claim charges the budget and records the refund action. The (claim, ok)
 // shape is shared by all three claim steps: (nil, true) means "skip this
 // message, keep going"; (nil, false) means "stop — no budget left (or the
 // session is aborted)".
+//
+//bsub:hotpath
 func (s *Session) claim(e *stored, kind claimKind) (*Claim, bool) {
 	if !s.budget.Spend(e.msg.Size) {
 		return nil, false
@@ -648,6 +728,8 @@ func (s *Session) claim(e *stored, kind claimKind) (*Claim, bool) {
 
 // ClaimCarried removes carried copy id for hand-off to the peer
 // (preferential forward or carried delivery). Abort restores the copy.
+//
+//bsub:hotpath
 func (s *Session) ClaimCarried(id int) (*Claim, bool) {
 	if s.poisoned {
 		return nil, false
@@ -666,6 +748,8 @@ func (s *Session) ClaimCarried(id int) (*Claim, bool) {
 // ClaimDirect marks own message id as served directly to this peer
 // ("direct deliveries are not counted against the copy limit"). Abort
 // clears the mark so a later contact can retry.
+//
+//bsub:hotpath
 func (s *Session) ClaimDirect(id int) (*Claim, bool) {
 	if s.poisoned {
 		return nil, false
@@ -684,6 +768,8 @@ func (s *Session) ClaimDirect(id int) (*Claim, bool) {
 // ClaimReplication spends one producer copy of own message id for
 // replication to the peer broker; the message leaves the store when its
 // budget is exhausted. Abort restores the copy (MSGACK refund).
+//
+//bsub:hotpath
 func (s *Session) ClaimReplication(id int) (*Claim, bool) {
 	if s.poisoned {
 		return nil, false
@@ -706,6 +792,8 @@ func (s *Session) ClaimReplication(id int) (*Claim, bool) {
 // arrived) and poisons the session against further claims. It returns the
 // number of copies refunded. Spent budget is not returned: the bytes of a
 // severed contact were still transmitted.
+//
+//bsub:hotpath
 func (s *Session) Abort() int {
 	s.poisoned = true
 	refunded := 0

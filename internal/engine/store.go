@@ -32,11 +32,13 @@ func precomputeKeys(m *workload.Message) []tcbf.PreKey {
 	return out
 }
 
+//bsub:hotpath
 func (e *stored) sentTo(peer NodeID) bool {
 	_, ok := e.sent[peer]
 	return ok
 }
 
+//bsub:coldpath
 func (e *stored) markSent(peer NodeID) {
 	if e.sent == nil {
 		e.sent = make(map[NodeID]struct{})
@@ -61,6 +63,8 @@ type store struct {
 func newStore() *store { return &store{entries: make(map[int]*stored)} }
 
 // add inserts (or replaces) a copy.
+//
+//bsub:hotpath
 func (s *store) add(e *stored) {
 	if _, exists := s.entries[e.msg.ID]; !exists {
 		s.pending = append(s.pending, e.msg.ID)
@@ -68,21 +72,27 @@ func (s *store) add(e *stored) {
 	s.entries[e.msg.ID] = e
 }
 
+//bsub:hotpath
 func (s *store) has(id int) bool {
 	_, ok := s.entries[id]
 	return ok
 }
 
+//bsub:hotpath
 func (s *store) get(id int) *stored { return s.entries[id] }
 
+//bsub:hotpath
 func (s *store) remove(id int) { delete(s.entries, id) }
 
+//bsub:hotpath
 func (s *store) len() int { return len(s.entries) }
 
 // live returns the unexpired copies sorted by ID, purging expired entries
 // (and sweeping stale index slots) as a side effect. The returned slice is
 // valid until the next store call — the backing buffer is reused by the
 // next live call.
+//
+//bsub:hotpath
 func (s *store) live(now time.Duration) []*stored {
 	s.settleIndex()
 	out := s.liveBuf[:0]
@@ -115,6 +125,8 @@ func (s *store) ids() []int {
 }
 
 // settleIndex merges pending IDs into the sorted index.
+//
+//bsub:coldpath
 func (s *store) settleIndex() {
 	if len(s.pending) == 0 {
 		return

@@ -40,6 +40,8 @@ func New(m, k int) (Hasher, error) {
 
 // MustNew is New for parameters known to be valid at compile time; it panics
 // on invalid input and is intended for package-level defaults and tests.
+//
+//bsub:coldpath
 func MustNew(m, k int) Hasher {
 	h, err := New(m, k)
 	if err != nil {
@@ -49,15 +51,21 @@ func MustNew(m, k int) Hasher {
 }
 
 // M returns the bit-vector length this Hasher targets.
+//
+//bsub:hotpath
 func (h Hasher) M() int { return int(h.m) }
 
 // K returns the number of positions derived per key.
+//
+//bsub:hotpath
 func (h Hasher) K() int { return h.k }
 
 // Positions appends the k bit positions for key to dst and returns the
 // extended slice. Positions may repeat for distinct i (the paper explicitly
 // "omit[s] the probability that multiple hash functions return the same
 // location"); callers that need distinct positions must deduplicate.
+//
+//bsub:hotpath
 func (h Hasher) Positions(dst []uint32, key string) []uint32 {
 	return h.PositionsDigest(dst, DigestOf(key))
 }
@@ -73,6 +81,8 @@ type Digest struct {
 
 // DigestOf hashes key once with FNV-1a/64 and splits the digest into the
 // two halves used by double hashing. It allocates nothing.
+//
+//bsub:hotpath
 func DigestOf(key string) Digest {
 	const (
 		offset64 = 14695981039346656037
@@ -89,6 +99,8 @@ func DigestOf(key string) Digest {
 // PositionsDigest appends the k bit positions for a precomputed digest to
 // dst and returns the extended slice; Positions(dst, key) is exactly
 // PositionsDigest(dst, DigestOf(key)).
+//
+//bsub:hotpath
 func (h Hasher) PositionsDigest(dst []uint32, d Digest) []uint32 {
 	// Force h2 odd so the stride cycles through all residues when m is a
 	// power of two, avoiding degenerate single-position keys.

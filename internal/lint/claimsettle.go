@@ -1,0 +1,765 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ClaimSettle enforces copy conservation at the source level: every
+// *engine.Claim returned by ClaimCarried/ClaimDirect/ClaimReplication
+// (and every claim received as a function parameter) must reach
+// Commit() or Abort() on all control-flow paths in the enclosing
+// function, or visibly escape it — be returned, stored into a field or
+// collection, sent on a channel, or passed to another function that
+// inherits the obligation.
+//
+// The walk is path-sensitive over structured control flow and
+// understands the claim API contract: `c == nil` / `c != nil`
+// comparisons refine the claim to settled-free on the nil side, and the
+// boolean paired with a claim call (`claim, ok := ...`) implies the
+// claim is nil on its false side. Reading the claim (c.Msg(),
+// c.Payload()) does not discharge the obligation; only
+// Commit/Abort/escape does.
+var ClaimSettle = &Analyzer{
+	Name: "claimsettle",
+	Doc:  "engine claims must be committed or aborted on every control-flow path",
+	Run:  runClaimSettle,
+}
+
+var claimMethods = map[string]bool{
+	"ClaimCarried":     true,
+	"ClaimDirect":      true,
+	"ClaimReplication": true,
+}
+
+type claimStatus uint8
+
+const (
+	clUntracked claimStatus = iota
+	clUnsettled
+	clSettled
+	clNil
+)
+
+// claimState maps each tracked claim variable to its status along one
+// control-flow path.
+type claimState map[types.Object]claimStatus
+
+func (s claimState) clone() claimState {
+	out := make(claimState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneAll(states []claimState) []claimState {
+	out := make([]claimState, len(states))
+	for i, s := range states {
+		out[i] = s.clone()
+	}
+	return out
+}
+
+type claimSite struct {
+	pos  token.Pos
+	desc string
+}
+
+// claimTarget is one enclosing break/continue target (loop, switch,
+// select) on the walker's stack.
+type claimTarget struct {
+	label     string
+	isLoop    bool
+	breaks    []claimState
+	continues []claimState
+}
+
+type claimWalker struct {
+	pass         *Pass
+	info         *types.Info
+	sites        map[types.Object]claimSite
+	okFor        map[types.Object]types.Object // bool var -> its claim var
+	reported     map[token.Pos]bool
+	targets      []*claimTarget
+	pendingLabel string
+}
+
+func runClaimSettle(pass *Pass) {
+	info := pass.Pkg.Info
+	funcBodies(pass.Pkg, func(fd *ast.FuncDecl) {
+		fnObj, _ := info.Defs[fd.Name].(*types.Func)
+		if fnObj != nil {
+			// Claim's own methods (Commit, Abort, Msg) manipulate the
+			// claim itself and carry no settle obligation.
+			if named := recvNamed(fnObj); named != nil && isNamedType(named, "engine", "Claim") {
+				return
+			}
+		}
+		w := &claimWalker{
+			pass:     pass,
+			info:     info,
+			sites:    map[types.Object]claimSite{},
+			okFor:    map[types.Object]types.Object{},
+			reported: map[token.Pos]bool{},
+		}
+		w.analyzeFunc(fd.Type.Params, fd.Body)
+	})
+}
+
+// analyzeFunc flow-analyzes one function or closure body, seeding claim
+// parameters as unsettled obligations.
+func (w *claimWalker) analyzeFunc(params *ast.FieldList, body *ast.BlockStmt) {
+	entry := claimState{}
+	if params != nil {
+		for _, field := range params.List {
+			for _, name := range field.Names {
+				obj := w.info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if ptr, ok := obj.Type().(*types.Pointer); ok && isNamedType(ptr.Elem(), "engine", "Claim") {
+					entry[obj] = clUnsettled
+					w.sites[obj] = claimSite{pos: name.Pos(), desc: "claim parameter " + name.Name}
+				}
+			}
+		}
+	}
+	if len(entry) == 0 && !mentionsClaims(body) {
+		return
+	}
+	exit := w.stmts(body.List, []claimState{entry})
+	w.checkLeaks(exit, token.NoPos, token.NoPos, "may reach function exit without Commit or Abort")
+}
+
+// mentionsClaims is a cheap pre-filter: does the body call any Claim*
+// method at all?
+func mentionsClaims(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && claimMethods[sel.Sel.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *claimWalker) objectOf(id *ast.Ident) types.Object {
+	if o := w.info.Defs[id]; o != nil {
+		return o
+	}
+	return w.info.Uses[id]
+}
+
+func (w *claimWalker) tracked(id *ast.Ident) (types.Object, bool) {
+	obj := w.objectOf(id)
+	if obj == nil {
+		return nil, false
+	}
+	_, ok := w.sites[obj]
+	return obj, ok
+}
+
+func (w *claimWalker) reportAt(pos token.Pos, format string, args ...any) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, format, args...)
+}
+
+// checkLeaks reports every path state holding an unsettled claim. When
+// lo/hi are valid the check is restricted to claims born inside that
+// span (used for loop bodies at iteration end).
+func (w *claimWalker) checkLeaks(states []claimState, lo, hi token.Pos, what string) {
+	for _, st := range states {
+		for obj, status := range st {
+			if status != clUnsettled {
+				continue
+			}
+			site := w.sites[obj]
+			if hi != token.NoPos && (site.pos < lo || site.pos > hi) {
+				continue
+			}
+			w.reportAt(site.pos, "%s %s", site.desc, what)
+		}
+	}
+}
+
+// capStates bounds path explosion: past the cap, merge every path into
+// a single worst-case state (unsettled wins), which can only over-report
+// never under-report.
+func (w *claimWalker) capStates(states []claimState) []claimState {
+	const maxPaths = 64
+	if len(states) <= maxPaths {
+		return states
+	}
+	merged := claimState{}
+	for _, st := range states {
+		for obj, status := range st {
+			prev := merged[obj]
+			if prev == clUnsettled {
+				continue
+			}
+			if status == clUnsettled || prev == clUntracked {
+				merged[obj] = status
+			}
+		}
+	}
+	return []claimState{merged}
+}
+
+func (w *claimWalker) stmts(list []ast.Stmt, cur []claimState) []claimState {
+	for _, s := range list {
+		if len(cur) == 0 {
+			break
+		}
+		cur = w.stmt(s, cur)
+	}
+	return cur
+}
+
+func (w *claimWalker) takeLabel() string {
+	l := w.pendingLabel
+	w.pendingLabel = ""
+	return l
+}
+
+func (w *claimWalker) findTarget(label *ast.Ident, needLoop bool) *claimTarget {
+	for i := len(w.targets) - 1; i >= 0; i-- {
+		t := w.targets[i]
+		if label != nil {
+			if t.label == label.Name && (!needLoop || t.isLoop) {
+				return t
+			}
+			continue
+		}
+		if !needLoop || t.isLoop {
+			return t
+		}
+	}
+	return nil
+}
+
+func (w *claimWalker) stmt(s ast.Stmt, cur []claimState) []claimState {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return w.assign(s, cur)
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if w.isClaimCall(call) {
+				w.reportAt(call.Pos(), "result of %s is discarded; the claim must be settled or stored", claimCallName(call))
+				w.scanExpr(call, cur)
+				return cur
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && w.objectOf(id) == nil {
+				w.scanExpr(call, cur)
+				return nil // panic terminates the path; refunds are moot in a crash
+			}
+		}
+		w.scanExpr(s.X, cur)
+		return cur
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r, cur)
+		}
+		w.checkLeaks(cur, token.NoPos, token.NoPos, "may reach return without Commit or Abort")
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = w.stmt(s.Init, cur)
+		}
+		w.scanExpr(s.Cond, cur)
+		thenStates := cloneAll(cur)
+		elseStates := cloneAll(cur)
+		for _, st := range thenStates {
+			w.refine(s.Cond, true, st)
+		}
+		for _, st := range elseStates {
+			w.refine(s.Cond, false, st)
+		}
+		thenFall := w.stmts(s.Body.List, thenStates)
+		elseFall := elseStates
+		if s.Else != nil {
+			elseFall = w.stmt(s.Else, elseStates)
+		}
+		return w.capStates(append(thenFall, elseFall...))
+
+	case *ast.ForStmt:
+		label := w.takeLabel()
+		if s.Init != nil {
+			cur = w.stmt(s.Init, cur)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, cur)
+		}
+		t := &claimTarget{label: label, isLoop: true}
+		w.targets = append(w.targets, t)
+		bodyIn := cloneAll(cur)
+		if s.Cond != nil {
+			for _, st := range bodyIn {
+				w.refine(s.Cond, true, st)
+			}
+		}
+		bodyFall := w.stmts(s.Body.List, bodyIn)
+		iterEnd := append(bodyFall, t.continues...)
+		if s.Post != nil && len(iterEnd) > 0 {
+			iterEnd = w.stmt(s.Post, iterEnd)
+		}
+		// A claim born inside the body must settle before the next
+		// iteration: the variable is about to be reused.
+		w.checkLeaks(iterEnd, s.Body.Pos(), s.Body.End(), "is not settled before the next loop iteration")
+		w.targets = w.targets[:len(w.targets)-1]
+		var exit []claimState
+		if s.Cond == nil {
+			exit = t.breaks // for{}: only break leaves
+		} else {
+			zero := cloneAll(cur)
+			after := cloneAll(iterEnd)
+			for _, st := range zero {
+				w.refine(s.Cond, false, st)
+			}
+			for _, st := range after {
+				w.refine(s.Cond, false, st)
+			}
+			exit = append(append(zero, after...), t.breaks...)
+		}
+		return w.capStates(exit)
+
+	case *ast.RangeStmt:
+		label := w.takeLabel()
+		w.scanExpr(s.X, cur)
+		t := &claimTarget{label: label, isLoop: true}
+		w.targets = append(w.targets, t)
+		bodyFall := w.stmts(s.Body.List, cloneAll(cur))
+		iterEnd := append(bodyFall, t.continues...)
+		w.checkLeaks(iterEnd, s.Body.Pos(), s.Body.End(), "is not settled before the next loop iteration")
+		w.targets = w.targets[:len(w.targets)-1]
+		exit := append(append(cur, iterEnd...), t.breaks...)
+		return w.capStates(exit)
+
+	case *ast.SwitchStmt:
+		label := w.takeLabel()
+		if s.Init != nil {
+			cur = w.stmt(s.Init, cur)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, cur)
+		}
+		t := &claimTarget{label: label}
+		w.targets = append(w.targets, t)
+		var falls []claimState
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseIn := cloneAll(cur)
+			for _, e := range cc.List {
+				w.scanExpr(e, caseIn)
+			}
+			falls = append(falls, w.stmts(cc.Body, caseIn)...)
+		}
+		w.targets = w.targets[:len(w.targets)-1]
+		exit := append(falls, t.breaks...)
+		if !hasDefault {
+			exit = append(exit, cur...)
+		}
+		return w.capStates(exit)
+
+	case *ast.TypeSwitchStmt:
+		label := w.takeLabel()
+		if s.Init != nil {
+			cur = w.stmt(s.Init, cur)
+		}
+		t := &claimTarget{label: label}
+		w.targets = append(w.targets, t)
+		var falls []claimState
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseIn := cloneAll(cur)
+			caseIn = w.stmt(s.Assign, caseIn)
+			falls = append(falls, w.stmts(cc.Body, caseIn)...)
+		}
+		w.targets = w.targets[:len(w.targets)-1]
+		exit := append(falls, t.breaks...)
+		if !hasDefault {
+			exit = append(exit, cur...)
+		}
+		return w.capStates(exit)
+
+	case *ast.SelectStmt:
+		label := w.takeLabel()
+		t := &claimTarget{label: label}
+		w.targets = append(w.targets, t)
+		var falls []claimState
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			caseIn := cloneAll(cur)
+			if cc.Comm != nil {
+				caseIn = w.stmt(cc.Comm, caseIn)
+			}
+			falls = append(falls, w.stmts(cc.Body, caseIn)...)
+		}
+		w.targets = w.targets[:len(w.targets)-1]
+		if len(s.Body.List) == 0 {
+			return t.breaks // select{} blocks forever
+		}
+		return w.capStates(append(falls, t.breaks...))
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := w.findTarget(s.Label, false); t != nil {
+				t.breaks = append(t.breaks, cur...)
+			}
+			return nil
+		case token.CONTINUE:
+			if t := w.findTarget(s.Label, true); t != nil {
+				t.continues = append(t.continues, cur...)
+			}
+			return nil
+		case token.GOTO:
+			return nil // no CFG for goto; drop the path rather than guess
+		default: // fallthrough: joined at the switch exit, conservatively
+			return cur
+		}
+
+	case *ast.LabeledStmt:
+		w.pendingLabel = s.Label.Name
+		out := w.stmt(s.Stmt, cur)
+		w.pendingLabel = ""
+		return out
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, cur)
+
+	case *ast.DeferStmt:
+		// defer c.Commit() / defer c.Abort() settles the claim on every
+		// path from the registration point onward.
+		if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj, tracked := w.tracked(id); tracked &&
+					(sel.Sel.Name == "Commit" || sel.Sel.Name == "Abort") {
+					for _, st := range cur {
+						st[obj] = clSettled
+					}
+					return cur
+				}
+			}
+		}
+		w.scanExpr(s.Call, cur)
+		return cur
+
+	case *ast.GoStmt:
+		w.scanExpr(s.Call, cur)
+		return cur
+
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, cur)
+		w.scanExpr(s.Value, cur)
+		return cur
+
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, cur)
+		return cur
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, cur)
+					}
+				}
+			}
+		}
+		return cur
+
+	default:
+		return cur
+	}
+}
+
+// assign handles both claim-producing assignments (tracking begins) and
+// ordinary assignments (uses, overwrites).
+func (w *claimWalker) assign(s *ast.AssignStmt, cur []claimState) []claimState {
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && w.isClaimCall(call) {
+			w.scanExpr(call, cur)
+			var claimObj, okObj types.Object
+			switch lhs := s.Lhs[0].(type) {
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					w.reportAt(call.Pos(), "result of %s is discarded; the claim must be settled or stored", claimCallName(call))
+				} else {
+					claimObj = w.objectOf(lhs)
+				}
+			default:
+				// Stored into a field, slice slot, or map: the claim
+				// escapes with its undo record; the store owns it now.
+				w.scanExpr(lhs, cur)
+			}
+			if len(s.Lhs) > 1 {
+				if id, ok := s.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+					okObj = w.objectOf(id)
+				}
+			}
+			if claimObj != nil {
+				w.checkReassign(claimObj, cur)
+				for _, st := range cur {
+					st[claimObj] = clUnsettled
+				}
+				w.sites[claimObj] = claimSite{pos: s.Pos(), desc: "claim from " + claimCallName(call)}
+				if okObj != nil {
+					w.okFor[okObj] = claimObj
+				}
+			}
+			return cur
+		}
+	}
+	for i, r := range s.Rhs {
+		// `_ = claim` does not settle anything: unlike an error, a
+		// claim cannot be meaningfully discarded — it must commit,
+		// abort, or move somewhere that will.
+		if i < len(s.Lhs) {
+			if lhs, ok := s.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					if _, tracked := w.tracked(id); tracked {
+						continue
+					}
+				}
+			}
+		}
+		w.scanExpr(r, cur)
+	}
+	for i, l := range s.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			w.scanExpr(l, cur)
+			continue
+		}
+		obj, tracked := w.tracked(id)
+		if !tracked {
+			continue
+		}
+		w.checkReassign(obj, cur)
+		status := clSettled
+		if len(s.Rhs) == len(s.Lhs) && isNilExpr(s.Rhs[i]) {
+			status = clNil
+		}
+		for _, st := range cur {
+			st[obj] = status
+		}
+	}
+	return cur
+}
+
+func (w *claimWalker) checkReassign(obj types.Object, cur []claimState) {
+	leaked := false
+	for _, st := range cur {
+		if st[obj] == clUnsettled {
+			leaked = true
+			st[obj] = clSettled
+		}
+	}
+	if leaked {
+		site := w.sites[obj]
+		w.reportAt(site.pos, "%s is overwritten before Commit or Abort", site.desc)
+	}
+}
+
+// scanExpr walks an expression marking tracked claims that escape
+// (appear in value position) as settled, while ignoring the
+// non-discharging forms: nil comparisons, method calls on the claim
+// other than Commit/Abort, and selector bases.
+func (w *claimWalker) scanExpr(e ast.Expr, cur []claimState) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		if obj, tracked := w.tracked(e); tracked {
+			for _, st := range cur {
+				if st[obj] == clUnsettled {
+					st[obj] = clSettled // escapes; the receiver inherits the obligation
+				}
+			}
+		}
+	case *ast.ParenExpr:
+		w.scanExpr(e.X, cur)
+	case *ast.BinaryExpr:
+		if (e.Op == token.EQL || e.Op == token.NEQ) && (isNilExpr(e.X) || isNilExpr(e.Y)) {
+			for _, side := range []ast.Expr{e.X, e.Y} {
+				if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+					if _, tracked := w.tracked(id); tracked {
+						continue // nil comparison is not a use
+					}
+				}
+				w.scanExpr(side, cur)
+			}
+			return
+		}
+		w.scanExpr(e.X, cur)
+		w.scanExpr(e.Y, cur)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj, tracked := w.tracked(id); tracked {
+					if sel.Sel.Name == "Commit" || sel.Sel.Name == "Abort" {
+						for _, st := range cur {
+							st[obj] = clSettled
+						}
+					}
+					// Msg()/Payload() read the claim without settling it.
+					for _, a := range e.Args {
+						w.scanExpr(a, cur)
+					}
+					return
+				}
+			}
+		}
+		w.scanExpr(e.Fun, cur)
+		for _, a := range e.Args {
+			w.scanExpr(a, cur)
+		}
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, tracked := w.tracked(id); tracked {
+				return // field/method read, not an escape
+			}
+		}
+		w.scanExpr(e.X, cur)
+	case *ast.UnaryExpr:
+		w.scanExpr(e.X, cur)
+	case *ast.StarExpr:
+		w.scanExpr(e.X, cur)
+	case *ast.IndexExpr:
+		w.scanExpr(e.X, cur)
+		w.scanExpr(e.Index, cur)
+	case *ast.IndexListExpr:
+		w.scanExpr(e.X, cur)
+		for _, idx := range e.Indices {
+			w.scanExpr(idx, cur)
+		}
+	case *ast.SliceExpr:
+		w.scanExpr(e.X, cur)
+		w.scanExpr(e.Low, cur)
+		w.scanExpr(e.High, cur)
+		w.scanExpr(e.Max, cur)
+	case *ast.TypeAssertExpr:
+		w.scanExpr(e.X, cur)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.scanExpr(el, cur)
+		}
+	case *ast.KeyValueExpr:
+		w.scanExpr(e.Key, cur)
+		w.scanExpr(e.Value, cur)
+	case *ast.FuncLit:
+		// Claims captured by a closure escape to it; claims created
+		// inside it get their own flow analysis.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj, tracked := w.tracked(id); tracked {
+					for _, st := range cur {
+						if st[obj] == clUnsettled {
+							st[obj] = clSettled
+						}
+					}
+				}
+			}
+			return true
+		})
+		w.analyzeFunc(e.Type.Params, e.Body)
+	}
+}
+
+// refine narrows claim statuses given that cond evaluated to val.
+func (w *claimWalker) refine(cond ast.Expr, val bool, st claimState) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if val {
+				w.refine(c.X, true, st)
+				w.refine(c.Y, true, st)
+			}
+		case token.LOR:
+			if !val {
+				w.refine(c.X, false, st)
+				w.refine(c.Y, false, st)
+			}
+		case token.EQL, token.NEQ:
+			var idExpr ast.Expr
+			switch {
+			case isNilExpr(c.X):
+				idExpr = c.Y
+			case isNilExpr(c.Y):
+				idExpr = c.X
+			default:
+				return
+			}
+			id, ok := ast.Unparen(idExpr).(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj, tracked := w.tracked(id)
+			if !tracked {
+				return
+			}
+			if nilBranch := (c.Op == token.EQL) == val; nilBranch && st[obj] == clUnsettled {
+				st[obj] = clNil
+			}
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			w.refine(c.X, !val, st)
+		}
+	case *ast.Ident:
+		// `claim, ok := s.ClaimX(id)`: the API contract is ok==false
+		// implies claim==nil (budget refusal yields (nil, false)).
+		if obj := w.objectOf(c); obj != nil && !val {
+			if claimObj, known := w.okFor[obj]; known && st[claimObj] == clUnsettled {
+				st[claimObj] = clNil
+			}
+		}
+	}
+}
+
+func (w *claimWalker) isClaimCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !claimMethods[sel.Sel.Name] {
+		return false
+	}
+	fn := calleeOf(w.info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return false
+	}
+	ptr, ok := sig.Results().At(0).Type().(*types.Pointer)
+	return ok && isNamedType(ptr.Elem(), "engine", "Claim")
+}
+
+func claimCallName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "claim call"
+}
+
+func isNilExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil" && id.Obj == nil
+}

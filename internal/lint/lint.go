@@ -1,0 +1,269 @@
+// Package lint implements bsublint, a small analyzer driver plus the
+// repo-specific analyzers that mechanically enforce the engine's
+// invariants: claims settled exactly once (claimsettle), an
+// allocation-free contact hot path (hotpathalloc), deterministic replay
+// (determinism), no blocking I/O under locks (lockio), and no silently
+// dropped wire errors (wireerr).
+//
+// The package is deliberately stdlib-only: packages are listed with
+// `go list -json -deps`, parsed with go/parser, and type-checked with
+// go/types in dependency order. No golang.org/x/tools machinery is
+// used, so the linter builds anywhere the repo builds.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, located at a position inside a module file.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the driver's output format: file:line: analyzer: message.
+// The filename is kept as loaded; callers may relativize Pos.Filename
+// before printing.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: bsub/%s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over every module package it applies to.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies filters by package path relative to the module root
+	// ("internal/engine", "cmd/livemesh", "" for the root package).
+	// nil means the analyzer runs on every module package.
+	Applies func(rel string) bool
+	Run     func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Prog     *Program
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path      string // import path
+	Dir       string
+	Standard  bool // GOROOT package (type-checked signatures only)
+	InModule  bool // belongs to the module under analysis
+	Files     []*ast.File
+	Filenames []string
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Rel returns the package path relative to the module root, or the
+// full path unchanged for non-module packages.
+func (p *Package) Rel(modulePath string) string {
+	if p.Path == modulePath {
+		return ""
+	}
+	return strings.TrimPrefix(p.Path, modulePath+"/")
+}
+
+// Program is a fully loaded dependency closure plus cross-package facts.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Packages   map[string]*Package // by import path, full closure
+	Module     []*Package          // module packages, dependency order
+
+	// Hotpath and Coldpath record functions whose declarations carry a
+	// //bsub:hotpath or //bsub:coldpath directive. Keyed by the
+	// *types.Func object so identity survives cross-package lookups
+	// within one type-checker universe.
+	Hotpath  map[types.Object]bool
+	Coldpath map[types.Object]bool
+}
+
+// collectAnnotations scans every module package for //bsub:hotpath and
+// //bsub:coldpath directives attached to function declarations.
+func (prog *Program) collectAnnotations() {
+	prog.Hotpath = map[types.Object]bool{}
+	prog.Coldpath = map[types.Object]bool{}
+	for _, pkg := range prog.Module {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				// Directives are stripped by CommentGroup.Text, so scan
+				// the raw comment list.
+				for _, c := range fd.Doc.List {
+					switch strings.TrimSpace(c.Text) {
+					case "//bsub:hotpath":
+						prog.Hotpath[obj] = true
+					case "//bsub:coldpath":
+						prog.Coldpath[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// suppression is one //lint:ignore bsub/<name> reason directive. It
+// suppresses findings of that analyzer on its own line and on the line
+// immediately following it (covering both end-of-line and
+// preceding-line comment placement).
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func collectSuppressions(fset *token.FileSet, pkgs []*Package) []suppression {
+	var out []suppression
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "lint:ignore ") {
+						continue
+					}
+					fields := strings.Fields(text)
+					// lint:ignore bsub/<name> <reason...> — a missing
+					// reason keeps the directive inert, matching the
+					// documented format strictly.
+					if len(fields) < 3 || !strings.HasPrefix(fields[1], "bsub/") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					out = append(out, suppression{
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: strings.TrimPrefix(fields[1], "bsub/"),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over every module package each applies to
+// and returns the surviving findings sorted by position, plus the count
+// of findings silenced by //lint:ignore directives.
+func (prog *Program) Run(analyzers ...*Analyzer) (findings []Diagnostic, suppressed int) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Module {
+			if a.Applies != nil && !a.Applies(pkg.Rel(prog.ModulePath)) {
+				continue
+			}
+			pass := &Pass{Prog: prog, Pkg: pkg, analyzer: a, diags: &all}
+			a.Run(pass)
+		}
+	}
+	sups := collectSuppressions(prog.Fset, prog.Module)
+	covered := func(d Diagnostic) bool {
+		for _, s := range sups {
+			if s.analyzer == d.Analyzer && s.file == d.Pos.Filename &&
+				(s.line == d.Pos.Line || s.line == d.Pos.Line-1) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range all {
+		if covered(d) {
+			suppressed++
+			continue
+		}
+		findings = append(findings, d)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, suppressed
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ClaimSettle,
+		HotpathAlloc,
+		Determinism,
+		LockIO,
+		WireErr,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("claimsettle,lockio").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// Relativize rewrites diagnostic filenames relative to dir when
+// possible, for stable, readable driver output.
+func Relativize(dir string, ds []Diagnostic) {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	for i := range ds {
+		if rel, err := filepath.Rel(dir, ds[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			ds[i].Pos.Filename = rel
+		}
+	}
+}

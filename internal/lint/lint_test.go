@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The analyzer tests run against the hermetic GOPATH-style tree under
+// testdata/src: module path "bsub", stdlib stubs alongside it. Expected
+// findings are `// want `regex`` comments on the offending line, in the
+// style of x/tools analysistest.
+
+func fixtureProg(t *testing.T) *Program {
+	t.Helper()
+	prog, err := LoadFixture(filepath.Join("testdata", "src"), "bsub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants extracts want-comment regexes from one fixture package.
+func collectWants(t *testing.T, prog *Program, pkg *Package) map[wantKey]*regexp.Regexp {
+	t.Helper()
+	wants := map[wantKey]*regexp.Regexp{}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				raw := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				raw = strings.Trim(raw, "`")
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("bad want regex %q: %v", raw, err)
+				}
+				pos := prog.Fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				if _, dup := wants[key]; dup {
+					t.Fatalf("%s:%d: more than one want comment on a line", pos.Filename, pos.Line)
+				}
+				wants[key] = re
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over the whole fixture module, restricts
+// findings to pkgPath, and diffs them against that package's want
+// comments. Returns the analyzer-wide suppressed count.
+func checkFixture(t *testing.T, a *Analyzer, pkgPath string) int {
+	t.Helper()
+	prog := fixtureProg(t)
+	pkg := prog.Packages[pkgPath]
+	if pkg == nil {
+		t.Fatalf("fixture package %s not loaded", pkgPath)
+	}
+	findings, suppressed := prog.Run(a)
+
+	inPkg := map[string]bool{}
+	for _, f := range pkg.Filenames {
+		inPkg[f] = true
+	}
+	wants := collectWants(t, prog, pkg)
+	matched := map[wantKey]bool{}
+	for _, d := range findings {
+		if !inPkg[d.Pos.Filename] {
+			continue
+		}
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		re, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding: %s", d)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("%s:%d: got %q, want match for %q", d.Pos.Filename, d.Pos.Line, d.Message, re)
+			continue
+		}
+		matched[key] = true
+	}
+	for key := range wants {
+		if !matched[key] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", key.file, key.line, wants[key])
+		}
+	}
+	return suppressed
+}
+
+func TestClaimSettleFixture(t *testing.T) {
+	if got := checkFixture(t, ClaimSettle, "bsub/claimfix"); got != 1 {
+		t.Errorf("suppressed = %d, want 1 (the //lint:ignore in claimfix)", got)
+	}
+}
+
+func TestClaimSettleEngineStubClean(t *testing.T) {
+	// The engine stub defines Claim itself; its own methods must not be
+	// flagged.
+	checkFixture(t, ClaimSettle, "bsub/internal/engine")
+}
+
+func TestHotpathAllocFixture(t *testing.T) {
+	if got := checkFixture(t, HotpathAlloc, "bsub/hotfix"); got != 1 {
+		t.Errorf("suppressed = %d, want 1 (the //lint:ignore in hotfix)", got)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, Determinism, "bsub/internal/core")
+}
+
+func TestDeterminismScopedOut(t *testing.T) {
+	// bsub/other reads the wall clock and iterates maps: legal outside
+	// the deterministic core.
+	if Determinism.Applies("other") {
+		t.Error("determinism must not apply to package other")
+	}
+	checkFixture(t, Determinism, "bsub/other")
+}
+
+func TestLockIOFixture(t *testing.T) {
+	checkFixture(t, LockIO, "bsub/internal/livenode")
+}
+
+func TestWireErrFixture(t *testing.T) {
+	checkFixture(t, WireErr, "bsub/internal/tcbf")
+}
+
+func TestByName(t *testing.T) {
+	got, err := ByName("claimsettle, lockio")
+	if err != nil || len(got) != 2 || got[0].Name != "claimsettle" || got[1].Name != "lockio" {
+		t.Errorf("ByName = %v, %v", got, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName(nosuch) should fail")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Error("ByName(empty) should fail")
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// LoadModule lists patterns (plus their full dependency closure) in dir
+// via `go list -json -deps` and type-checks everything in dependency
+// order: standard-library packages with IgnoreFuncBodies (only their
+// exported shape matters), module packages fully, with ast and types
+// info retained for analysis.
+func LoadModule(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list -json: %w (%s)", err, stderr.String())
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %w (%s)", err, strings.TrimSpace(stderr.String()))
+	}
+	modulePath := ""
+	for _, lp := range listed {
+		if lp.Module != nil && lp.Module.Main {
+			modulePath = lp.Module.Path
+			break
+		}
+	}
+	if modulePath == "" {
+		return nil, fmt.Errorf("go list: no main-module package among %d listed packages", len(listed))
+	}
+	return typecheck(listed, modulePath)
+}
+
+// typecheck builds the Program from a deps-first package list.
+func typecheck(listed []*listPackage, modulePath string) (*Program, error) {
+	prog := &Program{
+		Fset:       token.NewFileSet(),
+		ModulePath: modulePath,
+		Packages:   map[string]*Package{},
+	}
+	var loadErrs []string
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			prog.Packages["unsafe"] = &Package{
+				Path:     "unsafe",
+				Standard: true,
+				Types:    types.Unsafe,
+			}
+			continue
+		}
+		if lp.Error != nil {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %s", lp.ImportPath, lp.Error.Err))
+			continue
+		}
+		inModule := lp.Module != nil && lp.Module.Main
+		pkg := &Package{
+			Path:     lp.ImportPath,
+			Dir:      lp.Dir,
+			Standard: lp.Standard,
+			InModule: inModule,
+		}
+		for _, name := range lp.GoFiles {
+			filename := filepath.Join(lp.Dir, name)
+			file, err := parser.ParseFile(prog.Fset, filename, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				if inModule {
+					loadErrs = append(loadErrs, err.Error())
+				}
+				continue
+			}
+			pkg.Files = append(pkg.Files, file)
+			pkg.Filenames = append(pkg.Filenames, filename)
+		}
+		var typeErrs []string
+		conf := types.Config{
+			IgnoreFuncBodies: !inModule,
+			FakeImportC:      true,
+			Sizes:            types.SizesFor("gc", runtime.GOARCH),
+			Importer:         mapImporter{prog: prog, importMap: lp.ImportMap},
+			Error: func(err error) {
+				typeErrs = append(typeErrs, err.Error())
+			},
+		}
+		if inModule {
+			pkg.Info = &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+				Implicits:  map[ast.Node]types.Object{},
+				Scopes:     map[ast.Node]*types.Scope{},
+			}
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, prog.Fset, pkg.Files, pkg.Info)
+		pkg.Types = tpkg
+		// Type errors in dependencies (vendored or GOROOT quirks) are
+		// tolerated as long as the package's shape loads; errors in the
+		// module itself are fatal — analyzing a miscompiled tree would
+		// produce nonsense findings.
+		if inModule && len(typeErrs) > 0 {
+			loadErrs = append(loadErrs, typeErrs...)
+		}
+		prog.Packages[lp.ImportPath] = pkg
+		if inModule {
+			prog.Module = append(prog.Module, pkg)
+		}
+	}
+	if len(loadErrs) > 0 {
+		const max = 10
+		if len(loadErrs) > max {
+			loadErrs = append(loadErrs[:max], fmt.Sprintf("... and %d more", len(loadErrs)-max))
+		}
+		return nil, fmt.Errorf("load errors:\n  %s", strings.Join(loadErrs, "\n  "))
+	}
+	prog.collectAnnotations()
+	return prog, nil
+}
+
+// mapImporter resolves imports against the already-type-checked closure,
+// honoring the package's ImportMap (vendored or otherwise rewritten
+// import paths).
+type mapImporter struct {
+	prog      *Program
+	importMap map[string]string
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.prog.Packages[path]; ok && pkg.Types != nil {
+		return pkg.Types, nil
+	}
+	// go list -deps is a deps-first traversal, so a miss here means the
+	// import did not appear in the closure (e.g. implicit test deps).
+	// Fall back to the compiler's export data rather than failing the
+	// whole load.
+	return importer.Default().Import(path)
+}

@@ -1,0 +1,414 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockIO makes the PR 1 lock-held-dial bug structurally impossible: in
+// internal/livenode, no blocking operation — net/io calls, channel
+// sends and receives, select without default, time.Sleep,
+// sync.WaitGroup.Wait, or a call through a function value (user hooks)
+// — may happen while a sync.Mutex or RWMutex is held. Blocking-ness
+// propagates through the package-local call graph, so a helper that
+// writes a frame is just as forbidden under a lock as conn.Write
+// itself.
+//
+// Deferred calls are exempt (they run at function exit, after the
+// deferred unlocks pair off), and goroutine bodies start with a clean
+// slate — a goroutine spawned under a lock does not hold it.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "no blocking I/O, channel ops, or dynamic calls while a mutex is held in internal/livenode",
+	Applies: func(rel string) bool {
+		return hasSuffixElem(rel, "internal/livenode") || strings.Contains(rel+"/", "/internal/livenode/")
+	},
+	Run: runLockIO,
+}
+
+// nonBlockingConnMethods are net.Conn methods that only mutate local
+// state and never touch the wire.
+var nonBlockingConnMethods = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+	"LocalAddr":        true,
+	"RemoteAddr":       true,
+}
+
+type lockChecker struct {
+	pass *Pass
+	info *types.Info
+	// blocking maps package-local functions to a short reason why they
+	// block, after fixpoint propagation through the call graph.
+	blocking map[*types.Func]string
+}
+
+func runLockIO(pass *Pass) {
+	c := &lockChecker{pass: pass, info: pass.Pkg.Info, blocking: map[*types.Func]string{}}
+
+	// Phase 1+2: classify directly blocking functions, then propagate
+	// through same-package calls to a fixpoint.
+	type fnDecl struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []fnDecl
+	funcBodies(pass.Pkg, func(fd *ast.FuncDecl) {
+		if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+			decls = append(decls, fnDecl{obj, fd})
+		}
+	})
+	for _, d := range decls {
+		if reason := c.directBlockReason(d.decl.Body); reason != "" {
+			c.blocking[d.obj] = reason
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if _, done := c.blocking[d.obj]; done {
+				continue
+			}
+			c.inspectSkippingFuncLits(d.decl.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				fn := calleeOf(c.info, call)
+				if fn == nil || fn.Pkg() != pass.Pkg.Types {
+					return
+				}
+				if _, blocks := c.blocking[fn]; blocks {
+					c.blocking[d.obj] = "calls " + fn.Name() + ", which blocks"
+					changed = true
+				}
+			})
+		}
+	}
+
+	// Phase 3: walk each function and closure tracking held locks.
+	for _, d := range decls {
+		c.walkStmts(d.decl.Body.List, map[string]bool{})
+	}
+	for _, d := range decls {
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.walkStmts(lit.Body.List, map[string]bool{})
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// mutexMethod returns the lock expression and method name if call is
+// m.Lock/RLock/Unlock/RUnlock on a sync mutex.
+func (c *lockChecker) mutexMethod(call *ast.CallExpr) (lockExpr string, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeOf(c.info, call)
+	if fn == nil || pkgPathOf(fn) != "sync" {
+		return "", "", false
+	}
+	named := recvNamed(fn)
+	if named == nil {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// blockReason classifies a single node as a blocking operation.
+func (c *lockChecker) blockReason(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send"
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return "channel receive"
+		}
+	case *ast.CallExpr:
+		if _, _, isMutex := c.mutexMethod(n); isMutex {
+			return ""
+		}
+		fn := calleeOf(c.info, n)
+		if fn != nil {
+			switch path := pkgPathOf(fn); {
+			case path == "net":
+				return "net." + fn.Name()
+			case path == "io":
+				return "io." + fn.Name()
+			case path == "time" && fn.Name() == "Sleep":
+				return "time.Sleep"
+			case path == "sync" && fn.Name() == "Wait":
+				return "sync wait"
+			}
+			if _, blocks := c.blocking[fn]; blocks && fn.Pkg() == c.pass.Pkg.Types {
+				return "call to " + fn.Name() + ", which blocks"
+			}
+			return ""
+		}
+		// Unresolved calls: conversions and builtins are fine; interface
+		// methods on net/io types are wire I/O; calls through function
+		// values (config hooks) may do anything and count as blocking.
+		fun := ast.Unparen(n.Fun)
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			if s, found := c.info.Selections[sel]; found {
+				if named := namedOf(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+					switch named.Obj().Pkg().Path() {
+					case "net", "io":
+						if nonBlockingConnMethods[sel.Sel.Name] {
+							return ""
+						}
+						return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Sel.Name
+					}
+				}
+				if types.IsInterface(s.Recv()) {
+					return ""
+				}
+			}
+		}
+		if tv, ok := c.info.Types[n.Fun]; ok {
+			if tv.IsType() {
+				return "" // conversion
+			}
+			if id, ok := fun.(*ast.Ident); ok {
+				if _, isBuiltin := c.info.Uses[id].(*types.Builtin); isBuiltin {
+					return ""
+				}
+			}
+			if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+				return "call through a function value"
+			}
+		}
+	}
+	return ""
+}
+
+// directBlockReason scans a body (excluding nested closures) for any
+// blocking operation.
+func (c *lockChecker) directBlockReason(body *ast.BlockStmt) string {
+	reason := ""
+	c.inspectSkippingFuncLits(body, func(n ast.Node) {
+		if reason != "" {
+			return
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			if !selectHasDefault(sel) {
+				reason = "select without default"
+			}
+			return
+		}
+		if r := c.blockReason(n); r != "" {
+			reason = r
+		}
+	})
+	return reason
+}
+
+func (c *lockChecker) inspectSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmts walks a statement list in source order maintaining the set
+// of held locks. Branch bodies get a copy: a branch that unlocks and
+// returns must not clear the lock for the fall-through path.
+func (c *lockChecker) walkStmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		c.walkStmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *lockChecker) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if lockExpr, method, isMutex := c.mutexMethod(call); isMutex {
+				switch method {
+				case "Lock", "RLock":
+					held[lockExpr] = true
+				case "Unlock", "RUnlock":
+					delete(held, lockExpr)
+				}
+				return
+			}
+		}
+		c.scanForBlocking(s.X, held)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held for the rest of the
+		// body; other deferred calls run after the locks pair off and
+		// are exempt. Arguments are evaluated now, though.
+		for _, a := range s.Call.Args {
+			c.scanForBlocking(a, held)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			c.scanForBlocking(a, held)
+		}
+		// The goroutine body runs without the spawner's locks; its
+		// FuncLit is checked separately with a clean slate.
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanForBlocking(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.scanForBlocking(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanForBlocking(e, held)
+		}
+	case *ast.IncDecStmt:
+		c.scanForBlocking(s.X, held)
+	case *ast.SendStmt:
+		c.reportIfHeld(s.Pos(), "channel send", held)
+		c.scanForBlocking(s.Chan, held)
+		c.scanForBlocking(s.Value, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		c.scanForBlocking(s.Cond, held)
+		c.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			c.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanForBlocking(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		c.walkStmts(s.Body.List, inner)
+		if s.Post != nil {
+			c.walkStmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.scanForBlocking(s.X, held)
+		c.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanForBlocking(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			c.reportIfHeld(s.Pos(), "select without default", held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				if cc.Comm != nil {
+					c.walkStmt(cc.Comm, inner)
+				}
+				c.walkStmts(cc.Body, inner)
+			}
+		}
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanForBlocking(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanForBlocking reports every blocking operation in the expression
+// (excluding closure bodies) if any lock is held.
+func (c *lockChecker) scanForBlocking(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		if reason := c.blockReason(n); reason != "" {
+			c.reportIfHeld(n.Pos(), reason, held)
+		}
+		return true
+	})
+}
+
+func (c *lockChecker) reportIfHeld(pos token.Pos, what string, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) > 1 {
+		// Deterministic output when several locks are held.
+		for i := 1; i < len(names); i++ {
+			for j := i; j > 0 && names[j] < names[j-1]; j-- {
+				names[j], names[j-1] = names[j-1], names[j]
+			}
+		}
+	}
+	c.pass.Reportf(pos, "%s while %s is held", what, strings.Join(names, ", "))
+}

@@ -1,0 +1,115 @@
+// Package claimfix exercises the claimsettle analyzer: every *engine.Claim
+// must reach Commit or Abort on every path, or visibly escape.
+package claimfix
+
+import "bsub/internal/engine"
+
+func leakExit(s *engine.Session) {
+	c, ok := s.ClaimCarried(1) // want `claim from ClaimCarried may reach function exit without Commit or Abort`
+	_ = ok
+	_ = c
+}
+
+func settled(s *engine.Session) {
+	c, ok := s.ClaimCarried(1)
+	if !ok {
+		return
+	}
+	c.Commit()
+}
+
+func abortedViaDefer(s *engine.Session) {
+	c, _ := s.ClaimDirect(2)
+	if c == nil {
+		return
+	}
+	defer c.Abort()
+}
+
+func branchLeak(s *engine.Session, keep bool) {
+	c, ok := s.ClaimReplication(3) // want `claim from ClaimReplication may reach function exit without Commit or Abort`
+	if !ok {
+		return
+	}
+	if keep {
+		c.Commit()
+	}
+}
+
+func loopLeak(s *engine.Session, ids []int) {
+	for _, id := range ids {
+		c, ok := s.ClaimCarried(id) // want `claim from ClaimCarried is not settled before the next loop iteration`
+		if !ok {
+			continue
+		}
+		_ = c
+	}
+}
+
+func loopSettled(s *engine.Session, ids []int) {
+	for _, id := range ids {
+		c, ok := s.ClaimCarried(id)
+		if !ok {
+			continue
+		}
+		c.Commit()
+	}
+}
+
+func discarded(s *engine.Session) {
+	s.ClaimCarried(1)       // want `result of ClaimCarried is discarded; the claim must be settled or stored`
+	_, _ = s.ClaimDirect(2) // want `result of ClaimDirect is discarded; the claim must be settled or stored`
+}
+
+func overwritten(s *engine.Session) {
+	c, _ := s.ClaimCarried(1) // want `claim from ClaimCarried is overwritten before Commit or Abort`
+	c, _ = s.ClaimCarried(2)
+	if c != nil {
+		c.Commit()
+	}
+}
+
+func escapes(s *engine.Session, sink []*engine.Claim) []*engine.Claim {
+	c, ok := s.ClaimCarried(1)
+	if !ok {
+		return sink
+	}
+	return append(sink, c)
+}
+
+func paramLeak(c *engine.Claim, drop bool) { // want `claim parameter c may reach return without Commit or Abort`
+	if drop {
+		return
+	}
+	c.Commit()
+}
+
+func paramSettled(c *engine.Claim, commit bool) {
+	if commit {
+		c.Commit()
+		return
+	}
+	c.Abort()
+}
+
+func peeked(s *engine.Session) {
+	c, ok := s.ClaimCarried(1) // want `claim from ClaimCarried may reach function exit without Commit or Abort`
+	if !ok {
+		return
+	}
+	_ = c.Msg()
+}
+
+func capturedEscapes(s *engine.Session) func() {
+	c, ok := s.ClaimCarried(1)
+	if !ok {
+		return nil
+	}
+	return func() { c.Commit() }
+}
+
+func suppressedLeak(s *engine.Session) {
+	//lint:ignore bsub/claimsettle the adapter refunds via Release on this teardown path
+	c, _ := s.ClaimCarried(9)
+	_ = c
+}

@@ -1,0 +1,105 @@
+// Package hotfix exercises the hotpathalloc analyzer: //bsub:hotpath
+// functions must not allocate and may only call marked or allowlisted
+// functions.
+package hotfix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+//bsub:hotpath
+func callsFmt(x int) {
+	fmt.Println(x) // want `hotpath function calls fmt.Println, which allocates`
+}
+
+//bsub:hotpath
+func coldErrorExit(ok bool) error {
+	if !ok {
+		return fmt.Errorf("bad") // error exits are cold
+	}
+	return nil
+}
+
+//bsub:hotpath
+func concat(a, b string) int {
+	s := a + b // want `string concatenation allocates in a hotpath function`
+	return len(s)
+}
+
+//bsub:hotpath
+func sums(a, b int) int {
+	c := a + b // integer addition is fine
+	return c
+}
+
+//bsub:hotpath
+func conversions(b []byte, s string) int {
+	str := string(b) // want `\[\]byte-to-string conversion allocates in a hotpath function`
+	bs := []byte(s)  // want `string-to-\[\]byte conversion allocates in a hotpath function`
+	return len(str) + len(bs)
+}
+
+//bsub:hotpath
+func arena(chunks [][]byte, n int) [][]byte {
+	chunks = append(chunks, make([]byte, n)) // amortized growth inside append is exempt
+	buf := make([]byte, n)                   // want `make allocates in a hotpath function`
+	_ = buf
+	return chunks
+}
+
+//bsub:hotpath
+func literals() {
+	m := map[int]int{} // want `map literal allocates in a hotpath function`
+	_ = m
+	s := []int{1, 2} // want `slice literal allocates in a hotpath function`
+	_ = s
+}
+
+//bsub:hotpath
+func closures(y int) {
+	f := func(a int) int { return a * 2 } // captures nothing: fine
+	_ = f
+	g := func() int { return y } // want `closure captures variables and allocates in a hotpath function`
+	_ = g
+}
+
+//bsub:hotpath
+func allowlisted(a, b float64) float64 {
+	m := math.Max(a, b) // math is on the allowlist
+	return m
+}
+
+//bsub:hotpath
+func offList(n int) int {
+	v := rand.Intn(n) // want `hotpath function calls math/rand.Intn, which is not on the allowlist`
+	return v
+}
+
+func unmarked() {}
+
+//bsub:coldpath
+func growSlow() {}
+
+//bsub:hotpath
+func fast() {}
+
+//bsub:hotpath
+func calls() {
+	fast()     // hotpath callee: fine
+	growSlow() // coldpath escape hatch: fine
+	unmarked() // want `hotpath function calls unmarked, which is not marked //bsub:hotpath or //bsub:coldpath`
+}
+
+//bsub:hotpath
+func suppressed() {
+	//lint:ignore bsub/hotpathalloc one-time init, proven cold by BenchmarkContact
+	m := map[int]int{}
+	_ = m
+}
+
+// notHot allocates freely: no directive, no findings.
+func notHot() map[int]int {
+	return map[int]int{1: 2}
+}

@@ -1,0 +1,81 @@
+// Package core exercises the determinism analyzer inside its scoped
+// package set: no wall clocks, no global rand, no order-sensitive map
+// iteration.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"bsub/internal/tcbf"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock; thread the simulation clock explicitly`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn is seeded from runtime state; use a seeded \*rand.Rand`
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(10) // methods on a seeded generator are fine
+}
+
+func newSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // constructors are fine
+}
+
+func leakOrder(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append to out inside a map range leaks iteration order; sort the result or iterate sorted keys`
+	}
+	return out
+}
+
+func sortedOrder(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // sorted below: the append-then-sort idiom is fine
+	}
+	sort.Ints(out)
+	return out
+}
+
+func floatAccum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum inside a map range is order-sensitive`
+	}
+	return sum
+}
+
+func intAccum(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // integer addition commutes exactly: fine
+	}
+	return sum
+}
+
+func localAccum(m map[int][]float64) int {
+	count := 0
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v // s is loop-local: per-key, not order-sensitive
+		}
+		if s > 1 {
+			count++
+		}
+	}
+	return count
+}
+
+func filterOrder(f *tcbf.Filter, m map[string]bool, now time.Duration) {
+	for k := range m {
+		_ = f.Insert(k, now) // want `Filter.Insert inside a map range makes filter state depend on iteration order`
+	}
+}

@@ -1,0 +1,17 @@
+// Package engine is a stub of the real bsub/internal/engine with just
+// enough shape for the claimsettle fixtures: the Claim type and the three
+// claim constructors with their (claim, ok) contract.
+package engine
+
+type Claim struct{}
+
+func (c *Claim) Commit()  {}
+func (c *Claim) Abort()   {}
+func (c *Claim) Msg() int { return 0 }
+
+type Session struct{}
+
+func (s *Session) ClaimCarried(id int) (*Claim, bool)     { return nil, false }
+func (s *Session) ClaimDirect(id int) (*Claim, bool)      { return nil, false }
+func (s *Session) ClaimReplication(id int) (*Claim, bool) { return nil, false }
+func (s *Session) Release()                               {}

@@ -1,0 +1,21 @@
+// Package tcbf is a stub of the real filter package, doubling as the
+// wireerr fixture: error results must be checked or explicitly discarded.
+package tcbf
+
+import "time"
+
+type Filter struct{}
+
+func (f *Filter) Insert(key string, now time.Duration) error { return nil }
+
+func (f *Filter) writeFrame() error { return nil }
+
+func use(f *Filter, now time.Duration) {
+	f.Insert("k", now)     // want `unchecked error from Insert; handle it or discard it with _ =`
+	_ = f.Insert("k", now) // explicit discard documents the intentional drop
+	if err := f.Insert("k", now); err != nil {
+		_ = err
+	}
+	f.writeFrame() // want `unchecked error from writeFrame; handle it or discard it with _ =`
+	defer f.writeFrame()
+}

@@ -1,0 +1,16 @@
+// Package other proves the determinism analyzer's scoping: adapter code
+// outside the deterministic core may read the wall clock and iterate maps
+// freely.
+package other
+
+import "time"
+
+func wallClockOK() time.Time { return time.Now() }
+
+func orderOK(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+// Package fmt is a hermetic stand-in for the real fmt: analyzer fixtures
+// only need the package path and signatures, never the behavior.
+package fmt
+
+func Sprintf(format string, args ...any) string { return format }
+
+func Errorf(format string, args ...any) error { return nil }
+
+func Println(args ...any) (int, error) { return 0, nil }

@@ -1,0 +1,9 @@
+// Package math is a hermetic stand-in for the real math package.
+package math
+
+func Max(x, y float64) float64 {
+	if x > y {
+		return x
+	}
+	return y
+}

@@ -1,0 +1,14 @@
+// Package rand is a hermetic stand-in for the real math/rand package.
+package rand
+
+type Source struct{}
+
+func NewSource(seed int64) *Source { return &Source{} }
+
+type Rand struct{}
+
+func New(src *Source) *Rand { return &Rand{} }
+
+func (r *Rand) Intn(n int) int { return 0 }
+
+func Intn(n int) int { return 0 }

@@ -1,0 +1,14 @@
+// Package net is a hermetic stand-in for the real net package.
+package net
+
+import "time"
+
+type Conn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	Close() error
+	SetDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+func Dial(network, address string) (Conn, error) { return nil, nil }

@@ -1,0 +1,4 @@
+// Package sort is a hermetic stand-in for the real sort package.
+package sort
+
+func Ints(x []int) {}

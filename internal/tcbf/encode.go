@@ -58,6 +58,8 @@ func (f *Filter) Encode(mode CounterMode) ([]byte, error) {
 // EncodeTo appends the filter's wire encoding to dst and returns the
 // extended slice — the same bytes Encode produces, but into a
 // caller-reused buffer, so a warm hot path encodes without allocating.
+//
+//bsub:hotpath
 func (f *Filter) EncodeTo(dst []byte, mode CounterMode) ([]byte, error) {
 	if mode < CountersNone || mode > CountersFull {
 		return nil, fmt.Errorf("tcbf: unknown counter mode %d", mode)
@@ -142,6 +144,8 @@ type wireHeader struct {
 
 // parseHeader validates the fixed 11-byte header and returns it with the
 // remaining body bytes.
+//
+//bsub:hotpath
 func parseHeader(data []byte) (wireHeader, error) {
 	var h wireHeader
 	if len(data) < 11 {
@@ -206,6 +210,8 @@ func Decode(data []byte, cfg Config, now time.Duration) (*Filter, error) {
 // must match f's (the protocol fixes m and k globally); on any error f is
 // left in an unspecified state and must be Reset before reuse. As with
 // Decode, f's clock restarts at now and f is marked merged.
+//
+//bsub:hotpath
 func (f *Filter) DecodeInto(data []byte, now time.Duration) error {
 	h, err := parseHeader(data)
 	if err != nil {
@@ -221,6 +227,8 @@ func (f *Filter) DecodeInto(data []byte, now time.Duration) error {
 
 // decodeBody fills a zeroed filter of matching geometry from a parsed
 // encoding, marking it merged. It allocates nothing.
+//
+//bsub:hotpath
 func (f *Filter) decodeBody(h wireHeader) error {
 	f.merged = true
 	body := h.body
@@ -343,6 +351,8 @@ func PaperWireBits(nSet, m int, mode CounterMode) int {
 
 // quantize maps c in [0, max] to a byte, reserving 0 for exact zero so that
 // a set bit never round-trips to unset.
+//
+//bsub:hotpath
 func quantize(c, max float64) byte {
 	if max <= 0 || c <= 0 {
 		return 0
@@ -357,11 +367,14 @@ func quantize(c, max float64) byte {
 	return byte(q)
 }
 
+//bsub:hotpath
 func dequantize(q byte, max float64) float64 {
 	return float64(q) / 255 * max
 }
 
 // bitsFor returns ceil(log2 m) for m >= 1, with a floor of 1 bit.
+//
+//bsub:hotpath
 func bitsFor(m int) int {
 	b := 0
 	for v := m - 1; v > 0; v >>= 1 {
@@ -378,6 +391,7 @@ type bitReader struct {
 	pos  int // bit position
 }
 
+//bsub:hotpath
 func (r *bitReader) read(bits int) (uint64, bool) {
 	if r.pos+bits > len(r.data)*8 {
 		return 0, false

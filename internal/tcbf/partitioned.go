@@ -40,6 +40,8 @@ func NewPartitioned(cfg Config, h int, now time.Duration) (*Partitioned, error) 
 }
 
 // MustNewPartitioned is NewPartitioned for known-valid parameters.
+//
+//bsub:coldpath
 func MustNewPartitioned(cfg Config, h int, now time.Duration) *Partitioned {
 	p, err := NewPartitioned(cfg, h, now)
 	if err != nil {
@@ -49,14 +51,20 @@ func MustNewPartitioned(cfg Config, h int, now time.Duration) *Partitioned {
 }
 
 // Partitions returns the partition count h.
+//
+//bsub:hotpath
 func (p *Partitioned) Partitions() int { return len(p.parts) }
 
 // Config returns the per-partition configuration.
+//
+//bsub:hotpath
 func (p *Partitioned) Config() Config { return p.cfg }
 
 // routeHash is an allocation-free FNV-1a/32 over a 0x7A prefix byte plus
 // the key bytes — the same digest hash/fnv produced for the original
 // two-Write sequence, domain-separated from hashkit's key hashing.
+//
+//bsub:hotpath
 func routeHash(key string) uint32 {
 	const (
 		offset32 = 2166136261
@@ -74,6 +82,8 @@ func routeHash(key string) uint32 {
 
 // route selects the partition for a key with a hash independent of the
 // filters' bit hashing (different FNV offset via a prefix byte).
+//
+//bsub:hotpath
 func (p *Partitioned) route(key string) int {
 	if len(p.parts) == 1 {
 		return 0
@@ -82,6 +92,8 @@ func (p *Partitioned) route(key string) int {
 }
 
 // routePre selects the partition for a precomputed key.
+//
+//bsub:hotpath
 func (p *Partitioned) routePre(k PreKey) int {
 	if len(p.parts) == 1 {
 		return 0
@@ -95,6 +107,8 @@ func (p *Partitioned) Insert(key string, now time.Duration) error {
 }
 
 // InsertPre is Insert for a precomputed key.
+//
+//bsub:hotpath
 func (p *Partitioned) InsertPre(k PreKey, now time.Duration) error {
 	return p.parts[p.routePre(k)].InsertPre(k, now)
 }
@@ -110,6 +124,8 @@ func (p *Partitioned) InsertAll(keys []string, now time.Duration) error {
 }
 
 // InsertAllPre inserts each precomputed key.
+//
+//bsub:hotpath
 func (p *Partitioned) InsertAllPre(keys []PreKey, now time.Duration) error {
 	for _, k := range keys {
 		if err := p.InsertPre(k, now); err != nil {
@@ -125,6 +141,8 @@ func (p *Partitioned) Contains(key string, now time.Duration) (bool, error) {
 }
 
 // ContainsPre is Contains for a precomputed key.
+//
+//bsub:hotpath
 func (p *Partitioned) ContainsPre(k PreKey, now time.Duration) (bool, error) {
 	return p.parts[p.routePre(k)].ContainsPre(k, now)
 }
@@ -135,6 +153,8 @@ func (p *Partitioned) MinCounter(key string, now time.Duration) (float64, error)
 }
 
 // Advance settles decay on every partition.
+//
+//bsub:hotpath
 func (p *Partitioned) Advance(now time.Duration) error {
 	for _, f := range p.parts {
 		if err := f.Advance(now); err != nil {
@@ -145,6 +165,8 @@ func (p *Partitioned) Advance(now time.Duration) error {
 }
 
 // SetDecayFactor retunes every partition's DF after settling decay.
+//
+//bsub:hotpath
 func (p *Partitioned) SetDecayFactor(perMinute float64, now time.Duration) error {
 	for _, f := range p.parts {
 		if err := f.SetDecayFactor(perMinute, now); err != nil {
@@ -155,6 +177,7 @@ func (p *Partitioned) SetDecayFactor(perMinute float64, now time.Duration) error
 	return nil
 }
 
+//bsub:hotpath
 func (p *Partitioned) checkCompatible(other *Partitioned) error {
 	if len(p.parts) != len(other.parts) {
 		return fmt.Errorf("%w: %d vs %d partitions", ErrGeometry, len(p.parts), len(other.parts))
@@ -163,6 +186,8 @@ func (p *Partitioned) checkCompatible(other *Partitioned) error {
 }
 
 // AMerge merges other into p additively, partition-wise.
+//
+//bsub:hotpath
 func (p *Partitioned) AMerge(other *Partitioned, now time.Duration) error {
 	if err := p.checkCompatible(other); err != nil {
 		return err
@@ -176,6 +201,8 @@ func (p *Partitioned) AMerge(other *Partitioned, now time.Duration) error {
 }
 
 // MMerge merges other into p by maximum, partition-wise.
+//
+//bsub:hotpath
 func (p *Partitioned) MMerge(other *Partitioned, now time.Duration) error {
 	if err := p.checkCompatible(other); err != nil {
 		return err
@@ -199,6 +226,8 @@ func PreferencePartitioned(key string, peer, self *Partitioned, now time.Duratio
 }
 
 // PreferencePartitionedPre is PreferencePartitioned for a precomputed key.
+//
+//bsub:hotpath
 func PreferencePartitionedPre(k PreKey, peer, self *Partitioned, now time.Duration) (float64, error) {
 	if err := self.checkCompatible(peer); err != nil {
 		return 0, err
@@ -210,6 +239,8 @@ func PreferencePartitionedPre(k PreKey, peer, self *Partitioned, now time.Durati
 // Reset clears every partition to the state NewPartitioned would produce,
 // with all clocks at now; it lets a scratch partitioned filter be reused
 // across contacts instead of reallocated.
+//
+//bsub:hotpath
 func (p *Partitioned) Reset(now time.Duration) {
 	for _, f := range p.parts {
 		f.Reset(now)
@@ -226,6 +257,8 @@ func (p *Partitioned) Clone() *Partitioned {
 }
 
 // SetBits returns the total set bits across partitions.
+//
+//bsub:hotpath
 func (p *Partitioned) SetBits() int {
 	total := 0
 	for _, f := range p.parts {
@@ -238,6 +271,8 @@ func (p *Partitioned) SetBits() int {
 // routes to one partition, but an adversarial (unknown) key is equally
 // likely to land in any, so the expected rate is the mean of the
 // partition rates.
+//
+//bsub:hotpath
 func (p *Partitioned) EstimatedFPR() float64 {
 	sum := 0.0
 	for _, f := range p.parts {
@@ -256,6 +291,8 @@ func (p *Partitioned) Encode(mode CounterMode) ([]byte, error) {
 // EncodeTo appends the partitioned wire encoding to dst and returns the
 // extended slice — the same bytes Encode produces, into a caller-reused
 // buffer.
+//
+//bsub:hotpath
 func (p *Partitioned) EncodeTo(dst []byte, mode CounterMode) ([]byte, error) {
 	dst = append(dst, wireMagic^0x0F, byte(len(p.parts)))
 	for _, f := range p.parts {
@@ -337,6 +374,8 @@ func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned
 // Reset before reuse. As with DecodePartitioned, empty partitions come
 // back as fresh unmerged filters and decoded ones are marked merged, all
 // with clocks at now.
+//
+//bsub:hotpath
 func (p *Partitioned) DecodeInto(data []byte, now time.Duration) error {
 	if len(data) < 2 {
 		return fmt.Errorf("%w: truncated partitioned header", ErrCorrupt)

@@ -107,6 +107,8 @@ func New(cfg Config, now time.Duration) (*Filter, error) {
 
 // MustNew is New for parameters known to be valid; it panics on invalid
 // input and is intended for tests and package-level defaults.
+//
+//bsub:coldpath
 func MustNew(cfg Config, now time.Duration) *Filter {
 	f, err := New(cfg, now)
 	if err != nil {
@@ -116,21 +118,31 @@ func MustNew(cfg Config, now time.Duration) *Filter {
 }
 
 // M returns the bit-vector length.
+//
+//bsub:hotpath
 func (f *Filter) M() int { return f.hasher.M() }
 
 // K returns the number of hash functions.
+//
+//bsub:hotpath
 func (f *Filter) K() int { return f.hasher.K() }
 
 // Config returns the filter's configuration.
+//
+//bsub:hotpath
 func (f *Filter) Config() Config { return f.cfg }
 
 // Merged reports whether the filter has been the target of a merge and can
 // therefore no longer accept direct insertions.
+//
+//bsub:hotpath
 func (f *Filter) Merged() bool { return f.merged }
 
 // SetDecayFactor retunes the DF after settling decay up to now. The paper
 // (Section VI-B) recommends adjusting the DF online by observing the
 // resulting FPR.
+//
+//bsub:hotpath
 func (f *Filter) SetDecayFactor(perMinute float64, now time.Duration) error {
 	if perMinute < 0 {
 		return fmt.Errorf("tcbf: decay factor must be non-negative, got %g", perMinute)
@@ -145,6 +157,8 @@ func (f *Filter) SetDecayFactor(perMinute float64, now time.Duration) error {
 // Advance applies decay for the time elapsed since the filter was last
 // touched. Every other temporal method calls it implicitly; it is exported
 // so callers can settle a filter before inspecting counters directly.
+//
+//bsub:hotpath
 func (f *Filter) Advance(now time.Duration) error {
 	if now < f.last {
 		return fmt.Errorf("%w: filter at %v, operation at %v", ErrClockSkew, f.last, now)
@@ -198,10 +212,13 @@ func (f *Filter) Insert(key string, now time.Duration) error {
 }
 
 // InsertPre is Insert for a precomputed key.
+//
+//bsub:hotpath
 func (f *Filter) InsertPre(k PreKey, now time.Duration) error {
 	return f.insertDigest(k.Key, k.dig, now)
 }
 
+//bsub:hotpath
 func (f *Filter) insertDigest(key string, d hashkit.Digest, now time.Duration) error {
 	if f.merged {
 		return fmt.Errorf("insert %q: %w", key, ErrMerged)
@@ -237,10 +254,13 @@ func (f *Filter) Contains(key string, now time.Duration) (bool, error) {
 }
 
 // ContainsPre is Contains for a precomputed key.
+//
+//bsub:hotpath
 func (f *Filter) ContainsPre(k PreKey, now time.Duration) (bool, error) {
 	return f.containsDigest(k.dig, now)
 }
 
+//bsub:hotpath
 func (f *Filter) containsDigest(d hashkit.Digest, now time.Duration) (bool, error) {
 	if err := f.Advance(now); err != nil {
 		return false, err
@@ -263,10 +283,13 @@ func (f *Filter) MinCounter(key string, now time.Duration) (float64, error) {
 }
 
 // MinCounterPre is MinCounter for a precomputed key.
+//
+//bsub:hotpath
 func (f *Filter) MinCounterPre(k PreKey, now time.Duration) (float64, error) {
 	return f.minCounterDigest(k.dig, now)
 }
 
+//bsub:hotpath
 func (f *Filter) minCounterDigest(d hashkit.Digest, now time.Duration) (float64, error) {
 	if err := f.Advance(now); err != nil {
 		return 0, err
@@ -288,6 +311,8 @@ func (f *Filter) minCounterDigest(d hashkit.Digest, now time.Duration) (float64,
 // counters summed. Used when a broker absorbs a consumer's genuine filter,
 // so that repeated meetings reinforce the consumer's interests (Section
 // V-C). Both filters are settled to now first; f becomes a merged filter.
+//
+//bsub:hotpath
 func (f *Filter) AMerge(other *Filter, now time.Duration) error {
 	return f.merge(other, now, func(a, b float64) float64 { return a + b })
 }
@@ -296,10 +321,13 @@ func (f *Filter) AMerge(other *Filter, now time.Duration) error {
 // between brokers so frequently-meeting broker pairs do not inflate each
 // other's counters in a loop (the bogus-counter problem of Fig. 6). Both
 // filters are settled to now first; f becomes a merged filter.
+//
+//bsub:hotpath
 func (f *Filter) MMerge(other *Filter, now time.Duration) error {
 	return f.merge(other, now, math.Max)
 }
 
+//bsub:hotpath
 func (f *Filter) merge(other *Filter, now time.Duration, combine func(a, b float64) float64) error {
 	if f.M() != other.M() || f.K() != other.K() {
 		return fmt.Errorf("%w: (%d,%d) vs (%d,%d)", ErrGeometry, f.M(), f.K(), other.M(), other.K())
@@ -333,10 +361,13 @@ func Preference(key string, peer, self *Filter, now time.Duration) (float64, err
 }
 
 // PreferencePre is Preference for a precomputed key.
+//
+//bsub:hotpath
 func PreferencePre(k PreKey, peer, self *Filter, now time.Duration) (float64, error) {
 	return preferenceDigest(k.dig, peer, self, now)
 }
 
+//bsub:hotpath
 func preferenceDigest(d hashkit.Digest, peer, self *Filter, now time.Duration) (float64, error) {
 	pf, err := peer.minCounterDigest(d, now)
 	if err != nil {
@@ -359,6 +390,8 @@ func (f *Filter) Counter(p int) float64 { return f.counters[p] }
 
 // SetBits returns the number of positions with non-zero counters as of the
 // last settled clock.
+//
+//bsub:hotpath
 func (f *Filter) SetBits() int {
 	n := 0
 	for _, c := range f.counters {
@@ -370,12 +403,16 @@ func (f *Filter) SetBits() int {
 }
 
 // FillRatio returns the ratio of set bits to vector length.
+//
+//bsub:hotpath
 func (f *Filter) FillRatio() float64 {
 	return float64(f.SetBits()) / float64(f.M())
 }
 
 // EstimatedFPR estimates the existential-query false-positive rate from the
 // observed fill ratio (FillRatio^K).
+//
+//bsub:hotpath
 func (f *Filter) EstimatedFPR() float64 {
 	return math.Pow(f.FillRatio(), float64(f.K()))
 }
@@ -411,6 +448,8 @@ func (f *Filter) Clone() *Filter {
 // Reset clears all counters and the merged flag and sets the clock to now,
 // returning the filter to the state New would produce — which is what lets
 // scratch filters be reused across contacts instead of reallocated.
+//
+//bsub:hotpath
 func (f *Filter) Reset(now time.Duration) {
 	for i := range f.counters {
 		f.counters[i] = 0
