@@ -83,7 +83,7 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # bench-json captures the hot-path benchmarks as a JSON document for
-# checking in (BENCH_PR4.json records the zero-allocation contact path).
+# checking in (BENCH_PR6.json records the packed-counter contact path).
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineContact|InsertPre|ContainsPre|MMergeInPlace|EncodeTo|DecodeInto|EncodeFull|DecodeFull' \
-		-benchmem -count=1 ./internal/engine ./internal/tcbf | $(GO) run ./cmd/benchjson > BENCH_PR4.json
+		-benchmem -count=1 ./internal/engine ./internal/tcbf | $(GO) run ./cmd/benchjson > BENCH_PR6.json

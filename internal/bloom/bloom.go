@@ -144,6 +144,15 @@ func (f *Filter) SetBit(p int) {
 	f.bits[p/64] |= 1 << (uint(p) % 64)
 }
 
+// OrBits ORs a group of bits into the vector starting at position offset:
+// bit i of mask sets position offset+i. The group must not cross a word
+// boundary (offset%64 + bits(mask) <= 64) and must stay within [0, M) —
+// the word-parallel projection path tcbf.ToBloom uses to transfer four
+// lane flags per counter word.
+func (f *Filter) OrBits(offset int, mask uint64) {
+	f.bits[offset>>6] |= mask << (uint(offset) & 63)
+}
+
 func popcount(w uint64) int {
 	n := 0
 	for w != 0 {

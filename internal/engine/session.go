@@ -476,10 +476,8 @@ func (s *Session) MergeRelay() error {
 func (s *Session) InterestOut() ([]byte, error) {
 	f := s.scratchFilter(&s.interestBuf)
 	f.Reset(s.now)
-	for _, k := range s.n.preInterests {
-		if err := f.InsertPre(k, s.now); err != nil {
-			return nil, err
-		}
+	if err := f.InsertAllPre(s.n.preInterests, s.now); err != nil {
+		return nil, err
 	}
 	data, err := f.EncodeTo(s.interestEnc[:0], tcbf.CountersNone)
 	if err != nil {
@@ -515,7 +513,7 @@ func (s *Session) DeliveryMatches(data []byte) ([]Transfer, error) {
 		if e.sentTo(s.peer.ID) {
 			continue
 		}
-		match, err := anyPreIn(e.pre, f, s.now)
+		match, err := f.ContainsAnyPre(e.pre, s.now)
 		if err != nil {
 			return nil, err
 		}
@@ -528,7 +526,7 @@ func (s *Session) DeliveryMatches(data []byte) ([]Transfer, error) {
 		if e.msg.Origin == s.peer.ID {
 			continue
 		}
-		match, err := anyPreIn(e.pre, f, s.now)
+		match, err := f.ContainsAnyPre(e.pre, s.now)
 		if err != nil {
 			return nil, err
 		}
@@ -585,16 +583,9 @@ func (s *Session) ReplicationMatches(data []byte) ([]Transfer, error) {
 		if e.copies <= 0 {
 			continue
 		}
-		match := false
-		for _, k := range e.pre {
-			ok, err := adv.ContainsPre(k, s.now)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				match = true
-				break
-			}
+		match, err := adv.ContainsAnyPre(e.pre, s.now)
+		if err != nil {
+			return nil, err
 		}
 		if match {
 			out = append(out, Transfer{Msg: e.msg, Payload: e.payload})
@@ -602,21 +593,6 @@ func (s *Session) ReplicationMatches(data []byte) ([]Transfer, error) {
 	}
 	s.transfers = out
 	return out, nil
-}
-
-// anyPreIn reports whether any of the precomputed keys is in the decoded
-// interest filter — membership-equivalent to projecting the filter onto a
-// classic Bloom filter first, without materializing one.
-//
-//bsub:hotpath
-func anyPreIn(keys []tcbf.PreKey, f *tcbf.Filter, now time.Duration) (bool, error) {
-	for _, k := range keys {
-		ok, err := f.ContainsPre(k, now)
-		if err != nil || ok {
-			return ok, err
-		}
-	}
-	return false, nil
 }
 
 // --- Claims ---------------------------------------------------------------

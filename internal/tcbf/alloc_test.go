@@ -64,6 +64,30 @@ func TestFilterOpsAllocationFree(t *testing.T) {
 		}
 	})
 
+	pres := make([]PreKey, len(modelKeys))
+	for i, k := range modelKeys {
+		pres[i] = Precompute(k)
+	}
+	assertZeroAllocs(t, "InsertAllPre", func() {
+		f.Reset(now)
+		if err := f.InsertAllPre(pres, now); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZeroAllocs(t, "ContainsAnyPre", func() {
+		if _, err := f.ContainsAnyPre(pres, now); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZeroAllocs(t, "ContainsAllPre", func() {
+		if _, err := f.ContainsAllPre(pres, now); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Uniform mode refuses non-uniform counters, so encode it from a
+	// freshly re-inserted filter (all counters at C) and the other modes
+	// from the merged state.
 	var buf []byte
 	var err error
 	for _, mode := range []CounterMode{CountersNone, CountersUniform, CountersFull} {

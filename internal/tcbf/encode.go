@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 )
 
@@ -40,6 +41,12 @@ const (
 var (
 	// ErrCorrupt is returned by Decode for malformed input.
 	ErrCorrupt = errors.New("tcbf: corrupt encoding")
+
+	// ErrNotUniform is returned by Encode in CountersUniform mode when the
+	// filter's set counters are not all equal: flattening them to a single
+	// value would silently discard reinforcement state. Encode with
+	// CountersFull instead.
+	ErrNotUniform = errors.New("tcbf: counters not uniform")
 )
 
 // Encode serializes the filter's set bits (and, per mode, counters) into
@@ -49,8 +56,8 @@ var (
 // otherwise it falls back to the raw bitmap. Counters are quantized to one
 // byte relative to the filter's maximum counter.
 //
-// The filter should be settled (Advance) before encoding; Encode reads the
-// counters as they are.
+// Pending decay is folded into the encoded counters on the fly, so the
+// bytes always reflect the last Advance'd clock.
 func (f *Filter) Encode(mode CounterMode) ([]byte, error) {
 	return f.EncodeTo(nil, mode)
 }
@@ -59,20 +66,51 @@ func (f *Filter) Encode(mode CounterMode) ([]byte, error) {
 // extended slice — the same bytes Encode produces, but into a
 // caller-reused buffer, so a warm hot path encodes without allocating.
 //
+// In CountersUniform mode the filter's set counters must actually be
+// uniform; ErrNotUniform is returned otherwise.
+//
 //bsub:hotpath
 func (f *Filter) EncodeTo(dst []byte, mode CounterMode) ([]byte, error) {
 	if mode < CountersNone || mode > CountersFull {
 		return nil, fmt.Errorf("tcbf: unknown counter mode %d", mode)
 	}
-	nSet, maxC := 0, 0.0
-	for _, c := range f.counters {
-		if c > 0 {
-			nSet++
-			if c > maxC {
-				maxC = c
-			}
+	// One word-parallel scan for the set-bit count, the maximum counter,
+	// and uniformity, with pending decay applied on the fly: popcount of
+	// the lane flags counts set bits, a running maxWord accumulates the
+	// per-lane maximum, and uniformity is a whole-word compare against the
+	// first value broadcast into every non-zero lane.
+	pend := bcast(f.pendingTicks)
+	nSet := 0
+	var accMax, firstW uint64
+	uniformT := true
+	for _, w := range f.words {
+		if w == 0 {
+			continue
+		}
+		e := satSubWord(w, pend)
+		nz := nzLanes(e)
+		if nz == 0 {
+			continue
+		}
+		nSet += bits.OnesCount64(nz)
+		accMax = maxWord(accMax, e)
+		if firstW == 0 {
+			firstW = bcast(uint32(e>>uint(bits.TrailingZeros64(nz))) & laneMask)
+		}
+		if uniformT && e != firstW&(nz*laneMask) {
+			uniformT = false
 		}
 	}
+	maxT := uint32(accMax) & laneMask
+	for s := laneBits; s < 64; s += laneBits {
+		if v := uint32(accMax>>s) & laneMask; v > maxT {
+			maxT = v
+		}
+	}
+	if mode == CountersUniform && !uniformT {
+		return nil, fmt.Errorf("%w: %d set counters span multiple values", ErrNotUniform, nSet)
+	}
+
 	locBits := bitsFor(f.M())
 	useBitmap := nSet*locBits >= f.M()
 
@@ -91,42 +129,56 @@ func (f *Filter) EncodeTo(dst []byte, mode CounterMode) ([]byte, error) {
 		for n := (f.M() + 7) / 8; n > 0; n-- {
 			dst = append(dst, 0)
 		}
-		for p, c := range f.counters {
-			if c > 0 {
-				dst[start+p/8] |= 1 << (p % 8)
-			}
-		}
-	} else {
-		// Pack each set position in locBits bits, MSB first.
-		var cur uint64
-		ncur := 0
-		for p, c := range f.counters {
-			if c <= 0 {
+		for wi, w := range f.words {
+			if w == 0 {
 				continue
 			}
-			for i := locBits - 1; i >= 0; i-- {
-				cur = cur<<1 | (uint64(p)>>uint(i))&1
-				ncur++
-				if ncur == 8 {
-					dst = append(dst, byte(cur))
-					cur, ncur = 0, 0
+			nz := nzLanes(satSubWord(w, pend))
+			// Lane flags sit at bits 0,16,32,48; fold them to bits 0..3.
+			g := (nz | nz>>15 | nz>>30 | nz>>45) & 0xF
+			p := wi * lanesPerWord
+			dst[start+p/8] |= byte(g << (p % 8))
+		}
+	} else {
+		// Pack each set position in locBits bits, MSB first, draining the
+		// accumulator a byte at a time (locBits <= 24, so it never fills).
+		var cur uint64
+		ncur := 0
+		for wi, w := range f.words {
+			if w == 0 {
+				continue
+			}
+			e := satSubWord(w, pend)
+			for nz := nzLanes(e); nz != 0; nz &= nz - 1 {
+				l := bits.TrailingZeros64(nz) / laneBits
+				cur = cur<<locBits | uint64(wi*lanesPerWord+l)
+				ncur += locBits
+				for ncur >= 8 {
+					ncur -= 8
+					dst = append(dst, byte(cur>>ncur))
 				}
 			}
 		}
 		if ncur > 0 {
-			dst = append(dst, byte(cur<<uint(8-ncur)))
+			dst = append(dst, byte(cur<<(8-ncur)))
 		}
 	}
 
 	switch mode {
 	case CountersNone:
 	case CountersUniform:
-		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(maxC))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(float64(maxT)*f.quantum))
 	case CountersFull:
-		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(maxC))
-		for _, c := range f.counters {
-			if c > 0 {
-				dst = append(dst, quantize(c, maxC))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(float64(maxT)*f.quantum))
+		qs := 255.0 / float64(maxT) // hoisted reciprocal; loop is empty when maxT == 0
+		for _, w := range f.words {
+			if w == 0 {
+				continue
+			}
+			e := satSubWord(w, pend)
+			for nz := nzLanes(e); nz != 0; nz &= nz - 1 {
+				v := uint32(e>>uint(bits.TrailingZeros64(nz))) & laneMask
+				dst = append(dst, quantizeTick(v, qs))
 			}
 		}
 	}
@@ -181,7 +233,8 @@ func parseHeader(data []byte) (wireHeader, error) {
 // its provenance is unknown.
 //
 // Filters encoded with CountersNone decode with every set counter equal to
-// cfg.Initial.
+// cfg.Initial. Wire counter values are re-quantized to the receiver's tick
+// scale (cfg.Initial/1024 per tick), clamped to [1 tick, 32*Initial].
 func Decode(data []byte, cfg Config, now time.Duration) (*Filter, error) {
 	h, err := parseHeader(data)
 	if err != nil {
@@ -232,73 +285,81 @@ func (f *Filter) DecodeInto(data []byte, now time.Duration) error {
 func (f *Filter) decodeBody(h wireHeader) error {
 	f.merged = true
 	body := h.body
+	locEnd := 0
 	if h.bitmap {
-		need := (h.m + 7) / 8
-		if len(body) < need {
+		locEnd = (h.m + 7) / 8
+		if len(body) < locEnd {
 			return fmt.Errorf("%w: truncated bitmap", ErrCorrupt)
 		}
+		if tail := h.m & 7; tail != 0 && body[locEnd-1]>>tail != 0 {
+			return fmt.Errorf("%w: bitmap bits beyond vector length", ErrCorrupt)
+		}
 		found := 0
-		for p := 0; p < h.m; p++ {
-			if body[p/8]&(1<<(p%8)) != 0 {
-				found++
-			}
+		for _, b := range body[:locEnd] {
+			found += bits.OnesCount8(b)
 		}
 		if found != h.nSet {
 			return fmt.Errorf("%w: bitmap has %d set bits, header says %d", ErrCorrupt, found, h.nSet)
 		}
 	} else {
-		locBits := bitsFor(h.m)
-		need := (h.nSet*locBits + 7) / 8
-		if len(body) < need {
+		locEnd = (h.nSet*bitsFor(h.m) + 7) / 8
+		if len(body) < locEnd {
 			return fmt.Errorf("%w: truncated location list", ErrCorrupt)
 		}
 	}
 
 	// Determine the counter value source before walking the positions, so
-	// positions and counters stream through in one paired pass.
-	var uniform, maxC float64
+	// positions and counters stream through in one paired pass. The wire
+	// carries counter units; they become ticks at the receiver's scale.
+	uniformTick := uint32(0)
+	scale := 0.0 // ticks per quantized-byte unit, CountersFull only
 	counters := []byte(nil)
-	locEnd := 0
-	switch h.bitmap {
-	case true:
-		locEnd = (h.m + 7) / 8
-	case false:
-		locEnd = (h.nSet*bitsFor(h.m) + 7) / 8
-	}
 	switch h.mode {
 	case CountersNone:
-		uniform = f.cfg.Initial
+		uniformTick = initTicks
 	case CountersUniform:
 		if len(body) < locEnd+8 {
 			return fmt.Errorf("%w: truncated uniform counter", ErrCorrupt)
 		}
-		uniform = math.Float64frombits(binary.BigEndian.Uint64(body[locEnd:]))
-		if uniform < 0 || math.IsNaN(uniform) || math.IsInf(uniform, 0) {
-			return fmt.Errorf("%w: bad counter value %g", ErrCorrupt, uniform)
+		u := math.Float64frombits(binary.BigEndian.Uint64(body[locEnd:]))
+		// Zero is only legal on an empty filter: a "set" bit with a zero
+		// counter is a contradiction (decay would have cleared the bit).
+		if u < 0 || (u == 0 && h.nSet > 0) || math.IsNaN(u) || math.IsInf(u, 0) {
+			return fmt.Errorf("%w: bad counter value %g", ErrCorrupt, u)
+		}
+		if h.nSet > 0 {
+			uniformTick = f.tickFromValue(u)
 		}
 	case CountersFull:
 		if len(body) < locEnd+8+h.nSet {
 			return fmt.Errorf("%w: truncated counters", ErrCorrupt)
 		}
-		maxC = math.Float64frombits(binary.BigEndian.Uint64(body[locEnd:]))
-		if maxC < 0 || math.IsNaN(maxC) || math.IsInf(maxC, 0) {
+		maxC := math.Float64frombits(binary.BigEndian.Uint64(body[locEnd:]))
+		if maxC < 0 || (maxC == 0 && h.nSet > 0) || math.IsNaN(maxC) || math.IsInf(maxC, 0) {
 			return fmt.Errorf("%w: bad counter scale %g", ErrCorrupt, maxC)
 		}
-		counters = body[locEnd+8:]
+		counters = body[locEnd+8 : locEnd+8+h.nSet]
+		scale = maxC / 255 * f.invQuantum
 	}
 
 	if h.bitmap {
 		i := 0
-		for p := 0; p < h.m; p++ {
-			if body[p/8]&(1<<(p%8)) == 0 {
-				continue
+		for bi := 0; bi < locEnd; bi++ {
+			for b := body[bi]; b != 0; b &= b - 1 {
+				p := uint32(bi*8 + bits.TrailingZeros8(b))
+				if counters != nil {
+					q := counters[i]
+					i++
+					if q == 0 {
+						// The encoder reserves 0 for unset; a zero byte for
+						// a set bit is always corruption.
+						return fmt.Errorf("%w: zero counter byte for set bit %d", ErrCorrupt, p)
+					}
+					f.setLane(p, tickFromScaled(q, scale))
+				} else {
+					f.setLane(p, uniformTick)
+				}
 			}
-			if counters != nil {
-				f.counters[p] = dequantize(counters[i], maxC)
-			} else {
-				f.counters[p] = uniform
-			}
-			i++
 		}
 	} else {
 		locBits := bitsFor(h.m)
@@ -309,9 +370,13 @@ func (f *Filter) decodeBody(h wireHeader) error {
 				return fmt.Errorf("%w: bad location", ErrCorrupt)
 			}
 			if counters != nil {
-				f.counters[v] = dequantize(counters[i], maxC)
+				q := counters[i]
+				if q == 0 {
+					return fmt.Errorf("%w: zero counter byte for set bit %d", ErrCorrupt, v)
+				}
+				f.setLane(uint32(v), tickFromScaled(q, scale))
 			} else {
-				f.counters[v] = uniform
+				f.setLane(uint32(v), uniformTick)
 			}
 		}
 	}
@@ -349,27 +414,56 @@ func PaperWireBits(nSet, m int, mode CounterMode) int {
 	}
 }
 
-// quantize maps c in [0, max] to a byte, reserving 0 for exact zero so that
-// a set bit never round-trips to unset.
+// quantizeTick maps a tick count v in [1, max] to a wire byte in [1, 255]
+// by rounding v*255/max, reserving 0 for unset so that a set bit never
+// round-trips to unset. qs is the caller-hoisted reciprocal 255/max, which
+// turns the per-byte division into a multiply. The float path is exact:
+// v*255 < 2^23 is representable, IEEE division is correctly rounded, and
+// the quotient (denominator <= laneMax) is never within an ulp of a
+// half-integer except when exactly equal — where truncating v*qs + 0.5
+// rounds half up, matching the integer formula (v*510+max)/(2*max).
 //
 //bsub:hotpath
-func quantize(c, max float64) byte {
-	if max <= 0 || c <= 0 {
-		return 0
-	}
-	q := int(math.Round(c / max * 255))
+func quantizeTick(v uint32, qs float64) byte {
+	q := uint32(float64(v)*qs + 0.5)
 	if q < 1 {
 		q = 1
-	}
-	if q > 255 {
-		q = 255
 	}
 	return byte(q)
 }
 
+// tickFromValue converts a wire counter value (in counter units) to this
+// filter's tick scale, clamping to [1, laneMax]: the bit is set on the
+// wire, so it must stay set after re-quantization.
+//
 //bsub:hotpath
-func dequantize(q byte, max float64) float64 {
-	return float64(q) / 255 * max
+func (f *Filter) tickFromValue(c float64) uint32 {
+	// c >= 0 here, so truncating c*invQuantum + 0.5 is round-half-up —
+	// math.Round without its negative-zero branches.
+	t := c*f.invQuantum + 0.5
+	if t < 1 {
+		return 1
+	}
+	if t > laneMax {
+		return laneMax
+	}
+	return uint32(t)
+}
+
+// tickFromScaled converts a quantized wire byte to ticks given the
+// precomputed ticks-per-byte-unit scale, clamping like tickFromValue.
+//
+//bsub:hotpath
+func tickFromScaled(q byte, scale float64) uint32 {
+	// q and scale are non-negative, so truncation after +0.5 rounds half up.
+	t := float64(q)*scale + 0.5
+	if t < 1 {
+		return 1
+	}
+	if t > laneMax {
+		return laneMax
+	}
+	return uint32(t)
 }
 
 // bitsFor returns ceil(log2 m) for m >= 1, with a floor of 1 bit.
@@ -391,17 +485,25 @@ type bitReader struct {
 	pos  int // bit position
 }
 
+// read extracts the next n bits MSB-first, a byte-sized chunk at a time
+// rather than bit-by-bit.
+//
 //bsub:hotpath
-func (r *bitReader) read(bits int) (uint64, bool) {
-	if r.pos+bits > len(r.data)*8 {
+func (r *bitReader) read(n int) (uint64, bool) {
+	if r.pos+n > len(r.data)*8 {
 		return 0, false
 	}
 	var v uint64
-	for i := 0; i < bits; i++ {
-		byteIdx := r.pos / 8
-		bitIdx := 7 - r.pos%8
-		v = v<<1 | uint64(r.data[byteIdx]>>uint(bitIdx))&1
-		r.pos++
+	for got := 0; got < n; {
+		avail := 8 - r.pos&7
+		take := n - got
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.data[r.pos>>3]>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.pos += take
+		got += take
 	}
 	return v, true
 }

@@ -1,7 +1,9 @@
 package tcbf
 
 import (
+	"encoding/hex"
 	"testing"
+	"time"
 )
 
 // FuzzDecode hardens the wire decoder against adversarial bytes: it must
@@ -25,6 +27,44 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{wireMagic})
 
+	// Packed-representation edges: a filter saturated at laneMax by
+	// repeated A-merges, a filter one tick away from decaying out
+	// (quantization scale boundary), and a float64-era byte stream.
+	sat := MustNew(cfg, 0)
+	donor := MustNew(cfg, 0)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := donor.Insert(k, 0); err != nil {
+			f.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := sat.AMerge(donor, 0); err != nil {
+			f.Fatal(err)
+		}
+	}
+	data, err := sat.Encode(CountersFull)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+
+	low := MustNew(cfg, 0)
+	if err := low.Insert("a", 0); err != nil {
+		f.Fatal(err)
+	}
+	tick := time.Duration(tickNanosFor(low.quantum, cfg.DecayPerMinute))
+	if err := low.Advance(10*time.Minute - tick); err != nil {
+		f.Fatal(err)
+	}
+	if data, err = low.Encode(CountersFull); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+
+	if old, err := hex.DecodeString(goldenWireFull); err == nil {
+		f.Add(old)
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decoded, err := Decode(data, Config{Initial: 10, DecayPerMinute: 1}, 0)
 		if err != nil {
@@ -40,6 +80,9 @@ func FuzzDecode(f *testing.F) {
 			c := decoded.Counter(p)
 			if c < 0 {
 				t.Fatalf("negative counter %g at %d", c, p)
+			}
+			if c > float64(laneMax)*decoded.quantum {
+				t.Fatalf("counter %g at %d exceeds the lane saturation cap", c, p)
 			}
 			if c > 0 {
 				set++

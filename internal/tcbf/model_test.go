@@ -12,15 +12,19 @@ import (
 )
 
 // This file checks the TCBF against a deliberately naive reference model: a
-// map of position → counter, straight-line reimplementations of insert,
-// decay, both merges, and both queries, and an independent stdlib-FNV
-// reimplementation of the double-hashing position derivation. A randomized
-// op tape drives the real filter and the model in lockstep, comparing the
-// full counter state bit-for-bit after every op — so every fast-path
-// shortcut in the production code (inline FNV, precomputed digests, scratch
-// reuse, in-place encode/decode) must agree exactly with the obvious
-// implementation. FuzzTCBFModel feeds the same interpreter
-// coverage-guided tapes.
+// map of position → counter ticks, straight-line reimplementations of
+// insert, decay, both merges, and both queries, and an independent
+// stdlib-FNV reimplementation of the double-hashing position derivation.
+// The reference mirrors the documented fixed-point semantics — integer
+// ticks of quantum Initial/1024, eager whole-tick decay with a nanosecond
+// remainder, saturation at laneMax — with longhand arithmetic and none of
+// the production shortcuts (no SWAR words, no lazy settlement, no guard
+// bits, no inline FNV, no scratch reuse). A randomized op tape drives the
+// real filter and the model in lockstep, comparing the full effective
+// counter state tick-for-tick after every op — so every word-parallel pass
+// and every lazy-decay fold in the production code must agree exactly with
+// the obvious per-counter implementation. FuzzTCBFModel feeds the same
+// interpreter coverage-guided tapes.
 
 // refPositions derives the k bit positions for key with hash/fnv and
 // uint64 arithmetic — independent of hashkit's inline FNV and
@@ -38,33 +42,78 @@ func refPositions(m, k int, key string) []int {
 	return out
 }
 
-// refTCBF is the reference model. Counters live in a map (absent == 0);
-// every temporal rule is written out longhand.
+// refInitTicks and refLaneMax restate the packed representation's documented
+// constants independently: Insert writes 1024 ticks and a counter can never
+// exceed 32767 ticks.
+const (
+	refInitTicks = 1024
+	refLaneMax   = 32767
+)
+
+// refTickNanos restates tickNanosFor longhand: the nanoseconds DF takes to
+// erode one tick's worth (Initial/1024) of counter value, rounded to the
+// nearest nanosecond, clamped to at least 1 and at most MaxInt64.
+func refTickNanos(initial, perMinute float64) int64 {
+	if perMinute <= 0 {
+		return 0
+	}
+	quantum := initial / refInitTicks
+	t := math.Round(quantum / perMinute * float64(time.Minute))
+	if t < 1 {
+		return 1
+	}
+	if t >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	return int64(t)
+}
+
+// refTCBF is the reference model. Counter ticks live in a map (absent ==
+// 0); every temporal rule is written out longhand, and decay is applied
+// eagerly on every advance — the opposite of the production filter's lazy
+// pending-debt scheme, which must be observationally identical.
 type refTCBF struct {
-	m, k   int
-	cfg    Config
-	c      map[int]float64
-	last   time.Duration
-	merged bool
+	m, k      int
+	cfg       Config
+	c         map[int]uint32 // position → counter ticks
+	last      time.Duration
+	merged    bool
+	tickNanos int64
+	remNanos  int64 // progress toward the next whole tick
 }
 
 func newRefTCBF(cfg Config, now time.Duration) *refTCBF {
-	return &refTCBF{m: cfg.M, k: cfg.K, cfg: cfg, c: make(map[int]float64), last: now}
+	return &refTCBF{
+		m: cfg.M, k: cfg.K, cfg: cfg,
+		c:         make(map[int]uint32),
+		last:      now,
+		tickNanos: refTickNanos(cfg.Initial, cfg.DecayPerMinute),
+	}
 }
 
 func (r *refTCBF) advance(now time.Duration) {
 	elapsed := now - r.last
 	r.last = now
-	if elapsed == 0 || r.cfg.DecayPerMinute == 0 {
+	if elapsed == 0 || r.tickNanos == 0 {
 		return
 	}
-	dec := r.cfg.DecayPerMinute * elapsed.Minutes()
+	r.remNanos += int64(elapsed)
+	if r.remNanos < 0 {
+		r.remNanos = math.MaxInt64
+	}
+	ticks := uint64(r.remNanos / r.tickNanos)
+	r.remNanos %= r.tickNanos
+	if ticks == 0 {
+		return
+	}
+	if ticks > refLaneMax {
+		ticks = refLaneMax // no counter exceeds refLaneMax, so deeper decay is moot
+	}
 	for p, c := range r.c {
-		c -= dec
-		if c <= 0 {
+		if uint64(c) <= ticks {
 			delete(r.c, p)
 		} else {
-			r.c[p] = c
+			r.c[p] = c - uint32(ticks)
 		}
 	}
 }
@@ -76,7 +125,7 @@ func (r *refTCBF) insert(key string, now time.Duration) error {
 	r.advance(now)
 	for _, p := range refPositions(r.m, r.k, key) {
 		if r.c[p] == 0 {
-			r.c[p] = r.cfg.Initial
+			r.c[p] = refInitTicks
 		}
 	}
 	return nil
@@ -90,9 +139,13 @@ func (r *refTCBF) merge(other *refTCBF, now time.Duration, additive bool) {
 		case r.c[p] == 0:
 			r.c[p] = c
 		case additive:
-			r.c[p] = r.c[p] + c
-		default:
-			r.c[p] = math.Max(r.c[p], c)
+			sum := uint64(r.c[p]) + uint64(c)
+			if sum > refLaneMax {
+				sum = refLaneMax
+			}
+			r.c[p] = uint32(sum)
+		case c > r.c[p]:
+			r.c[p] = c
 		}
 	}
 	r.merged = true
@@ -110,27 +163,40 @@ func (r *refTCBF) contains(key string, now time.Duration) bool {
 
 func (r *refTCBF) minCounter(key string, now time.Duration) float64 {
 	r.advance(now)
-	minC := math.Inf(1)
+	minT := uint32(math.MaxUint32)
 	for _, p := range refPositions(r.m, r.k, key) {
-		if r.c[p] < minC {
-			minC = r.c[p]
+		if r.c[p] < minT {
+			minT = r.c[p]
 		}
 	}
-	if math.IsInf(minC, 1) {
-		return 0
-	}
-	return minC
+	return float64(minT) * (r.cfg.Initial / refInitTicks)
 }
 
 func (r *refTCBF) setDF(perMinute float64, now time.Duration) {
 	r.advance(now)
 	r.cfg.DecayPerMinute = perMinute
+	r.tickNanos = refTickNanos(r.cfg.Initial, perMinute)
 }
 
 func (r *refTCBF) reset(now time.Duration) {
-	r.c = make(map[int]float64)
+	r.c = make(map[int]uint32)
 	r.last = now
 	r.merged = false
+	r.remNanos = 0
+}
+
+// uniform reports whether all set counters share one tick value (vacuously
+// true when empty) — the precondition CountersUniform encoding enforces.
+func (r *refTCBF) uniform() bool {
+	first := uint32(0)
+	for _, c := range r.c {
+		if first == 0 {
+			first = c
+		} else if c != first {
+			return false
+		}
+	}
+	return true
 }
 
 // modelState is the interpreter state: two filter/model pairs (so merges
@@ -164,9 +230,14 @@ func (st *modelState) compare(t *testing.T, tag string) {
 			t.Fatalf("%s: %s merged = %v, model %v", tag, pr.name, pr.f.Merged(), pr.r.merged)
 		}
 		for p := 0; p < pr.r.m; p++ {
-			if got, want := pr.f.Counter(p), pr.r.c[p]; got != want {
-				t.Fatalf("%s: %s counter[%d] = %v, model %v (diff %g)",
-					tag, pr.name, p, got, want, got-want)
+			// Effective ticks must match the model exactly — the packed
+			// filter's lazily pending decay is invisible from outside.
+			if got, want := pr.f.effTick(uint32(p)), pr.r.c[p]; got != want {
+				t.Fatalf("%s: %s ticks[%d] = %d, model %d", tag, pr.name, p, got, want)
+			}
+			// And the float view is the same multiple of the same quantum.
+			if got, want := pr.f.Counter(p), float64(pr.r.c[p])*(pr.r.cfg.Initial/refInitTicks); got != want {
+				t.Fatalf("%s: %s counter[%d] = %v, model %v", tag, pr.name, p, got, want)
 			}
 		}
 	}
@@ -184,10 +255,10 @@ var modelKeys = []string{
 func (st *modelState) step(t *testing.T, op, arg byte) {
 	t.Helper()
 	key := modelKeys[int(arg)%len(modelKeys)]
-	switch op % 10 {
+	switch op % 12 {
 	case 0, 1: // insert into f1 / f2
 		f, r := st.f1, st.r1
-		if op%10 == 1 {
+		if op%12 == 1 {
 			f, r = st.f2, st.r2
 		}
 		ferr := f.Insert(key, st.now)
@@ -215,7 +286,7 @@ func (st *modelState) step(t *testing.T, op, arg byte) {
 			t.Fatalf("mmerge: %v", err)
 		}
 		st.r1.merge(st.r2, st.now, false)
-	case 5: // existential query, plain and precomputed
+	case 5: // existential query, plain, precomputed, and batched
 		got, err := st.f1.Contains(key, st.now)
 		if err != nil {
 			t.Fatalf("contains: %v", err)
@@ -224,8 +295,17 @@ func (st *modelState) step(t *testing.T, op, arg byte) {
 		if err != nil {
 			t.Fatalf("contains pre: %v", err)
 		}
-		if want := st.r1.contains(key, st.now); got != want || gotPre != want {
-			t.Fatalf("contains %q = %v/%v, model %v", key, got, gotPre, want)
+		batch := []PreKey{Precompute(key)}
+		gotAny, err := st.f1.ContainsAnyPre(batch, st.now)
+		if err != nil {
+			t.Fatalf("contains any pre: %v", err)
+		}
+		gotAll, err := st.f1.ContainsAllPre(batch, st.now)
+		if err != nil {
+			t.Fatalf("contains all pre: %v", err)
+		}
+		if want := st.r1.contains(key, st.now); got != want || gotPre != want || gotAny != want || gotAll != want {
+			t.Fatalf("contains %q = %v/%v/%v/%v, model %v", key, got, gotPre, gotAny, gotAll, want)
 		}
 	case 6: // min-counter query
 		got, err := st.f1.MinCounter(key, st.now)
@@ -264,16 +344,45 @@ func (st *modelState) step(t *testing.T, op, arg byte) {
 			st.f2.Reset(st.now)
 			st.r2.reset(st.now)
 		}
+	case 10: // reinforcement burst: drive counters into saturation
+		for j := 0; j < 40; j++ {
+			if err := st.f1.AMerge(st.f2, st.now); err != nil {
+				t.Fatalf("amerge burst: %v", err)
+			}
+			st.r1.merge(st.r2, st.now, true)
+		}
+	case 11: // sub-tick time: exercise the nanosecond remainder carry
+		st.now += time.Duration(arg) * 37 * time.Millisecond
+		if err := st.f1.Advance(st.now); err != nil {
+			t.Fatalf("advance f1: %v", err)
+		}
+		if err := st.f2.Advance(st.now); err != nil {
+			t.Fatalf("advance f2: %v", err)
+		}
+		st.r1.advance(st.now)
+		st.r2.advance(st.now)
 	}
 	st.compare(t, "after op")
 }
 
 // checkWire pins the append-style encoder and the in-place decoder to
-// their allocating counterparts on f1's current state.
+// their allocating counterparts on f1's current state, and the uniform
+// mode's refusal of non-uniform counters to the model's view.
 func (st *modelState) checkWire(t *testing.T, mode CounterMode) {
 	t.Helper()
+	st.r1.advance(st.now) // encoding reflects the advanced clock
 	plain, err := st.f1.Encode(mode)
-	if err != nil {
+	if mode == CountersUniform {
+		if wantErr := !st.r1.uniform(); wantErr != (err != nil) || (err != nil && !errors.Is(err, ErrNotUniform)) {
+			t.Fatalf("uniform encode err = %v, model uniform %v", err, st.r1.uniform())
+		}
+		if err != nil {
+			if _, err2 := st.f1.EncodeTo(nil, mode); !errors.Is(err2, ErrNotUniform) {
+				t.Fatalf("EncodeTo uniform err = %v, Encode refused", err2)
+			}
+			return
+		}
+	} else if err != nil {
 		t.Fatalf("encode: %v", err)
 	}
 	prefix := []byte{0xDE, 0xAD}
@@ -295,6 +404,10 @@ func (st *modelState) checkWire(t *testing.T, mode CounterMode) {
 		if fresh.Counter(p) != st.scratch.Counter(p) {
 			t.Fatalf("DecodeInto counter[%d] = %v, Decode %v (mode %d)",
 				p, st.scratch.Counter(p), fresh.Counter(p), mode)
+		}
+		// Decoding must preserve the set-bit structure exactly.
+		if (fresh.Counter(p) > 0) != (st.f1.Counter(p) > 0) {
+			t.Fatalf("decode flipped bit %d (mode %d)", p, mode)
 		}
 	}
 	if fresh.Merged() != st.scratch.Merged() {
@@ -330,10 +443,13 @@ func TestTCBFDifferentialModel(t *testing.T) {
 // coverage-guided tape on which the filter and the naive model disagree is
 // a real bug.
 func FuzzTCBFModel(f *testing.F) {
-	f.Add([]byte{0, 1, 1, 2, 3, 0, 5, 1, 8, 2})                   // insert, merge, query, wire
-	f.Add([]byte{0, 0, 2, 90, 6, 0, 4, 0, 7, 0})                  // decay then M-merge
-	f.Add([]byte{0, 3, 9, 16, 2, 200, 5, 3, 8, 0, 8, 1, 8, 2})    // DF retune + all wire modes
-	f.Add([]byte{1, 5, 3, 0, 0, 5, 9, 4, 1, 7, 4, 0, 2, 30, 7, 5}) // merged-insert rejection path
+	f.Add([]byte{0, 1, 1, 2, 3, 0, 5, 1, 8, 2})                                             // insert, merge, query, wire
+	f.Add([]byte{0, 0, 2, 90, 6, 0, 4, 0, 7, 0})                                            // decay then M-merge
+	f.Add([]byte{0, 3, 9, 16, 2, 200, 5, 3, 8, 0, 8, 1, 8, 2})                              // DF retune + all wire modes
+	f.Add([]byte{1, 5, 3, 0, 0, 5, 9, 4, 1, 7, 4, 0, 2, 30, 7, 5})                          // merged-insert rejection path
+	f.Add([]byte{0, 1, 1, 1, 10, 0, 6, 1, 10, 0, 10, 0, 6, 1, 8, 2, 2, 255, 6, 1})          // saturation at laneMax, then decay back down
+	f.Add([]byte{0, 0, 11, 1, 5, 0, 11, 255, 6, 0, 11, 3, 2, 1, 6, 0, 9, 9, 11, 100, 6, 0}) // sub-tick remainder carry across DF retune
+	f.Add([]byte{1, 2, 3, 0, 2, 240, 2, 240, 2, 240, 5, 2, 0, 2, 8, 2})                     // decay far past zero, reinsert, wire
 	f.Fuzz(func(t *testing.T, tape []byte) {
 		if len(tape) > 4096 {
 			t.Skip("tape longer than useful")

@@ -1,0 +1,85 @@
+package tcbf
+
+// Packed counter representation: fixed-point counters in 16-bit lanes, four
+// per uint64 word, processed with SWAR (SIMD-within-a-register) passes.
+//
+// A counter is stored as an integer number of "ticks" where one tick is
+// quantum = Initial/initTicks counter units; initTicks is a power of two so
+// the quantum is exact in binary floating point and Insert's value C maps to
+// exactly initTicks ticks. Lanes only ever hold values in [0, laneMax]; the
+// top bit of each lane stays clear and serves as the SWAR guard bit that
+// absorbs per-lane borrows and carries, so decay (saturating subtract),
+// A-merge (saturating add) and M-merge (lane-wise max) each process four
+// counters per word operation with no cross-lane contamination.
+//
+// laneMax = 32*initTicks gives 32x headroom over the insertion value C
+// before an A-merge saturates, matching the paper's regime where counters
+// are reinforced a handful of times between decays, not thousands.
+
+const (
+	lanesPerWord = 4
+	laneBits     = 16
+	laneShift    = 2      // log2(lanesPerWord)
+	laneMask     = 0xFFFF // full 16-bit lane
+	laneMax      = 0x7FFF // maximum counter value: 15 value bits per lane
+
+	laneLSB   = 0x0001_0001_0001_0001 // bit 0 of every lane
+	laneGuard = 0x8000_8000_8000_8000 // guard bit (bit 15) of every lane
+	laneVal   = 0x7FFF_7FFF_7FFF_7FFF // value bits of every lane
+
+	// initTicks is the tick count Insert writes: Config.Initial in ticks.
+	initTicks = 1 << 10
+)
+
+// wordsFor returns the word count backing an m-lane counter vector.
+//
+//bsub:hotpath
+func wordsFor(m int) int { return (m + lanesPerWord - 1) / lanesPerWord }
+
+// bcast replicates a lane value (at most laneMask) into all four lanes.
+//
+//bsub:hotpath
+func bcast(v uint32) uint64 { return uint64(v) * laneLSB }
+
+// satSubWord computes max(a-b, 0) lane-wise. Both operands must have clear
+// guard bits. Setting the guard bit before subtracting makes every lane's
+// minuend at least 0x8000 >= b, so no borrow ever crosses a lane boundary;
+// the guard bit survives exactly in the lanes where a >= b.
+//
+//bsub:hotpath
+func satSubWord(a, b uint64) uint64 {
+	t := (a | laneGuard) - b
+	ge := (t >> 15) & laneLSB // 1 in lanes where a >= b
+	return t & (ge * laneMax)
+}
+
+// satAddWord computes min(a+b, laneMax) lane-wise. Both operands must have
+// clear guard bits, so per-lane sums are at most 0xFFFE and never carry
+// across lanes; a sum's guard bit flags overflow past laneMax.
+//
+//bsub:hotpath
+func satAddWord(a, b uint64) uint64 {
+	s := a + b
+	ov := (s >> 15) & laneLSB // 1 in lanes where the sum exceeded laneMax
+	return s&^(ov*laneMask) | ov*laneMax
+}
+
+// maxWord computes max(a, b) lane-wise. Both operands must have clear guard
+// bits.
+//
+//bsub:hotpath
+func maxWord(a, b uint64) uint64 {
+	t := (a | laneGuard) - b
+	ge := (t >> 15) & laneLSB // 1 in lanes where a >= b
+	m := ge * laneMask        // all-ones in lanes where a >= b
+	return a&m | b&^m
+}
+
+// nzLanes returns a laneLSB-positioned 1 for every non-zero lane of w. The
+// operand must have clear guard bits: adding laneMax to a lane overflows
+// into the guard bit exactly when the lane is non-zero.
+//
+//bsub:hotpath
+func nzLanes(w uint64) uint64 {
+	return ((w + laneVal) >> 15) & laneLSB
+}

@@ -1,0 +1,412 @@
+package tcbf
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Tests for the packed SWAR counter representation: the word-parallel
+// primitives against longhand lane arithmetic, the saturation edges, and
+// regression tests for the wire-decode invariant fixes that landed with it.
+
+// lanes unpacks a word into its four lane values.
+func lanes(w uint64) [4]uint32 {
+	return [4]uint32{
+		uint32(w) & laneMask,
+		uint32(w>>16) & laneMask,
+		uint32(w>>32) & laneMask,
+		uint32(w>>48) & laneMask,
+	}
+}
+
+func packLanes(l [4]uint32) uint64 {
+	return uint64(l[0]) | uint64(l[1])<<16 | uint64(l[2])<<32 | uint64(l[3])<<48
+}
+
+func TestSWARPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randLane := func() uint32 {
+		// Mix uniform draws with boundary values so saturation and
+		// equality edges come up constantly.
+		switch rng.Intn(5) {
+		case 0:
+			return 0
+		case 1:
+			return laneMax
+		case 2:
+			return uint32(rng.Intn(4)) // tiny
+		default:
+			return uint32(rng.Intn(laneMax + 1))
+		}
+	}
+	for trial := 0; trial < 100000; trial++ {
+		var la, lb [4]uint32
+		for i := range la {
+			la[i], lb[i] = randLane(), randLane()
+		}
+		a, b := packLanes(la), packLanes(lb)
+
+		got := lanes(satSubWord(a, b))
+		for i := range got {
+			want := uint32(0)
+			if la[i] > lb[i] {
+				want = la[i] - lb[i]
+			}
+			if got[i] != want {
+				t.Fatalf("satSub lane %d: %d-%d = %d, want %d", i, la[i], lb[i], got[i], want)
+			}
+		}
+		got = lanes(satAddWord(a, b))
+		for i := range got {
+			want := la[i] + lb[i]
+			if want > laneMax {
+				want = laneMax
+			}
+			if got[i] != want {
+				t.Fatalf("satAdd lane %d: %d+%d = %d, want %d", i, la[i], lb[i], got[i], want)
+			}
+		}
+		got = lanes(maxWord(a, b))
+		for i := range got {
+			want := la[i]
+			if lb[i] > want {
+				want = lb[i]
+			}
+			if got[i] != want {
+				t.Fatalf("max lane %d: max(%d,%d) = %d, want %d", i, la[i], lb[i], got[i], want)
+			}
+		}
+		nz := nzLanes(a)
+		for i := range la {
+			want := uint64(0)
+			if la[i] != 0 {
+				want = 1
+			}
+			if (nz>>(16*i))&1 != want {
+				t.Fatalf("nzLanes lane %d of %#x = %d, want %d", i, a, (nz>>(16*i))&1, want)
+			}
+		}
+		if nz&^laneLSB != 0 {
+			t.Fatalf("nzLanes %#x has bits outside lane LSBs: %#x", a, nz)
+		}
+	}
+}
+
+func TestAMergeSaturatesAtLaneMax(t *testing.T) {
+	cfg := Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	f := MustNew(cfg, 0)
+	if err := f.Insert("sat-key", 0); err != nil {
+		t.Fatal(err)
+	}
+	src := MustNew(cfg, 0)
+	if err := src.Insert("sat-key", 0); err != nil {
+		t.Fatal(err)
+	}
+	// 40 reinforcements would reach 41*1024 ticks; the lanes must pin at
+	// laneMax = 32767 ticks = 32*Initial-ish instead of wrapping.
+	for i := 0; i < 40; i++ {
+		if err := f.AMerge(src, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantMax := float64(laneMax) * (cfg.Initial / initTicks)
+	mc, err := f.MinCounter("sat-key", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc != wantMax {
+		t.Fatalf("saturated min counter = %v, want %v", mc, wantMax)
+	}
+	// A saturated counter still decays normally and the full-counter wire
+	// round-trip preserves it within quantization tolerance.
+	data, err := f.Encode(CountersFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(data, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcDec, err := dec.MinCounter("sat-key", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcDec != wantMax {
+		t.Fatalf("decoded saturated counter = %v, want %v", mcDec, wantMax)
+	}
+	mcLater, err := f.MinCounter("sat-key", 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantMax - 5; mcLater != want {
+		t.Fatalf("saturated counter after 5m = %v, want %v", mcLater, want)
+	}
+}
+
+func TestDecayFarPastZeroThenReinsert(t *testing.T) {
+	cfg := Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	f := MustNew(cfg, 0)
+	if err := f.Insert("k", 0); err != nil {
+		t.Fatal(err)
+	}
+	// 10 minutes clears the counter; run 100x past that, through multiple
+	// Advance calls, so the pending-tick cap and the remainder carry both
+	// see debts far larger than any lane.
+	for m := 100; m <= 1000; m += 100 {
+		if err := f.Advance(time.Duration(m) * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, _ := f.Contains("k", 1000*time.Minute); ok {
+		t.Fatal("key survived 1000 minutes of decay")
+	}
+	if n := f.SetBits(); n != 0 {
+		t.Fatalf("SetBits = %d after full decay, want 0", n)
+	}
+	if err := f.Insert("k", 1000*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	mc, err := f.MinCounter("k", 1000*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc != cfg.Initial {
+		t.Fatalf("reinserted min counter = %v, want %v", mc, cfg.Initial)
+	}
+	// The fresh insert must not inherit any stale decay debt: one minute
+	// later it has lost exactly the whole ticks one minute buys (one
+	// minute is 102.4 ticks at this config, so 102 whole ticks).
+	mc, err = f.MinCounter("k", 1001*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantum := cfg.Initial / initTicks
+	ticks := float64(time.Minute.Nanoseconds() / tickNanosFor(quantum, cfg.DecayPerMinute))
+	if want := cfg.Initial - ticks*quantum; mc != want {
+		t.Fatalf("min counter one minute after reinsert = %v, want %v", mc, want)
+	}
+}
+
+func TestQuantizationScaleBoundaries(t *testing.T) {
+	cfg := Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	// Drive one key down to its very last tick: 10 minutes is 1024 ticks,
+	// so stop one tick's worth of nanoseconds short.
+	f := MustNew(cfg, 0)
+	if err := f.Insert("edge", 0); err != nil {
+		t.Fatal(err)
+	}
+	tickNs := time.Duration(tickNanosFor(cfg.Initial/initTicks, cfg.DecayPerMinute))
+	almost := 10*time.Minute - tickNs
+	ok, err := f.Contains("edge", almost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("key gone one tick before its lifetime")
+	}
+	mc, err := f.MinCounter("edge", almost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Initial / initTicks; mc != want {
+		t.Fatalf("last-tick min counter = %v, want one quantum %v", mc, want)
+	}
+	// A one-tick counter survives the full-counter wire round trip: the
+	// quantized byte floors at 1 and re-quantization floors at one tick.
+	data, err := f.Encode(CountersFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(data, cfg, almost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = dec.Contains("edge", almost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("one-tick counter lost in wire round trip")
+	}
+	// One more tick and the key is gone.
+	if ok, _ := f.Contains("edge", almost+tickNs); ok {
+		t.Fatal("key survived past its exact lifetime")
+	}
+}
+
+// Regression: a zero counter byte in CountersFull mode is corruption (the
+// encoder reserves 0 for unset), not a silent unset bit.
+func TestDecodeRejectsZeroCounterByte(t *testing.T) {
+	f := MustNew(testConfig(), 0)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := f.Insert(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := f.Encode(CountersFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counter bytes are the tail of the encoding, one per set bit.
+	data[len(data)-1] = 0
+	_, err = Decode(data, testConfig(), 0)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero counter byte decoded: err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "zero counter") {
+		t.Fatalf("error %q does not name the zero counter byte", err)
+	}
+}
+
+// Regression: a CountersUniform encoding whose uniform value is zero while
+// claiming set bits is corruption, not a filter of zero-valued "set" bits.
+func TestDecodeRejectsZeroUniform(t *testing.T) {
+	f := MustNew(testConfig(), 0)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := f.Insert(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := f.Encode(CountersUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uniform value is the trailing float64; zero it.
+	for i := len(data) - 8; i < len(data); i++ {
+		data[i] = 0
+	}
+	if _, err := Decode(data, testConfig(), 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero uniform decoded: err = %v, want ErrCorrupt", err)
+	}
+
+	// An empty filter legitimately encodes a zero uniform value and must
+	// keep decoding.
+	empty := MustNew(testConfig(), 0)
+	data, err = empty.Encode(CountersUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(data, testConfig(), 0)
+	if err != nil {
+		t.Fatalf("empty uniform filter rejected: %v", err)
+	}
+	if dec.SetBits() != 0 {
+		t.Fatalf("empty decode has %d set bits", dec.SetBits())
+	}
+}
+
+// Regression: CountersUniform encoding refuses a filter whose set counters
+// are not actually uniform instead of silently flattening them to the max.
+func TestEncodeUniformRefusesNonUniform(t *testing.T) {
+	cfg := testConfig()
+	f := MustNew(cfg, 0)
+	if err := f.Insert("old", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Decay, then reinforce a second key: two distinct counter values.
+	fresh := MustNew(cfg, 2*time.Minute)
+	if err := fresh.Insert("new", 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AMerge(fresh, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Encode(CountersUniform); !errors.Is(err, ErrNotUniform) {
+		t.Fatalf("non-uniform filter encoded as uniform: err = %v", err)
+	}
+	if _, err := f.EncodeTo(nil, CountersUniform); !errors.Is(err, ErrNotUniform) {
+		t.Fatalf("EncodeTo accepted non-uniform filter: err = %v", err)
+	}
+	// The other modes still work.
+	if _, err := f.Encode(CountersFull); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Encode(CountersNone); err != nil {
+		t.Fatal(err)
+	}
+	// And a genuinely uniform filter still encodes.
+	u := MustNew(cfg, 0)
+	if err := u.Insert("only", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Encode(CountersUniform); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: DecodePartitioned with a wildcard cfg (zero M/K) must not
+// produce a Partitioned whose partitions disagree on geometry; the wire's
+// first non-empty partition pins it and later partitions must match.
+func TestDecodePartitionedValidatesGeometry(t *testing.T) {
+	mk := func(m int, key string) []byte {
+		f := MustNew(Config{M: m, K: 4, Initial: 10, DecayPerMinute: 1}, 0)
+		if err := f.Insert(key, 0); err != nil {
+			t.Fatal(err)
+		}
+		data, err := f.Encode(CountersFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	frame := func(encs ...[]byte) []byte {
+		out := []byte{wireMagic ^ 0x0F, byte(len(encs))}
+		for _, e := range encs {
+			out = binary.BigEndian.AppendUint32(out, uint32(len(e)))
+			out = append(out, e...)
+		}
+		return out
+	}
+	wildcard := Config{Initial: 10, DecayPerMinute: 1}
+
+	// Mixed geometry on the wire: corrupt under a wildcard cfg.
+	mixed := frame(mk(256, "a"), mk(128, "b"))
+	if _, err := DecodePartitioned(mixed, wildcard, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mixed-geometry wire decoded: err = %v, want ErrCorrupt", err)
+	}
+
+	// Consistent geometry with a leading empty partition: the first
+	// non-empty partition pins it, and every decoded partition agrees.
+	consistent := frame(nil, mk(256, "a"), mk(256, "b"))
+	p, err := DecodePartitioned(consistent, wildcard, 0)
+	if err != nil {
+		t.Fatalf("consistent wire rejected: %v", err)
+	}
+	for i := 0; i < p.Partitions(); i++ {
+		if p.parts[i].M() != 256 || p.parts[i].K() != 4 {
+			t.Fatalf("partition %d geometry (%d,%d), want (256,4)",
+				i, p.parts[i].M(), p.parts[i].K())
+		}
+	}
+	// The filled-in empty partition must be usable (merge-compatible).
+	q := MustNewPartitioned(Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}, 3, 0)
+	if err := q.MMerge(p, 0); err != nil {
+		t.Fatalf("decoded partitioned not merge-compatible: %v", err)
+	}
+
+	// All-empty wire with a wildcard cfg: nothing pins the geometry.
+	if _, err := DecodePartitioned(frame(nil, nil), wildcard, 0); err == nil {
+		t.Fatal("all-empty wildcard decode succeeded")
+	}
+	// With an explicit cfg the all-empty wire is fine.
+	full := Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	if _, err := DecodePartitioned(frame(nil, nil), full, 0); err != nil {
+		t.Fatalf("all-empty explicit decode failed: %v", err)
+	}
+}
+
+// Regression: New validates cfg before building the hasher, so an invalid
+// Initial is reported even when M is also invalid.
+func TestNewValidatesConfigFirst(t *testing.T) {
+	_, err := New(Config{M: 0, K: 0, Initial: -1}, 0)
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if !strings.Contains(err.Error(), "initial counter") {
+		t.Fatalf("error %q should report the invalid Initial, not the hasher geometry", err)
+	}
+}

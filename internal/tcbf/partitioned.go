@@ -147,6 +147,34 @@ func (p *Partitioned) ContainsPre(k PreKey, now time.Duration) (bool, error) {
 	return p.parts[p.routePre(k)].ContainsPre(k, now)
 }
 
+// ContainsAnyPre reports whether at least one precomputed key may be in
+// the filter at time now, routing each key to its partition.
+//
+//bsub:hotpath
+func (p *Partitioned) ContainsAnyPre(keys []PreKey, now time.Duration) (bool, error) {
+	for i := range keys {
+		ok, err := p.ContainsPre(keys[i], now)
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// ContainsAllPre reports whether every precomputed key may be in the
+// filter at time now, routing each key to its partition.
+//
+//bsub:hotpath
+func (p *Partitioned) ContainsAllPre(keys []PreKey, now time.Duration) (bool, error) {
+	for i := range keys {
+		ok, err := p.ContainsPre(keys[i], now)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
 // MinCounter returns the key's minimum counter in its partition.
 func (p *Partitioned) MinCounter(key string, now time.Duration) (float64, error) {
 	return p.parts[p.route(key)].MinCounter(key, now)
@@ -181,6 +209,10 @@ func (p *Partitioned) SetDecayFactor(perMinute float64, now time.Duration) error
 func (p *Partitioned) checkCompatible(other *Partitioned) error {
 	if len(p.parts) != len(other.parts) {
 		return fmt.Errorf("%w: %d vs %d partitions", ErrGeometry, len(p.parts), len(other.parts))
+	}
+	if p.parts[0].M() != other.parts[0].M() || p.parts[0].K() != other.parts[0].K() {
+		return fmt.Errorf("%w: per-partition geometry (%d,%d) vs (%d,%d)", ErrGeometry,
+			p.parts[0].M(), p.parts[0].K(), other.parts[0].M(), other.parts[0].K())
 	}
 	return nil
 }
@@ -324,7 +356,11 @@ func (p *Partitioned) WireSize(mode CounterMode) (int, error) {
 }
 
 // DecodePartitioned reconstructs a partitioned filter; cfg supplies the
-// decay parameters as in Decode.
+// decay parameters as in Decode. When cfg leaves M or K zero (wildcard),
+// the geometry is pinned by the first non-empty partition on the wire and
+// every later partition must agree, so a decoded Partitioned can never mix
+// per-partition geometries; an all-empty wire cannot be decoded with a
+// wildcard cfg, since nothing pins the geometry.
 func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned, error) {
 	if len(data) < 2 {
 		return nil, fmt.Errorf("%w: truncated partitioned header", ErrCorrupt)
@@ -336,10 +372,10 @@ func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned
 	if h < 1 {
 		return nil, fmt.Errorf("%w: zero partitions", ErrCorrupt)
 	}
-	p, err := NewPartitioned(cfg, h, now)
-	if err != nil {
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	parts := make([]*Filter, h)
 	rest := data[2:]
 	for i := 0; i < h; i++ {
 		if len(rest) < 4 {
@@ -348,7 +384,7 @@ func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned
 		n := int(binary.BigEndian.Uint32(rest))
 		rest = rest[4:]
 		if n == 0 {
-			continue // empty partition
+			continue // empty partition; filled in below once geometry is known
 		}
 		if len(rest) < n {
 			return nil, fmt.Errorf("%w: truncated partition body", ErrCorrupt)
@@ -357,13 +393,31 @@ func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned
 		if err != nil {
 			return nil, err
 		}
-		p.parts[i] = f
+		if cfg.M == 0 || cfg.K == 0 {
+			// Pin the wildcard geometry; Decode rejects later partitions
+			// that disagree with ErrCorrupt.
+			cfg.M, cfg.K = f.M(), f.K()
+		}
+		parts[i] = f
 		rest = rest[n:]
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
 	}
-	return p, nil
+	if cfg.M == 0 || cfg.K == 0 {
+		return nil, fmt.Errorf("tcbf: cannot decode an all-empty partitioned filter without cfg geometry")
+	}
+	for i, f := range parts {
+		if f != nil {
+			continue
+		}
+		nf, err := New(cfg, now)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = nf
+	}
+	return &Partitioned{parts: parts, cfg: cfg}, nil
 }
 
 // DecodeInto reconstructs a partitioned filter from data in place, reusing

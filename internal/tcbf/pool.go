@@ -82,8 +82,10 @@ func (p *Pool) Contains(key string, now time.Duration) (bool, error) {
 	return false, nil
 }
 
-// Advance settles decay on every filter, retiring filters that have
-// decayed to empty (keeping at least one) onto the reuse free list.
+// Advance observes the clock on every filter (decay itself is lazy and is
+// settled word-parallel when a filter is next touched), retiring filters
+// whose key population has fully decayed away (keeping at least one) onto
+// the reuse free list.
 func (p *Pool) Advance(now time.Duration) error {
 	kept := p.filters[:0]
 	var retired *Filter

@@ -21,15 +21,26 @@
 // counter of a key's bits across two filters and drives forwarding
 // decisions between brokers.
 //
+// Counters are fixed-point: a counter is an integer number of ticks of
+// quantum = Initial/1024 counter units, packed four 16-bit lanes to a
+// uint64 word (see packed.go), so decay and both merges are word-parallel
+// SWAR passes over M/4 words instead of M floating-point counters.
+//
 // All temporal behaviour is driven by an explicit clock passed by the
-// caller (a time.Duration offset from an arbitrary epoch); decay is applied
-// lazily, so a TCBF is a pure data structure with no background goroutines.
+// caller (a time.Duration offset from an arbitrary epoch). Decay is doubly
+// lazy: Advance only converts elapsed time into a pending whole-tick debt
+// (integer nanosecond arithmetic, so decay composes exactly across
+// arbitrary Advance sequences), and the debt is settled word-at-a-time on
+// the next insert, folded for free into the next merge pass, or applied
+// on the fly by queries without touching the stored words at all. A TCBF
+// is a pure data structure with no background goroutines.
 package tcbf
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 
 	"bsub/internal/bloom"
@@ -44,7 +55,7 @@ var (
 	ErrMerged = errors.New("tcbf: cannot insert into a merged filter")
 
 	// ErrGeometry is returned when two filters with different bit-vector
-	// lengths or hash counts are combined.
+	// lengths, hash counts, or counter scales are combined.
 	ErrGeometry = errors.New("tcbf: filter geometry mismatch")
 
 	// ErrClockSkew is returned when an operation's clock precedes the
@@ -79,30 +90,62 @@ func (c Config) validate() error {
 // Filter is a Temporal Counting Bloom Filter. It is not safe for concurrent
 // use; in the simulator each node owns its filters.
 type Filter struct {
-	hasher   hashkit.Hasher
-	counters []float64
-	cfg      Config
-	last     time.Duration
-	merged   bool
-	scratch  []uint32
+	hasher  hashkit.Hasher
+	words   []uint64 // packed 16-bit tick lanes, four per word (packed.go)
+	cfg     Config
+	last    time.Duration
+	merged  bool
+	scratch []uint32
+
+	quantum    float64 // counter units per tick: Initial / initTicks
+	invQuantum float64 // ticks per counter unit
+	tickNanos  int64   // elapsed nanoseconds per tick of decay; 0 when DF == 0
+
+	pendingNanos int64  // elapsed decay time not yet converted into whole ticks
+	pendingTicks uint32 // whole ticks of decay not yet applied to the words
 }
 
 // New returns an empty TCBF configured by cfg, with its clock at now.
 func New(cfg Config, now time.Duration) (*Filter, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	hasher, err := hashkit.New(cfg.M, cfg.K)
 	if err != nil {
 		return nil, fmt.Errorf("tcbf: %w", err)
 	}
-	if err := cfg.validate(); err != nil {
-		return nil, err
+	f := &Filter{
+		hasher:  hasher,
+		words:   make([]uint64, wordsFor(cfg.M)),
+		cfg:     cfg,
+		last:    now,
+		scratch: make([]uint32, 0, cfg.K),
+		quantum: cfg.Initial / initTicks,
 	}
-	return &Filter{
-		hasher:   hasher,
-		counters: make([]float64, cfg.M),
-		cfg:      cfg,
-		last:     now,
-		scratch:  make([]uint32, 0, cfg.K),
-	}, nil
+	f.invQuantum = initTicks / cfg.Initial
+	f.tickNanos = tickNanosFor(f.quantum, cfg.DecayPerMinute)
+	return f, nil
+}
+
+// tickNanosFor returns how many nanoseconds must elapse for one tick of
+// decay: the time DF takes to erode one quantum of counter value. Decay is
+// then pure integer arithmetic — floor(elapsed/tickNanos) ticks with the
+// remainder carried — so splitting an interval across Advance calls decays
+// exactly as much as one combined call.
+//
+//bsub:hotpath
+func tickNanosFor(quantum, perMinute float64) int64 {
+	if perMinute <= 0 {
+		return 0
+	}
+	t := math.Round(quantum / perMinute * float64(time.Minute))
+	if t < 1 {
+		return 1
+	}
+	if t >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	return int64(t)
 }
 
 // MustNew is New for parameters known to be valid; it panics on invalid
@@ -140,7 +183,8 @@ func (f *Filter) Merged() bool { return f.merged }
 
 // SetDecayFactor retunes the DF after settling decay up to now. The paper
 // (Section VI-B) recommends adjusting the DF online by observing the
-// resulting FPR.
+// resulting FPR. Partial progress toward the next tick carries over and is
+// re-interpreted at the new rate.
 //
 //bsub:hotpath
 func (f *Filter) SetDecayFactor(perMinute float64, now time.Duration) error {
@@ -151,12 +195,16 @@ func (f *Filter) SetDecayFactor(perMinute float64, now time.Duration) error {
 		return err
 	}
 	f.cfg.DecayPerMinute = perMinute
+	f.tickNanos = tickNanosFor(f.quantum, perMinute)
 	return nil
 }
 
-// Advance applies decay for the time elapsed since the filter was last
-// touched. Every other temporal method calls it implicitly; it is exported
-// so callers can settle a filter before inspecting counters directly.
+// Advance records decay for the time elapsed since the filter was last
+// touched. It is O(1): elapsed time is banked as a pending whole-tick debt
+// (plus a sub-tick nanosecond remainder), and the counter words are only
+// swept when something next needs them. Every other temporal method calls
+// it implicitly; it is exported so callers can settle a filter before
+// inspecting counters directly.
 //
 //bsub:hotpath
 func (f *Filter) Advance(now time.Duration) error {
@@ -165,21 +213,66 @@ func (f *Filter) Advance(now time.Duration) error {
 	}
 	elapsed := now - f.last
 	f.last = now
-	if elapsed == 0 || f.cfg.DecayPerMinute == 0 {
+	if elapsed == 0 || f.tickNanos == 0 {
 		return nil
 	}
-	dec := f.cfg.DecayPerMinute * elapsed.Minutes()
-	for i, c := range f.counters {
-		if c == 0 {
-			continue
+	f.pendingNanos += int64(elapsed)
+	if f.pendingNanos < 0 {
+		// Overflow; a debt this large clears every counter regardless.
+		f.pendingNanos = math.MaxInt64
+	}
+	if f.pendingNanos >= f.tickNanos {
+		t := uint64(f.pendingNanos/f.tickNanos) + uint64(f.pendingTicks)
+		f.pendingNanos %= f.tickNanos
+		if t > laneMax {
+			t = laneMax // lanes cannot exceed laneMax, so deeper debt is moot
 		}
-		c -= dec
-		if c < 0 {
-			c = 0
-		}
-		f.counters[i] = c
+		f.pendingTicks = uint32(t)
 	}
 	return nil
+}
+
+// settle applies the pending decay debt to the stored words, one saturating
+// subtract per four counters.
+//
+//bsub:hotpath
+func (f *Filter) settle() {
+	if f.pendingTicks == 0 {
+		return
+	}
+	d := bcast(f.pendingTicks)
+	for i, w := range f.words {
+		if w != 0 {
+			f.words[i] = satSubWord(w, d)
+		}
+	}
+	f.pendingTicks = 0
+}
+
+// rawTick returns the stored lane at position p, ignoring pending decay.
+//
+//bsub:hotpath
+func (f *Filter) rawTick(p uint32) uint32 {
+	return uint32(f.words[p>>laneShift]>>((p&(lanesPerWord-1))*laneBits)) & laneMask
+}
+
+// effTick returns the lane at position p with pending decay applied on the
+// fly — the counter value an eager implementation would hold.
+//
+//bsub:hotpath
+func (f *Filter) effTick(p uint32) uint32 {
+	if r := f.rawTick(p); r > f.pendingTicks {
+		return r - f.pendingTicks
+	}
+	return 0
+}
+
+// setLane stores v into the lane at position p.
+//
+//bsub:hotpath
+func (f *Filter) setLane(p, v uint32) {
+	sh := (p & (lanesPerWord - 1)) * laneBits
+	f.words[p>>laneShift] = f.words[p>>laneShift]&^(uint64(laneMask)<<sh) | uint64(v)<<sh
 }
 
 // PreKey is a key whose hashes — the double-hashing digest that decides
@@ -226,10 +319,13 @@ func (f *Filter) insertDigest(key string, d hashkit.Digest, now time.Duration) e
 	if err := f.Advance(now); err != nil {
 		return err
 	}
+	// Settle before writing: a fresh lane must start its decay from now,
+	// not inherit the debt banked before it existed.
+	f.settle()
 	f.scratch = f.hasher.PositionsDigest(f.scratch[:0], d)
 	for _, p := range f.scratch {
-		if f.counters[p] == 0 {
-			f.counters[p] = f.cfg.Initial
+		if f.rawTick(p) == 0 {
+			f.setLane(p, initTicks)
 		}
 	}
 	return nil
@@ -240,6 +336,33 @@ func (f *Filter) InsertAll(keys []string, now time.Duration) error {
 	for _, k := range keys {
 		if err := f.Insert(k, now); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// InsertAllPre inserts every precomputed key at time now in a single pass:
+// one clock advance, one decay settlement, then back-to-back lane writes —
+// the batch path an engine contact uses for its whole message set.
+//
+//bsub:hotpath
+func (f *Filter) InsertAllPre(keys []PreKey, now time.Duration) error {
+	if len(keys) == 0 {
+		return f.Advance(now)
+	}
+	if f.merged {
+		return fmt.Errorf("insert %q: %w", keys[0].Key, ErrMerged)
+	}
+	if err := f.Advance(now); err != nil {
+		return err
+	}
+	f.settle()
+	for i := range keys {
+		f.scratch = f.hasher.PositionsDigest(f.scratch[:0], keys[i].dig)
+		for _, p := range f.scratch {
+			if f.rawTick(p) == 0 {
+				f.setLane(p, initTicks)
+			}
 		}
 	}
 	return nil
@@ -265,13 +388,55 @@ func (f *Filter) containsDigest(d hashkit.Digest, now time.Duration) (bool, erro
 	if err := f.Advance(now); err != nil {
 		return false, err
 	}
+	return f.containsAdvanced(d), nil
+}
+
+// containsAdvanced answers the existential query against an already-advanced
+// filter without settling: a lane survives pending decay iff it exceeds the
+// pending debt.
+//
+//bsub:hotpath
+func (f *Filter) containsAdvanced(d hashkit.Digest) bool {
 	f.scratch = f.hasher.PositionsDigest(f.scratch[:0], d)
 	for _, p := range f.scratch {
-		if f.counters[p] == 0 {
+		if f.rawTick(p) <= f.pendingTicks {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAllPre reports whether every precomputed key may be in the filter
+// at time now, advancing the clock once for the whole batch.
+//
+//bsub:hotpath
+func (f *Filter) ContainsAllPre(keys []PreKey, now time.Duration) (bool, error) {
+	if err := f.Advance(now); err != nil {
+		return false, err
+	}
+	for i := range keys {
+		if !f.containsAdvanced(keys[i].dig) {
 			return false, nil
 		}
 	}
 	return true, nil
+}
+
+// ContainsAnyPre reports whether at least one precomputed key may be in the
+// filter at time now, advancing the clock once for the whole batch — the
+// one-pass probe an engine contact runs over its message set.
+//
+//bsub:hotpath
+func (f *Filter) ContainsAnyPre(keys []PreKey, now time.Duration) (bool, error) {
+	if err := f.Advance(now); err != nil {
+		return false, err
+	}
+	for i := range keys {
+		if f.containsAdvanced(keys[i].dig) {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // MinCounter returns the minimum counter value over key's hashed bits at
@@ -295,58 +460,94 @@ func (f *Filter) minCounterDigest(d hashkit.Digest, now time.Duration) (float64,
 		return 0, err
 	}
 	f.scratch = f.hasher.PositionsDigest(f.scratch[:0], d)
-	minC := math.Inf(1)
+	minT := uint32(laneMax + 1)
 	for _, p := range f.scratch {
-		if f.counters[p] < minC {
-			minC = f.counters[p]
+		if t := f.effTick(p); t < minT {
+			minT = t
 		}
 	}
-	if math.IsInf(minC, 1) {
+	if minT > laneMax {
 		return 0, nil
 	}
-	return minC, nil
+	return float64(minT) * f.quantum, nil
+}
+
+// mergeCheck validates that two filters can be combined and advances both
+// clocks to now. Filters must also agree on the counter scale (Initial):
+// tick counts quantized against different C values are not comparable.
+//
+//bsub:hotpath
+func (f *Filter) mergeCheck(other *Filter, now time.Duration) error {
+	if f.M() != other.M() || f.K() != other.K() {
+		return fmt.Errorf("%w: (%d,%d) vs (%d,%d)", ErrGeometry, f.M(), f.K(), other.M(), other.K())
+	}
+	if f.cfg.Initial != other.cfg.Initial {
+		return fmt.Errorf("%w: counter scale C=%g vs C=%g", ErrGeometry, f.cfg.Initial, other.cfg.Initial)
+	}
+	if err := f.Advance(now); err != nil {
+		return err
+	}
+	return other.Advance(now)
 }
 
 // AMerge merges other into f additively: the bit-vectors are OR-ed and the
-// counters summed. Used when a broker absorbs a consumer's genuine filter,
-// so that repeated meetings reinforce the consumer's interests (Section
-// V-C). Both filters are settled to now first; f becomes a merged filter.
+// counters summed, saturating at the lane maximum (32x the insertion value
+// C). Used when a broker absorbs a consumer's genuine filter, so that
+// repeated meetings reinforce the consumer's interests (Section V-C). Both
+// filters' pending decay is folded into the merge pass; f becomes a merged
+// filter.
 //
 //bsub:hotpath
 func (f *Filter) AMerge(other *Filter, now time.Duration) error {
-	return f.merge(other, now, func(a, b float64) float64 { return a + b })
+	if err := f.mergeCheck(other, now); err != nil {
+		return err
+	}
+	fw := f.words
+	if f.pendingTicks == 0 && other.pendingTicks == 0 {
+		// Nothing to fold: pure word-parallel sum, skipping empty source
+		// words (satAddWord(a, 0) == a for guard-clear lanes).
+		for i, b := range other.words {
+			if b != 0 {
+				fw[i] = satAddWord(fw[i], b)
+			}
+		}
+	} else {
+		pf, po := bcast(f.pendingTicks), bcast(other.pendingTicks)
+		for i, b := range other.words {
+			fw[i] = satAddWord(satSubWord(fw[i], pf), satSubWord(b, po))
+		}
+		f.pendingTicks = 0
+	}
+	f.merged = true
+	return nil
 }
 
 // MMerge merges other into f by taking the counter-wise maximum. Used
 // between brokers so frequently-meeting broker pairs do not inflate each
 // other's counters in a loop (the bogus-counter problem of Fig. 6). Both
-// filters are settled to now first; f becomes a merged filter.
+// filters' pending decay is folded into the merge pass; f becomes a merged
+// filter.
 //
 //bsub:hotpath
 func (f *Filter) MMerge(other *Filter, now time.Duration) error {
-	return f.merge(other, now, math.Max)
-}
-
-//bsub:hotpath
-func (f *Filter) merge(other *Filter, now time.Duration, combine func(a, b float64) float64) error {
-	if f.M() != other.M() || f.K() != other.K() {
-		return fmt.Errorf("%w: (%d,%d) vs (%d,%d)", ErrGeometry, f.M(), f.K(), other.M(), other.K())
-	}
-	if err := f.Advance(now); err != nil {
+	if err := f.mergeCheck(other, now); err != nil {
 		return err
 	}
-	if err := other.Advance(now); err != nil {
-		return err
-	}
-	for i, c := range other.counters {
-		if c == 0 {
-			continue
+	fw := f.words
+	if f.pendingTicks == 0 && other.pendingTicks == 0 {
+		// Nothing to fold: pure word-parallel max, skipping empty source
+		// words (maxWord(a, 0) == a for guard-clear lanes).
+		for i, b := range other.words {
+			if b != 0 {
+				fw[i] = maxWord(fw[i], b)
+			}
 		}
-		if f.counters[i] == 0 {
-			f.counters[i] = c
-			continue
+	} else {
+		pf, po := bcast(f.pendingTicks), bcast(other.pendingTicks)
+		for i, b := range other.words {
+			fw[i] = maxWord(satSubWord(fw[i], pf), satSubWord(b, po))
 		}
-		f.counters[i] = combine(f.counters[i], c)
+		f.pendingTicks = 0
 	}
 	f.merged = true
 	return nil
@@ -384,19 +585,22 @@ func preferenceDigest(d hashkit.Digest, peer, self *Filter, now time.Duration) (
 }
 
 // Counter returns the counter at bit position p; p must be in [0, M). The
-// value reflects the last settled clock; call Advance first for current
-// values.
-func (f *Filter) Counter(p int) float64 { return f.counters[p] }
+// value reflects the last Advance'd clock, with any still-pending decay
+// applied on the fly.
+func (f *Filter) Counter(p int) float64 {
+	return float64(f.effTick(uint32(p))) * f.quantum
+}
 
 // SetBits returns the number of positions with non-zero counters as of the
-// last settled clock.
+// last Advance'd clock, four lanes per popcount.
 //
 //bsub:hotpath
 func (f *Filter) SetBits() int {
+	d := bcast(f.pendingTicks)
 	n := 0
-	for _, c := range f.counters {
-		if c > 0 {
-			n++
+	for _, w := range f.words {
+		if w != 0 {
+			n += bits.OnesCount64(nzLanes(satSubWord(w, d)))
 		}
 	}
 	return n
@@ -419,41 +623,56 @@ func (f *Filter) EstimatedFPR() float64 {
 
 // ToBloom projects the TCBF onto a counter-less classic Bloom filter with
 // the same geometry — "ripping the counters from the TCBFs" (Section V-D),
-// used when only membership matters and bandwidth is precious.
+// used when only membership matters and bandwidth is precious. The
+// projection is word-parallel: each counter word's four non-zero-lane flags
+// compress to a 4-bit group OR-ed into the Bloom filter's word.
 func (f *Filter) ToBloom() *bloom.Filter {
 	out := bloom.MustNewFilter(f.M(), f.K())
-	for p, c := range f.counters {
-		if c > 0 {
-			out.SetBit(p)
+	d := bcast(f.pendingTicks)
+	for i, w := range f.words {
+		if w == 0 {
+			continue
 		}
+		nz := nzLanes(satSubWord(w, d))
+		// Lane flags sit at bits 0,16,32,48; fold them down to bits 0..3.
+		g := (nz | nz>>15 | nz>>30 | nz>>45) & 0xF
+		out.OrBits(i*lanesPerWord, g)
 	}
 	return out
 }
 
 // Clone returns a deep copy of the filter, preserving clock, merge status,
-// and counters.
+// counters, and pending decay.
 func (f *Filter) Clone() *Filter {
 	c := &Filter{
-		hasher:   f.hasher,
-		counters: make([]float64, len(f.counters)),
-		cfg:      f.cfg,
-		last:     f.last,
-		merged:   f.merged,
-		scratch:  make([]uint32, 0, f.cfg.K),
+		hasher:       f.hasher,
+		words:        make([]uint64, len(f.words)),
+		cfg:          f.cfg,
+		last:         f.last,
+		merged:       f.merged,
+		scratch:      make([]uint32, 0, f.cfg.K),
+		quantum:      f.quantum,
+		invQuantum:   f.invQuantum,
+		tickNanos:    f.tickNanos,
+		pendingNanos: f.pendingNanos,
+		pendingTicks: f.pendingTicks,
 	}
-	copy(c.counters, f.counters)
+	copy(c.words, f.words)
 	return c
 }
 
-// Reset clears all counters and the merged flag and sets the clock to now,
-// returning the filter to the state New would produce — which is what lets
-// scratch filters be reused across contacts instead of reallocated.
+// Reset clears all counters, pending decay, and the merged flag and sets
+// the clock to now, returning the filter to the state New would produce —
+// which is what lets scratch filters be reused across contacts instead of
+// reallocated.
 //
 //bsub:hotpath
 func (f *Filter) Reset(now time.Duration) {
-	for i := range f.counters {
-		f.counters[i] = 0
+	for i := range f.words {
+		f.words[i] = 0
 	}
 	f.merged = false
 	f.last = now
+	f.pendingNanos = 0
+	f.pendingTicks = 0
 }
