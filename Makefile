@@ -1,7 +1,7 @@
 GO ?= go
 SHADOW := $(shell command -v shadow 2>/dev/null)
 
-.PHONY: build test race vet vet-shadow lint lint-one parity chaos fuzz golden bench-smoke check bench bench-json
+.PHONY: build test race vet vet-shadow lint lint-one parity chaos chaos-mesh fuzz golden bench-smoke check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,14 @@ parity:
 # contact sessions) under the race detector: copies conserved, no
 # duplicate deliveries, nodes recover after severed contacts.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Sever|TimedOut|Corrupt|Faultnet|Truncation' ./internal/livenode ./internal/faultnet
+	$(GO) test -race -count=1 -run 'Chaos|Sever|TimedOut|Corrupt|Faultnet|Truncation|Fabric' ./internal/livenode ./internal/faultnet
+
+# chaos-mesh runs the churn controller: a 100+ node in-process mesh under
+# the race detector with partitions, kills, and restarts, asserting
+# exactly-once delivery per incarnation, copy conservation, zero goroutine
+# leaks, and eventual delivery to rejoined peers. Takes a few minutes.
+chaos-mesh:
+	$(GO) test -race -count=1 -timeout 20m -run TestMeshChurn ./internal/mesh
 
 # fuzz gives each wire-format fuzzer a short smoke budget; go only
 # accepts one -fuzz target per invocation.
@@ -57,6 +64,7 @@ fuzz:
 	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzDecodeHello -fuzztime 5s
 	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzSessionSteps -fuzztime 5s
 	$(GO) test ./internal/tcbf -run '^$$' -fuzz FuzzTCBFModel -fuzztime 5s
+	$(GO) test ./internal/faultnet -run '^$$' -fuzz FuzzFabricHealDuringHandshake -fuzztime 5s
 
 # golden regenerates the quick-mode experiment CSVs (seed 1) and compares
 # them byte-for-byte against cmd/experiments/testdata, pinning the
@@ -73,11 +81,12 @@ bench-smoke:
 
 # check is the PR gate: vet (plus the shadow pass), the repo-specific
 # analyzers, and the full suite under the race detector, then sim/live
-# parity, the chaos suite, a fuzz smoke pass over the wire decoders, the
-# engine state machine, and the TCBF differential model, the golden-CSV
-# comparison, and a benchmark smoke run. The livenode session adapter is
-# concurrent; never ship it unraced.
-check: vet vet-shadow lint race parity chaos fuzz golden bench-smoke
+# parity, the chaos suite, the mesh churn controller, a fuzz smoke pass
+# over the wire decoders, the engine state machine, and the TCBF
+# differential model, the golden-CSV comparison, and a benchmark smoke
+# run. The livenode session adapter and the mesh daemon are concurrent;
+# never ship them unraced.
+check: vet vet-shadow lint race parity chaos chaos-mesh fuzz golden bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

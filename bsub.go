@@ -40,6 +40,7 @@ import (
 	"bsub/internal/engine"
 	"bsub/internal/experiments"
 	"bsub/internal/livenode"
+	"bsub/internal/mesh"
 	"bsub/internal/metrics"
 	"bsub/internal/protocol"
 	"bsub/internal/sim"
@@ -295,6 +296,47 @@ var (
 // ListenNode starts a live B-SUB node serving contact sessions on addr.
 func ListenNode(addr string, cfg LiveNodeConfig) (*LiveNode, error) {
 	return livenode.Listen(addr, cfg)
+}
+
+// --- Mesh daemon -------------------------------------------------------------------
+
+type (
+	// Mesh is a long-running HUNET daemon wrapped around a LiveNode:
+	// gossip-fed membership with alive/suspect/dead transitions, one
+	// backpressured outbound worker per live peer, and flood/relay
+	// dissemination of stored messages. It keeps running through peer
+	// churn; see Mesh.Close for shutdown.
+	Mesh = mesh.Mesh
+	// MeshConfig holds the mesh daemon's knobs (gossip cadence and
+	// fanout, contact cadence, queue depth, reconnect backoff, and the
+	// suspect/dead/forget timeouts).
+	MeshConfig = mesh.Config
+	// MeshCounters is a snapshot of a mesh daemon's lifetime activity,
+	// from Mesh.Stats.
+	MeshCounters = mesh.Counters
+	// MeshPeer is a point-in-time snapshot of one membership entry.
+	MeshPeer = mesh.Peer
+	// MeshPeerState is a membership entry's health: alive, suspect, or
+	// dead.
+	MeshPeerState = mesh.PeerState
+	// MeshPeerEvent reports one membership transition through
+	// MeshConfig.OnPeerChange.
+	MeshPeerEvent = mesh.PeerEvent
+)
+
+// Membership states of a mesh peer.
+const (
+	MeshStateAlive   = mesh.StateAlive
+	MeshStateSuspect = mesh.StateSuspect
+	MeshStateDead    = mesh.StateDead
+)
+
+// StartMesh listens a live node on addr and runs the mesh daemon around
+// it: periodic gossip keeps the membership table fresh, per-peer workers
+// schedule contacts, and newly stored messages are flooded to live
+// brokers.
+func StartMesh(addr string, nodeCfg LiveNodeConfig, cfg MeshConfig) (*Mesh, error) {
+	return mesh.Start(addr, nodeCfg, cfg)
 }
 
 // --- Analysis --------------------------------------------------------------------

@@ -14,7 +14,11 @@ import (
 // once when the packed fixed-point counters landed: quantizing counters to
 // Initial/1024 units shifts a handful of marginal forwarding decisions
 // (delivery/delay deltas under 2%), which is an intentional semantic
-// change, not drift. Regenerate with:
+// change, not drift. They were regenerated again when replication
+// exhaustion stopped evicting produced messages: a producer now serves
+// subscribers directly until the TTL even after its copy budget is spent,
+// nudging delivery ratios up and delays down by similar margins.
+// Regenerate with:
 //
 //	go run ./cmd/experiments -run fig7 -seed 1 -quick -csv cmd/experiments/testdata
 //	go run ./cmd/experiments -run fig9 -seed 1 -quick -csv cmd/experiments/testdata

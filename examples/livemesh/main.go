@@ -1,11 +1,13 @@
 // Livemesh: the prototype HUNET the paper names as future work, running
-// for real.
+// for real — now as autonomous daemons.
 //
-// Six B-SUB nodes listen on localhost TCP ports. A mobility script walks
-// them through a day of simulated contacts (two social circles bridged by
-// one commuter); every contact is a real wire session — HELLO, election,
-// TCBF exchange, preferential forwarding — over a TCP connection. Watch
-// trend posts hop producer -> broker -> subscriber.
+// Six B-SUB mesh daemons listen on localhost TCP ports. Nobody scripts
+// their contacts: a gossip protocol builds the membership table, per-peer
+// workers schedule wire sessions — HELLO, election, TCBF exchange,
+// preferential forwarding — and published posts flood through elected
+// brokers on their own. Then one node is killed to show the failure
+// model: the survivors mark it suspect, then dead, and when it comes
+// back on a fresh port the gossip rediscovers it and deliveries resume.
 //
 // Run with:
 //
@@ -15,6 +17,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -23,48 +27,77 @@ import (
 
 const nodes = 6
 
+var names = []string{"alice", "bob", "carla", "daniel", "erin", "frank"}
+
+// deliveries records which node received which payload, across restarts.
+type deliveries struct {
+	mu    sync.Mutex
+	byMsg map[string][]string
+}
+
+func (d *deliveries) record(who, payload string) {
+	d.mu.Lock()
+	d.byMsg[payload] = append(d.byMsg[payload], who)
+	d.mu.Unlock()
+}
+
+func (d *deliveries) got(who, payload string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, w := range d.byMsg[payload] {
+		if w == who {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	// All nodes share a scripted clock so the mesh agrees on decay and
-	// TTLs without waiting out a real day.
-	var clockNS atomic.Int64
-	clockNS.Store(int64(8 * time.Hour)) // the day starts at 08:00
-	clock := func() time.Duration { return time.Duration(clockNS.Load()) }
-	advance := func(d time.Duration) { clockNS.Add(int64(d)) }
+// meshConfig returns the shared fast-paced knobs: gossip every 50ms, a
+// full contact with each live peer every 300ms, suspicion after 0.5s of
+// silence, death after 1.5s. QueueDepth 1 keeps the per-peer queues tiny
+// so flood tokens landing on a busy worker coalesce visibly.
+func meshConfig(seeds ...string) bsub.MeshConfig {
+	return bsub.MeshConfig{
+		GossipInterval:      50 * time.Millisecond,
+		ContactInterval:     300 * time.Millisecond,
+		SuspectAfter:        500 * time.Millisecond,
+		DeadAfter:           1500 * time.Millisecond,
+		QueueDepth:          1,
+		ReconnectBackoff:    25 * time.Millisecond,
+		MaxReconnectBackoff: 250 * time.Millisecond,
+		Seeds:               seeds,
+	}
+}
 
-	// The live node runs the full paper protocol, including the Section
-	// VI-D partitioned relay filters (two sub-filters per broker here).
+func run() error {
 	proto := bsub.DefaultProtocolConfig(0.01)
 	proto.RelayPartitions = 2
 
-	names := []string{"alice", "bob", "carla", "daniel", "erin", "frank"}
-	mesh := make([]*bsub.LiveNode, nodes)
-	for i := range mesh {
-		i := i
-		node, err := bsub.ListenNode("127.0.0.1:0", bsub.LiveNodeConfig{
-			ID:       uint32(i + 1),
-			Protocol: proto,
-			TTL:      8 * time.Hour,
-			Clock:    clock,
-			OnDeliver: func(d bsub.LiveDelivery) {
-				via := "via broker"
-				if d.Direct {
-					via = "direct"
-				}
-				fmt.Printf("  %s received %q [%s] (%s)\n",
-					names[i], d.Payload, d.Message.Key, via)
-			},
-		})
-		if err != nil {
-			return err
+	delivered := &deliveries{byMsg: map[string][]string{}}
+
+	// Peer events from every daemon funnel into one printer, so the
+	// failure story below narrates itself.
+	var printMu sync.Mutex
+	var quietEvents atomic.Bool
+	onPeerChange := func(who string) func(bsub.MeshPeerEvent) {
+		return func(ev bsub.MeshPeerEvent) {
+			if quietEvents.Load() {
+				return
+			}
+			printMu.Lock()
+			defer printMu.Unlock()
+			if ev.Fresh {
+				fmt.Printf("  %s discovered %s\n", who, names[ev.Peer.ID-1])
+				return
+			}
+			fmt.Printf("  %s: %s is now %s\n", who, names[ev.Peer.ID-1], ev.To)
 		}
-		defer node.Close()
-		mesh[i] = node
 	}
 
 	// Interests (Fig. 1 of the paper, roughly): each person follows one
@@ -77,62 +110,154 @@ func run() error {
 		4: "NewMoon", // erin shares carla's taste
 		5: "Phillies",
 	}
-	for i, topic := range subs {
-		mesh[i].Subscribe(topic)
-	}
 
-	// Two circles: {alice,bob,carla} at the office, {daniel,erin,frank} at
-	// the gym; bob commutes between them. meet() runs one real TCP contact.
-	meet := func(a, b int) {
-		if err := mesh[a].Meet(mesh[b].Addr()); err != nil {
-			fmt.Printf("  contact %s-%s failed: %v\n", names[a], names[b], err)
+	start := func(i int, seeds ...string) (*bsub.Mesh, error) {
+		who := names[i]
+		cfg := meshConfig(seeds...)
+		cfg.OnPeerChange = onPeerChange(who)
+		cfg.Seed = int64(i + 1)
+		m, err := bsub.StartMesh("127.0.0.1:0", bsub.LiveNodeConfig{
+			ID:       uint32(i + 1),
+			Protocol: proto,
+			TTL:      8 * time.Hour,
+			OnDeliver: func(d bsub.LiveDelivery) {
+				delivered.record(who, string(d.Payload))
+				via := "via broker"
+				if d.Direct {
+					via = "direct"
+				}
+				printMu.Lock()
+				fmt.Printf("  %s received %q [%s] (%s)\n", who, d.Payload, d.Message.Key, via)
+				printMu.Unlock()
+			},
+		}, cfg)
+		if err != nil {
+			return nil, err
 		}
+		m.Subscribe(bsub.Key(subs[i]))
+		return m, nil
 	}
 
-	fmt.Println("morning: circles mingle, brokers get elected, interests spread")
-	for round := 0; round < 3; round++ {
-		meet(0, 1)
-		meet(1, 2)
-		meet(0, 2)
-		meet(3, 4)
-		meet(4, 5)
-		meet(3, 5)
-		advance(20 * time.Minute)
+	fmt.Println("boot: six daemons, seeded in a chain; gossip does the rest")
+	quietEvents.Store(true) // the discovery burst is noisy; summarize it instead
+	mesh := make([]*bsub.Mesh, nodes)
+	for i := range mesh {
+		var seeds []string
+		if i > 0 {
+			seeds = append(seeds, mesh[i-1].Addr())
+		}
+		m, err := start(i, seeds...)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		mesh[i] = m
 	}
-	for i, n := range mesh {
-		if n.IsBroker() {
+
+	if err := waitFor(30*time.Second, "membership convergence", func() bool {
+		for _, m := range mesh {
+			if len(m.Peers()) != nodes-1 {
+				return false
+			}
+			for _, p := range m.Peers() {
+				if p.State != bsub.MeshStateAlive {
+					return false
+				}
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("  every daemon sees all %d peers alive\n", nodes-1)
+	quietEvents.Store(false)
+
+	// Let a few contact rounds run so interests propagate and brokers
+	// get elected before the first post.
+	time.Sleep(2 * time.Second)
+	for i, m := range mesh {
+		if m.Node().IsBroker() {
 			fmt.Printf("  %s is serving as a broker\n", names[i])
 		}
 	}
 
-	fmt.Println("\nnoon: alice posts about NewMoon; erin follows it from the other circle")
-	if _, err := mesh[0].Publish([]byte("NewMoon premiere tonight!"), "NewMoon"); err != nil {
+	fmt.Println("\nalice posts about NewMoon; no contacts are scripted — flood and")
+	fmt.Println("the contact scheduler carry it to carla and erin on their own")
+	post1 := "NewMoon premiere tonight!"
+	if _, err := mesh[0].Publish([]byte(post1), "NewMoon"); err != nil {
 		return err
 	}
-	meet(0, 1) // alice -> bob (the commuting broker picks up a copy)
-	advance(30 * time.Minute)
-
-	fmt.Println("\nafternoon: bob commutes to the gym circle carrying the post")
-	meet(1, 4) // bob -> erin: broker-mediated delivery across circles
-	meet(1, 3)
-	advance(30 * time.Minute)
-
-	fmt.Println("\nevening: daniel posts for bob's topic; it flows back the same way")
-	if _, err := mesh[3].Publish([]byte("Phillies win game 5"), "Phillies"); err != nil {
+	if err := waitFor(60*time.Second, "NewMoon delivery", func() bool {
+		return delivered.got("carla", post1) && delivered.got("erin", post1)
+	}); err != nil {
 		return err
 	}
-	meet(3, 4)
-	meet(4, 5) // frank (same circle) gets it directly or via a broker
-	meet(1, 3) // bob meets daniel in person: direct delivery
-	advance(30 * time.Minute)
+
+	fmt.Println("\nfrank goes dark (battery died); the mesh notices on its own")
+	if err := mesh[5].Close(); err != nil {
+		return err
+	}
+	if err := waitFor(60*time.Second, "failure detection", func() bool {
+		for _, m := range mesh[:5] {
+			for _, p := range m.Peers() {
+				if p.ID == 6 && p.State == bsub.MeshStateAlive {
+					return false
+				}
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+
+	fmt.Println("\ndaniel posts for the Phillies fans while frank is away")
+	post2 := "Phillies win game 5"
+	if _, err := mesh[3].Publish([]byte(post2), "Phillies"); err != nil {
+		return err
+	}
+	if err := waitFor(60*time.Second, "delivery to bob", func() bool {
+		return delivered.got("bob", post2)
+	}); err != nil {
+		return err
+	}
+
+	fmt.Println("\nfrank comes back on a new port; gossip rediscovers him and the")
+	fmt.Println("undelivered post catches up")
+	m, err := start(5, mesh[0].Addr())
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	mesh[5] = m
+	if err := waitFor(60*time.Second, "catch-up delivery to frank", func() bool {
+		return delivered.got("frank", post2)
+	}); err != nil {
+		return err
+	}
 
 	fmt.Println("\ndone: every transfer above crossed a real TCP connection")
-	fmt.Println("\nsession counters (per node: completed sessions, frames in/out, bytes in/out, failures):")
-	for i, n := range mesh {
-		c := n.Stats()
-		fmt.Printf("  %-7s %2d sessions, frames %3d/%3d, bytes %5d/%5d, timed-out %d, severed %d, corrupt %d, refunded %d\n",
-			names[i], c.Completed, c.FramesIn, c.FramesOut, c.BytesIn, c.BytesOut,
-			c.TimedOut, c.Severed, c.Corrupt, c.MsgsRefunded)
+	fmt.Println("\nmesh counters (alive/suspect/dead now; lifetime gossip, contacts, failure handling):")
+	for i, m := range mesh {
+		c := m.Stats()
+		n := m.Node().Stats()
+		fmt.Printf("  %-7s peers %d/%d/%d, gossip in %3d (sent %3d, answered %3d), contacts %3d, reconnect retries %2d, coalesced %2d, flood tokens %2d, suspected %d, died %d, rejoined %d\n",
+			names[i], c.Alive, c.Suspect, c.Dead,
+			c.GossipAbsorbed, n.GossipSent, n.GossipAnswered,
+			c.Contacts, c.Reconnects, c.QueueCoalesced, c.FloodTokens,
+			c.Suspected, c.Died, c.Rejoined)
+	}
+	return nil
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(d time.Duration, what string, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "gave up waiting for %s\n", what)
+			return fmt.Errorf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 	return nil
 }

@@ -183,3 +183,74 @@ func TestFacadeLiveNode(t *testing.T) {
 		t.Errorf("delivered %d, want 1", delivered.Load())
 	}
 }
+
+// TestFacadeMesh runs a two-daemon gossip mesh through the facade:
+// bootstrap via seeds, wait for the membership tables to see each other,
+// and let flood dissemination carry a publish across without an explicit
+// Meet.
+func TestFacadeMesh(t *testing.T) {
+	var delivered, freshPeers atomic.Int32
+	meshCfg := bsub.MeshConfig{
+		GossipInterval:  20 * time.Millisecond,
+		ContactInterval: 50 * time.Millisecond,
+		OnPeerChange: func(ev bsub.MeshPeerEvent) {
+			if ev.Fresh && ev.To == bsub.MeshStateAlive {
+				freshPeers.Add(1)
+			}
+		},
+	}
+	consumer, err := bsub.StartMesh("127.0.0.1:0", bsub.LiveNodeConfig{
+		ID:       2,
+		Protocol: bsub.DefaultProtocolConfig(0.01),
+		TTL:      time.Hour,
+		OnDeliver: func(d bsub.LiveDelivery) {
+			if string(d.Payload) == "hi" {
+				delivered.Add(1)
+			}
+		},
+	}, meshCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+	consumer.Subscribe("greetings")
+
+	prodCfg := meshCfg
+	prodCfg.Seeds = []string{consumer.Addr()}
+	producer, err := bsub.StartMesh("127.0.0.1:0", bsub.LiveNodeConfig{
+		ID:       1,
+		Protocol: bsub.DefaultProtocolConfig(0.01),
+		TTL:      time.Hour,
+	}, prodCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for len(producer.Peers()) == 0 || len(consumer.Peers()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("membership never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if producer.Peers()[0].State != bsub.MeshStateAlive {
+		t.Errorf("peer state = %v, want alive", producer.Peers()[0].State)
+	}
+	if _, err := producer.Publish([]byte("hi"), "greetings"); err != nil {
+		t.Fatal(err)
+	}
+	for delivered.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("publish never delivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stats := producer.Stats()
+	if stats.GossipAbsorbed == 0 {
+		t.Error("producer absorbed no gossip")
+	}
+	if freshPeers.Load() == 0 {
+		t.Error("no fresh-peer events fired")
+	}
+}

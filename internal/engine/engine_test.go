@@ -358,9 +358,10 @@ func TestClaimAbortRefundsCopies(t *testing.T) {
 	}
 }
 
-func TestClaimReplicationExhaustsStore(t *testing.T) {
-	// The message leaves the produced store with its last copy, and an
-	// abort of that last claim restores it.
+func TestClaimReplicationExhaustsBudgetOnly(t *testing.T) {
+	// Exhaustion ends replication, not direct service: the message stays
+	// in the produced store at zero copies until TTL, further replication
+	// claims are refused, and an abort of the last claim restores the copy.
 	cfg := DefaultConfig(0.1)
 	cfg.CopyLimit = 1
 	n := mustNode(t, 0, cfg, time.Hour)
@@ -371,22 +372,63 @@ func TestClaimReplicationExhaustsStore(t *testing.T) {
 	if c == nil || !ok {
 		t.Fatal("replication claim refused")
 	}
-	if n.ProducedCount() != 0 {
-		t.Fatal("exhausted message still in the produced store")
+	if n.ProducedCount() != 1 {
+		t.Fatal("exhausted message evicted from the produced store")
+	}
+	if n.ProducedCopies(3) != 0 {
+		t.Fatal("claimed last copy still counted")
 	}
 	c.Abort()
 	if n.ProducedCopies(3) != 1 {
 		t.Fatal("aborted last-copy claim not restored")
 	}
-	// Re-claim and commit: gone for good.
+	// Re-claim and commit: replication is over, but the message remains
+	// for direct delivery until its TTL.
 	c, _ = s.ClaimReplication(3)
 	if c == nil {
 		t.Fatal("re-claim refused")
 	}
 	c.Commit()
-	if n.ProducedCount() != 0 {
-		t.Error("committed last copy still stored")
+	if n.ProducedCount() != 1 {
+		t.Error("committed last copy evicted the message")
 	}
+	if c2, ok := s.ClaimReplication(3); c2 != nil || !ok {
+		t.Error("exhausted message still claimable for replication")
+	}
+	if c2, ok := s.ClaimDirect(3); c2 == nil || !ok {
+		t.Error("exhausted message not claimable for direct delivery")
+	} else {
+		c2.Abort()
+	}
+	// Past the TTL the store finally lets go.
+	if n.Purge(2*time.Hour); n.ProducedCount() != 0 {
+		t.Error("expired message still stored")
+	}
+}
+
+func TestClearSentToReopensDirectDelivery(t *testing.T) {
+	// A committed direct delivery pins a per-peer sent-marker; declaring
+	// the peer dead clears it so a restarted incarnation is served again.
+	cfg := DefaultConfig(0.1)
+	n := mustNode(t, 0, cfg, time.Hour)
+	peer := mustNode(t, 1, cfg, time.Hour)
+	n.AddProduced(workload.Message{ID: 7, Key: "k", Origin: 0, Size: 5}, nil)
+	s, _ := contact(n, peer, Unlimited{}, time.Minute)
+	c, ok := s.ClaimDirect(7)
+	if c == nil || !ok {
+		t.Fatal("direct claim refused")
+	}
+	c.Commit()
+	if c2, ok := s.ClaimDirect(7); c2 != nil || !ok {
+		t.Fatal("served message claimable again without a reset")
+	}
+	n.ClearSentTo(1)
+	s2, _ := contact(n, peer, Unlimited{}, 2*time.Minute)
+	c3, ok := s2.ClaimDirect(7)
+	if c3 == nil || !ok {
+		t.Fatal("cleared sent-marker did not reopen direct delivery")
+	}
+	c3.Abort()
 }
 
 // budgetN is a test Budget with a fixed byte pool.

@@ -88,6 +88,14 @@ type Node struct {
 	// freeSessions holds released sessions whose scratch arenas (filters,
 	// encode buffers, claim records) the next BeginContact reuses.
 	freeSessions []*Session
+
+	// clockHigh is the node's time high-water mark. Every session step that
+	// touches TCBF state ratchets its pinned time up to this mark (and
+	// advances the mark), so concurrent sessions interleaving on one node —
+	// each with a slightly older pinned clock — can never run a filter
+	// operation backwards in time. Under a serialized monotone clock (the
+	// simulator) the ratchet is a no-op.
+	clockHigh time.Duration
 }
 
 // NewNode validates cfg and returns a fresh user node.
@@ -421,4 +429,16 @@ func (n *Node) DeliveredIDs() []int {
 func (n *Node) Purge(now time.Duration) {
 	n.produced.live(now)
 	n.carried.live(now)
+}
+
+// ClearSentTo forgets that any produced message was served directly to
+// peer. Call it when the peer is declared dead: a restarted incarnation
+// starts with an empty delivered set, so the stale sent-marker would
+// otherwise block redelivery forever. A live peer that was wrongly
+// suspected simply dedups the repeat delivery (exactly-once per
+// incarnation is the receiver's job).
+func (n *Node) ClearSentTo(peer NodeID) {
+	for _, e := range n.produced.entries {
+		delete(e.sent, peer)
+	}
 }

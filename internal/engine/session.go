@@ -132,6 +132,7 @@ func (n *Node) BeginContact(budget Budget, now time.Duration) *Session {
 	}
 	s.budget = budget
 	s.now = now
+	s.ratchet()
 	s.helloBroker = n.broker
 	s.hello = Hello{ID: n.id, Broker: n.broker, Degree: n.Degree(now)}
 	s.peer = Hello{}
@@ -175,6 +176,24 @@ func (s *Session) Release() {
 	}
 	s.released = true
 	s.n.freeSessions = append(s.n.freeSessions, s)
+}
+
+// ratchet clamps the session's pinned time to the node's high-water mark.
+// Live adapters run sessions concurrently: each pins its clock at
+// BeginContact, then interleaves engine steps with peers' sessions on the
+// same node. Shared state (the relay filter) and recycled scratch filters
+// remember the latest time they were touched at, so a step running with an
+// older pinned clock would trip tcbf's monotonic-clock check mid-contact.
+// Ratcheting at each TCBF-touching step keeps per-node time non-decreasing;
+// under serialized monotone time the ratchet never fires.
+//
+//bsub:hotpath
+func (s *Session) ratchet() {
+	if s.n.clockHigh > s.now {
+		s.now = s.n.clockHigh
+	} else {
+		s.n.clockHigh = s.now
+	}
 }
 
 // scratchPartitioned lazily builds the partitioned scratch filter in slot.
@@ -252,6 +271,7 @@ func (s *Session) Elect() Action {
 //
 //bsub:hotpath
 func (s *Session) Apply(own, peer Action) {
+	s.ratchet()
 	if own == ActPromote && peer == ActPromote {
 		// Mutual designation (two users in a broker-scarce neighbourhood
 		// each elect the other): promote only the higher-ID side, so a
@@ -328,6 +348,7 @@ func (s *Session) ReceivesGenuine() bool { return s.selfBroker && !s.peerBroker 
 //
 //bsub:hotpath
 func (s *Session) GenuineOut() ([]byte, error) {
+	s.ratchet()
 	g := s.scratchPartitioned(&s.genuineBuf)
 	g.Reset(s.now)
 	if err := g.InsertAllPre(s.n.preInterests, s.now); err != nil {
@@ -350,6 +371,7 @@ func (s *Session) GenuineOut() ([]byte, error) {
 //
 //bsub:hotpath
 func (s *Session) AbsorbGenuine(data []byte) error {
+	s.ratchet()
 	if len(data) == 0 || s.relay == nil {
 		return nil
 	}
@@ -369,6 +391,7 @@ func (s *Session) AbsorbGenuine(data []byte) error {
 //
 //bsub:hotpath
 func (s *Session) RelayOut() ([]byte, error) {
+	s.ratchet()
 	if s.relay == nil {
 		return nil, nil
 	}
@@ -392,6 +415,7 @@ func (s *Session) RelayOut() ([]byte, error) {
 //
 //bsub:hotpath
 func (s *Session) SetPeerRelay(data []byte) error {
+	s.ratchet()
 	if len(data) == 0 {
 		return nil
 	}
@@ -415,6 +439,7 @@ func (s *Session) SetPeerRelay(data []byte) error {
 //
 //bsub:hotpath
 func (s *Session) ForwardCandidates() ([]Forward, error) {
+	s.ratchet()
 	if s.relay == nil || s.peerRelay == nil {
 		return nil, nil
 	}
@@ -458,6 +483,7 @@ func (s *Session) ForwardCandidates() ([]Forward, error) {
 //
 //bsub:hotpath
 func (s *Session) MergeRelay() error {
+	s.ratchet()
 	if s.relay == nil || s.peerRelay == nil {
 		return nil
 	}
@@ -474,6 +500,7 @@ func (s *Session) MergeRelay() error {
 //
 //bsub:hotpath
 func (s *Session) InterestOut() ([]byte, error) {
+	s.ratchet()
 	f := s.scratchFilter(&s.interestBuf)
 	f.Reset(s.now)
 	if err := f.InsertAllPre(s.n.preInterests, s.now); err != nil {
@@ -498,6 +525,7 @@ func (s *Session) InterestOut() ([]byte, error) {
 //
 //bsub:hotpath
 func (s *Session) DeliveryMatches(data []byte) ([]Transfer, error) {
+	s.ratchet()
 	if !s.peerSet {
 		return nil, fmt.Errorf("engine: delivery matches before peer hello")
 	}
@@ -546,6 +574,7 @@ func (s *Session) DeliveryMatches(data []byte) ([]Transfer, error) {
 //
 //bsub:hotpath
 func (s *Session) RelayAdvertOut() ([]byte, error) {
+	s.ratchet()
 	if s.relay == nil {
 		return nil, nil
 	}
@@ -568,6 +597,7 @@ func (s *Session) RelayAdvertOut() ([]byte, error) {
 //
 //bsub:hotpath
 func (s *Session) ReplicationMatches(data []byte) ([]Transfer, error) {
+	s.ratchet()
 	if !s.peerSet {
 		return nil, fmt.Errorf("engine: replication matches before peer hello")
 	}
@@ -651,9 +681,6 @@ func (c *Claim) Abort() {
 	case claimDirect:
 		delete(c.entry.sent, c.peer)
 	case claimReplication:
-		if c.entry.copies == 0 {
-			c.n.produced.add(c.entry)
-		}
 		c.entry.copies++
 	}
 }
@@ -742,8 +769,11 @@ func (s *Session) ClaimDirect(id int) (*Claim, bool) {
 }
 
 // ClaimReplication spends one producer copy of own message id for
-// replication to the peer broker; the message leaves the store when its
-// budget is exhausted. Abort restores the copy (MSGACK refund).
+// replication to the peer broker. Exhausting the budget ends replication
+// only: the message stays in the produced store (at zero copies) until its
+// TTL, so later contacts can still serve matching subscribers directly —
+// "direct deliveries are not counted against the copy limit". Abort
+// restores the copy (MSGACK refund).
 //
 //bsub:hotpath
 func (s *Session) ClaimReplication(id int) (*Claim, bool) {
@@ -757,9 +787,6 @@ func (s *Session) ClaimReplication(id int) (*Claim, bool) {
 	c, ok := s.claim(e, claimReplication)
 	if c != nil {
 		e.copies--
-		if e.copies == 0 {
-			s.n.produced.remove(id)
-		}
 	}
 	return c, ok
 }

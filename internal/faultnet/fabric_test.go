@@ -1,0 +1,249 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bsub/internal/testutil"
+)
+
+// echoListener accepts connections and echoes bytes until closed.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				_, _ = io.Copy(conn, conn)
+				_ = conn.Close()
+			}()
+		}
+	}()
+	return l
+}
+
+// TestFabricPartitionSchedule drives a deterministic partition/heal
+// schedule over three registered nodes and checks reachability plus dial
+// outcomes at every step.
+func TestFabricPartitionSchedule(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	f := NewFabric()
+	la, lb, lc := echoListener(t), echoListener(t), echoListener(t)
+	f.Register("a", la.Addr().String())
+	f.Register("b", lb.Addr().String())
+	f.Register("c", lc.Addr().String())
+
+	type probe struct {
+		from, toAddr string
+		want         bool // dial should succeed
+	}
+	steps := []struct {
+		name   string
+		apply  func()
+		probes []probe
+	}{
+		{
+			name:  "healed fabric is fully connected",
+			apply: func() {},
+			probes: []probe{
+				{"a", lb.Addr().String(), true},
+				{"b", lc.Addr().String(), true},
+				{"c", la.Addr().String(), true},
+			},
+		},
+		{
+			name:  "a|bc: a is alone",
+			apply: func() { f.Partition([]string{"a"}, []string{"b", "c"}) },
+			probes: []probe{
+				{"a", lb.Addr().String(), false},
+				{"a", lc.Addr().String(), false},
+				{"b", lc.Addr().String(), true},
+				{"c", lb.Addr().String(), true},
+				{"b", la.Addr().String(), false},
+			},
+		},
+		{
+			name:  "ab|c: repartition without heal",
+			apply: func() { f.Partition([]string{"a", "b"}, []string{"c"}) },
+			probes: []probe{
+				{"a", lb.Addr().String(), true},
+				{"b", lc.Addr().String(), false},
+				{"c", la.Addr().String(), false},
+			},
+		},
+		{
+			name:  "unlisted keys fall back to group 0",
+			apply: func() { f.Partition([]string{"a"}) },
+			probes: []probe{
+				{"b", lc.Addr().String(), true}, // both unlisted: group 0
+				{"a", lb.Addr().String(), false},
+			},
+		},
+		{
+			name:  "heal reunites everyone",
+			apply: func() { f.Heal() },
+			probes: []probe{
+				{"a", lb.Addr().String(), true},
+				{"b", lc.Addr().String(), true},
+				{"c", la.Addr().String(), true},
+			},
+		},
+	}
+	for _, step := range steps {
+		step.apply()
+		for _, p := range step.probes {
+			if got := f.Reachable(p.from, p.toAddr); got != p.want {
+				t.Errorf("%s: Reachable(%s, %s) = %v, want %v", step.name, p.from, p.toAddr, got, p.want)
+			}
+			conn, err := f.Dialer(p.from)(p.toAddr, time.Second)
+			if p.want {
+				if err != nil {
+					t.Errorf("%s: dial %s->%s failed: %v", step.name, p.from, p.toAddr, err)
+					continue
+				}
+				_ = conn.Close()
+				continue
+			}
+			if !errors.Is(err, ErrPartitioned) {
+				t.Errorf("%s: dial %s->%s: err = %v, want ErrPartitioned", step.name, p.from, p.toAddr, err)
+			}
+		}
+	}
+}
+
+// TestFabricSeversEstablishedConnections: partitioning must kill live
+// cross-group connections, not just future dials — and connections inside
+// one group must survive.
+func TestFabricSeversEstablishedConnections(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	f := NewFabric()
+	lb, lc := echoListener(t), echoListener(t)
+	f.Register("b", lb.Addr().String())
+	f.Register("c", lc.Addr().String())
+
+	ab, err := f.Dialer("a")(lb.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ab.Close()
+	bc, err := f.Dialer("b")(lc.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+
+	f.Partition([]string{"a"}, []string{"b", "c"})
+
+	if _, err := ab.Write([]byte("x")); err == nil {
+		t.Error("cross-partition connection survived Partition")
+	}
+	if _, err := bc.Write([]byte("x")); err != nil {
+		t.Errorf("same-group connection severed by Partition: %v", err)
+	}
+	buf := make([]byte, 1)
+	_ = bc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(bc, buf); err != nil || buf[0] != 'x' {
+		t.Errorf("same-group echo after partition: %q, %v", buf, err)
+	}
+
+	// Healing restores dials but not the severed connection.
+	f.Heal()
+	if _, err := ab.Write([]byte("x")); err == nil {
+		t.Error("severed connection resurrected by Heal")
+	}
+	conn, err := f.Dialer("a")(lb.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("fresh dial after heal: %v", err)
+	}
+	_ = conn.Close()
+}
+
+// TestFabricStaleAddressForgotten: Forget must drop an address binding so
+// a recycled port no longer inherits the dead node's partition group.
+func TestFabricStaleAddressForgotten(t *testing.T) {
+	f := NewFabric()
+	f.Register("x", "127.0.0.1:9999")
+	f.Partition([]string{"x"})
+	if f.Reachable("y", "127.0.0.1:9999") {
+		t.Fatal("cross-group address reachable")
+	}
+	f.Forget("127.0.0.1:9999")
+	if !f.Reachable("y", "127.0.0.1:9999") {
+		t.Error("forgotten address still carries its old group")
+	}
+}
+
+// FuzzFabricHealDuringHandshake races Partition/Heal flips against dials
+// so the double reachability check around the TCP handshake is exercised
+// in both directions: a partition landing mid-handshake must yield
+// ErrPartitioned with the connection dead, and a heal landing
+// mid-handshake must yield a usable connection. Whatever the
+// interleaving, the outcome must be exactly one of those two — never a
+// half-dead connection handed to the caller.
+func FuzzFabricHealDuringHandshake(f *testing.F) {
+	f.Add(uint8(3), false)
+	f.Add(uint8(1), true)  // heal lands mid-handshake
+	f.Add(uint8(7), true)  // several flips during the dial burst
+	f.Add(uint8(0), false) // no flips: plain dials
+	f.Fuzz(func(t *testing.T, flips uint8, healLast bool) {
+		fab := NewFabric()
+		l := echoListener(t)
+		fab.Register("server", l.Addr().String())
+		dial := fab.Dialer("client")
+
+		var wg sync.WaitGroup
+		// Flip the partition state concurrently with the dials.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < int(flips); i++ {
+				fab.Partition([]string{"client"})
+				fab.Heal()
+			}
+			if !healLast && flips > 0 {
+				fab.Partition([]string{"client"})
+			}
+		}()
+
+		for i := 0; i < 8; i++ {
+			conn, err := dial(l.Addr().String(), time.Second)
+			if err != nil {
+				if !errors.Is(err, ErrPartitioned) {
+					t.Fatalf("dial %d: unexpected error %v", i, err)
+				}
+				continue
+			}
+			// A handed-out connection must actually work end to end.
+			if _, werr := conn.Write([]byte("k")); werr != nil {
+				// The connection may die afterwards if a flip severed
+				// it — that is a sever, not a handshake bug. But it must
+				// be marked severed, not silently broken.
+				if fc, ok := conn.(*Conn); ok && !fc.Severed() {
+					t.Fatalf("dial %d: write failed on unsevered conn: %v", i, werr)
+				}
+			}
+			_ = conn.Close()
+		}
+		wg.Wait()
+
+		// After an unconditional heal every dial must succeed again.
+		fab.Heal()
+		conn, err := dial(l.Addr().String(), time.Second)
+		if err != nil {
+			t.Fatalf("post-heal dial failed: %v", err)
+		}
+		_ = conn.Close()
+	})
+}

@@ -103,6 +103,22 @@ func (c *Conn) sever() {
 	_ = c.Conn.Close()
 }
 
+// Sever cuts the link from outside the fault plan — a Fabric partition
+// landing on an established connection. Both endpoints observe the cut:
+// this side's next Read/Write fails, the peer sees the close.
+func (c *Conn) Sever() {
+	c.mu.Lock()
+	c.sever()
+	c.mu.Unlock()
+}
+
+// Severed reports whether the link has been cut, by its plan or by Sever.
+func (c *Conn) Severed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cut
+}
+
 func (c *Conn) Read(b []byte) (int, error) {
 	if c.plan.Latency > 0 {
 		time.Sleep(c.plan.Latency)

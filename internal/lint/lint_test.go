@@ -132,6 +132,16 @@ func TestLockIOFixture(t *testing.T) {
 	checkFixture(t, LockIO, "bsub/internal/livenode")
 }
 
+func TestLockIOMeshFixture(t *testing.T) {
+	if !LockIO.Applies("internal/mesh") {
+		t.Fatal("lockio must apply to internal/mesh")
+	}
+	if LockIO.Applies("internal/meshier") {
+		t.Error("lockio must not apply to sibling packages by prefix")
+	}
+	checkFixture(t, LockIO, "bsub/internal/mesh")
+}
+
 func TestWireErrFixture(t *testing.T) {
 	checkFixture(t, WireErr, "bsub/internal/tcbf")
 }

@@ -8,22 +8,29 @@ import (
 )
 
 // LockIO makes the PR 1 lock-held-dial bug structurally impossible: in
-// internal/livenode, no blocking operation — net/io calls, channel
-// sends and receives, select without default, time.Sleep,
+// internal/livenode and internal/mesh, no blocking operation — net/io
+// calls, channel sends and receives, select without default, time.Sleep,
 // sync.WaitGroup.Wait, or a call through a function value (user hooks)
 // — may happen while a sync.Mutex or RWMutex is held. Blocking-ness
 // propagates through the package-local call graph, so a helper that
 // writes a frame is just as forbidden under a lock as conn.Write
-// itself.
+// itself. The mesh daemon lives under the same law because its event
+// loop holds the membership lock while scheduling: a dial or enqueue
+// that blocked there would stall every peer at once.
 //
 // Deferred calls are exempt (they run at function exit, after the
 // deferred unlocks pair off), and goroutine bodies start with a clean
 // slate — a goroutine spawned under a lock does not hold it.
 var LockIO = &Analyzer{
 	Name: "lockio",
-	Doc:  "no blocking I/O, channel ops, or dynamic calls while a mutex is held in internal/livenode",
+	Doc:  "no blocking I/O, channel ops, or dynamic calls while a mutex is held in internal/livenode and internal/mesh",
 	Applies: func(rel string) bool {
-		return hasSuffixElem(rel, "internal/livenode") || strings.Contains(rel+"/", "/internal/livenode/")
+		for _, pkg := range []string{"internal/livenode", "internal/mesh"} {
+			if hasSuffixElem(rel, pkg) || strings.Contains(rel+"/", "/"+pkg+"/") {
+				return true
+			}
+		}
+		return false
 	},
 	Run: runLockIO,
 }

@@ -127,10 +127,17 @@ func TestHubServesFourPeersConcurrently(t *testing.T) {
 // occupy opens a raw TCP connection that pins one of addr's session
 // slots: the responder accepts, acquires a slot, and blocks reading the
 // HELLO that never comes. Close the returned conn to free the slot.
+// occupy pins one of the node's session slots: it dials, sends a valid
+// HELLO, and then stalls mid-session. A silent connect is not enough — a
+// slot is taken when the first frame arrives, not at TCP connect, so idle
+// connections cannot starve contacts.
 func occupy(t *testing.T, addr string) net.Conn {
 	t.Helper()
 	conn, err := net.DialTimeout("tcp", addr, time.Second)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, frameHello, hello{ID: 4242}.encode()); err != nil {
 		t.Fatal(err)
 	}
 	return conn

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"sync"
@@ -86,6 +87,22 @@ type Config struct {
 	// never connected. Called from session goroutines with no node
 	// locks held.
 	OnSession func(SessionStats)
+	// OnStored, when set, is called once for each relayed copy newly
+	// stored in the carried store — the hook a mesh layer uses to flood a
+	// fresh copy onward to its broker peers. Called from session
+	// goroutines with no node locks held; it must not block for long.
+	OnStored func(msg workload.Message)
+	// GossipHandler, when set, answers inbound gossip frames: it receives
+	// the dialer's payload and returns the reply payload. The byte
+	// contents are opaque to this package. Called from connection
+	// goroutines with no node locks held; it must be in-memory fast, as
+	// gossip answers bypass the MaxSessions slots. Nil drops inbound
+	// gossip.
+	GossipHandler func(payload []byte) []byte
+	// Dial overrides the transport dial used by Meet and Gossip; tests
+	// inject faultnet fabrics to stand up partitions. Nil selects
+	// net.DialTimeout("tcp", ...).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // Node is one live B-SUB device. Create with Listen, connect contacts with
@@ -148,6 +165,11 @@ func Listen(addr string, cfg Config) (*Node, error) {
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -228,6 +250,17 @@ func (n *Node) Publish(payload []byte, keys ...workload.Key) (int, error) {
 	return id, nil
 }
 
+// ForgetDeliveries drops the engine's record of direct deliveries made to
+// peer. The mesh calls it when it declares a peer dead: a restarted
+// incarnation of that peer has an empty delivered set, and without this the
+// producer's stale sent-marker would block redelivery to it forever. If the
+// peer was wrongly suspected, its dedup absorbs the repeat delivery.
+func (n *Node) ForgetDeliveries(peer uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.eng.ClearSentTo(engine.NodeID(peer))
+}
+
 // IsBroker reports whether the node currently serves as a broker.
 func (n *Node) IsBroker() bool {
 	n.mu.Lock()
@@ -240,6 +273,21 @@ func (n *Node) CarriedCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.eng.CarriedCount()
+}
+
+// CopyCensus returns how many replication copies of message id this node
+// holds: the producer's remaining copy budget plus one if a relayed copy
+// sits in the carried store. Summed across a mesh, the census must never
+// exceed the protocol's CopyLimit — hand-offs conserve copies, dedup
+// collapse and node death only destroy them.
+func (n *Node) CopyCensus(id int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	copies := n.eng.ProducedCopies(id)
+	if n.eng.HasCarried(id) {
+		copies++
+	}
+	return copies
 }
 
 // serve accepts inbound contact sessions until Close. Persistent accept
@@ -283,12 +331,31 @@ func nextAcceptDelay(prev time.Duration) time.Duration {
 	return prev * 2
 }
 
-// handleInbound runs one accepted contact. At capacity the node answers
-// a single BUSY frame — an explicit, retryable refusal — instead of
-// slamming the connection.
+// handleInbound routes one accepted connection. The first frame is read
+// before a session slot is taken, so gossip datagrams — cheap, bounded,
+// membership-critical — keep flowing while every contact slot is busy. At
+// capacity the node answers a contact with a single BUSY frame — an
+// explicit, retryable refusal — instead of slamming the connection.
 func (n *Node) handleInbound(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(n.cfg.SessionTimeout))
+	typ, body, err := readFrame(conn)
+	if err != nil {
+		// The peer connected but never produced a whole first frame; no
+		// slot was held and no protocol ran.
+		n.sessionEnded(SessionStats{
+			Phase:   PhaseConnect,
+			Outcome: outcomeForError(err),
+			Err:     err,
+		}, false)
+		return
+	}
+	if typ == frameGossip {
+		n.answerGossip(conn, body)
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
 	select {
 	case n.sessions <- struct{}{}:
 	default:
@@ -298,15 +365,51 @@ func (n *Node) handleInbound(conn net.Conn) {
 			Outcome: OutcomeRefusedBusy,
 			Err:     ErrBusy,
 		}, false)
-		// Drain the dialer's HELLO before closing: closing with unread
-		// inbound data resets the connection, which can destroy the BUSY
-		// frame before the peer reads it.
+		// Drain the dialer's next bytes before closing: closing with
+		// unread inbound data resets the connection, which can destroy
+		// the BUSY frame before the peer reads it.
 		_ = conn.SetReadDeadline(time.Now().Add(time.Second))
 		_, _ = io.Copy(io.Discard, conn)
 		return
 	}
 	defer func() { <-n.sessions }()
-	_ = n.runContact(conn, false)
+	_ = n.runContactPre(conn, false, typ, body)
+}
+
+// answerGossip serves one inbound gossip exchange: hand the payload to
+// the mesh layer's handler, write its reply, done. No session slot, no
+// engine state, no node locks.
+func (n *Node) answerGossip(conn net.Conn, body []byte) {
+	h := n.cfg.GossipHandler
+	if h == nil {
+		return
+	}
+	reply := h(body)
+	n.gossipAnswered()
+	_ = conn.SetWriteDeadline(time.Now().Add(n.cfg.SessionTimeout))
+	_ = writeFrame(conn, frameGossip, reply)
+}
+
+// Gossip dials addr, exchanges one membership datagram, and returns the
+// peer's reply payload. Gossip rides outside contact sessions: neither
+// side spends a MaxSessions slot, so heartbeats stay live while contacts
+// saturate the node. The payload bytes are opaque to this package.
+func (n *Node) Gossip(addr string, payload []byte) ([]byte, error) {
+	conn, err := n.cfg.Dial(addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("livenode: gossip dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.cfg.SessionTimeout))
+	if err := writeFrame(conn, frameGossip, payload); err != nil {
+		return nil, err
+	}
+	reply, err := expectFrame(conn, frameGossip)
+	if err != nil {
+		return nil, err
+	}
+	n.gossipSent()
+	return reply, nil
 }
 
 // maxMeetBackoff caps Meet's exponential retry backoff; without a cap a
@@ -322,18 +425,30 @@ var ErrBusy = errors.New("livenode: node at session capacity")
 // instead of joining the session; the caller may retry.
 var ErrPeerBusy = errors.New("livenode: peer at session capacity")
 
+// jitteredBackoff maps a backoff ceiling and a uniform random sample in
+// [0, 1) to a retry delay drawn uniformly from [backoff/2, backoff) —
+// equal jitter. Pure doubling would synchronize every dialer that failed
+// against the same busy peer into a thundering herd that refinds the peer
+// busy in lockstep; the jitter spreads the herd across half the window.
+func jitteredBackoff(backoff time.Duration, sample float64) time.Duration {
+	half := backoff / 2
+	return half + time.Duration(sample*float64(half))
+}
+
 // Meet dials a peer and runs one contact session, mirroring two devices
 // coming into Bluetooth range. Transient failures — a failed dial, this
 // node at capacity, or the peer answering BUSY — are retried up to
-// Config.MeetAttempts times with exponential backoff; the last error is
-// returned if every attempt fails. Protocol errors mid-session are not
-// retried.
+// Config.MeetAttempts times under capped, jittered exponential backoff
+// (each retry sleeps a uniform draw from [ceiling/2, ceiling), the
+// ceiling doubling up to maxMeetBackoff); the last error is returned if
+// every attempt fails. Protocol errors mid-session are not retried.
 func (n *Node) Meet(addr string) error {
 	backoff := n.cfg.MeetBackoff
 	var err error
 	for attempt := 0; attempt < n.cfg.MeetAttempts; attempt++ {
 		if attempt > 0 {
-			timer := time.NewTimer(backoff)
+			n.meetRetried()
+			timer := time.NewTimer(jitteredBackoff(backoff, rand.Float64()))
 			select {
 			case <-n.closed:
 				timer.Stop()
@@ -369,7 +484,7 @@ func (n *Node) meetOnce(addr string) (retry bool, err error) {
 		return true, ErrBusy
 	}
 	defer func() { <-n.sessions }()
-	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	conn, err := n.cfg.Dial(addr, n.cfg.DialTimeout)
 	if err != nil {
 		err = fmt.Errorf("livenode: dial %s: %w", addr, err)
 		n.sessionEnded(SessionStats{
@@ -389,9 +504,17 @@ func (n *Node) meetOnce(addr string) (retry bool, err error) {
 // failed session aborts its engine session, refunding any message copy
 // that was claimed but never ACKed.
 func (n *Node) runContact(conn io.ReadWriter, initiator bool) error {
+	return n.runContactPre(conn, initiator, 0, nil)
+}
+
+// runContactPre is runContact with the session's first inbound frame
+// already read (handleInbound peeks it to route gossip); preTyp zero
+// means no frame was pre-read.
+func (n *Node) runContactPre(conn io.ReadWriter, initiator bool, preTyp byte, preBody []byte) error {
 	start := time.Now()
 	n.sessionStarted()
-	s := &session{n: n, conn: conn, initiator: initiator, timeout: n.cfg.SessionTimeout}
+	s := &session{n: n, conn: conn, initiator: initiator, timeout: n.cfg.SessionTimeout,
+		preTyp: preTyp, preBody: preBody}
 	if dl, ok := conn.(deadlineConn); ok {
 		s.dl = dl
 	}
@@ -455,14 +578,17 @@ func (n *Node) purge(now time.Duration) {
 }
 
 // acceptCarried ingests a relayed copy through the engine and surfaces a
-// first-time delivery. The OnDeliver hook runs with no locks held so a
-// slow consumer stalls only its own session.
+// first-time delivery. The OnDeliver and OnStored hooks run with no locks
+// held so a slow consumer stalls only its own session.
 func (n *Node) acceptCarried(msg workload.Message, payload []byte, now time.Duration) {
 	n.mu.Lock()
 	acc := n.eng.AcceptCarried(msg, payload, now)
 	n.mu.Unlock()
 	if acc.Delivered {
 		n.deliver(msg, payload, false)
+	}
+	if acc.Stored && n.cfg.OnStored != nil {
+		n.cfg.OnStored(msg)
 	}
 }
 

@@ -133,17 +133,17 @@ func TestSimLiveParity(t *testing.T) {
 		check   func()
 	}
 	script := []step{
-		{contact: [2]int{1, 2}},                 // mutual promote -> 2 is broker
-		{contact: [2]int{0, 3}},                 // mutual promote -> 3 is broker
+		{contact: [2]int{1, 2}}, // mutual promote -> 2 is broker
+		{contact: [2]int{0, 3}}, // mutual promote -> 3 is broker
 		{advance: 5 * time.Minute},
-		{contact: [2]int{1, 3}},                 // genuine "news" -> 3's relay
+		{contact: [2]int{1, 3}}, // genuine "news" -> 3's relay
 		{advance: 5 * time.Minute},
-		{contact: [2]int{1, 3}},                 // A-merge reinforcement at 3
+		{contact: [2]int{1, 3}}, // A-merge reinforcement at 3
 		{publish: 0, key: "news"},
 		{advance: 5 * time.Minute},
-		{contact: [2]int{0, 2}},                 // replication: 2 pulls a copy
+		{contact: [2]int{0, 2}}, // replication: 2 pulls a copy
 		{advance: 5 * time.Minute},
-		{contact: [2]int{2, 3}},                 // broker-broker: forward 2 -> 3
+		{contact: [2]int{2, 3}}, // broker-broker: forward 2 -> 3
 		{check: func() {
 			// Preferential forwarding must have moved the copy toward the
 			// reinforced broker; otherwise the script isn't testing it.
@@ -153,8 +153,8 @@ func TestSimLiveParity(t *testing.T) {
 			}
 		}},
 		{advance: 5 * time.Minute},
-		{contact: [2]int{1, 3}},                 // carried delivery to 1
-		{contact: [2]int{0, 1}},                 // direct pull deduped at 1
+		{contact: [2]int{1, 3}}, // carried delivery to 1
+		{contact: [2]int{0, 1}}, // direct pull deduped at 1
 	}
 	for si, st := range script {
 		switch {

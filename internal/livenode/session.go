@@ -36,6 +36,12 @@ type session struct {
 	// es is the engine session driving this contact. Its claims commit on
 	// the peer's MSGACK and are refunded (aborted) when the contact dies.
 	es *engine.Session
+
+	// preTyp/preBody hold a first frame handleInbound already read off
+	// the wire (to route gossip before taking a session slot); the first
+	// readFrame consumes them. preTyp zero means none.
+	preTyp  byte
+	preBody []byte
 }
 
 // deadlineConn is the subset of net.Conn the session uses to arm
@@ -58,8 +64,16 @@ func (s *session) writeFrame(typ byte, body []byte) error {
 	return nil
 }
 
-// readFrame receives one frame under a fresh read deadline and accounts it.
+// readFrame receives one frame under a fresh read deadline and accounts
+// it. A frame pre-read by handleInbound is consumed first.
 func (s *session) readFrame() (byte, []byte, error) {
+	if s.preTyp != 0 {
+		typ, body := s.preTyp, s.preBody
+		s.preTyp, s.preBody = 0, nil
+		s.stats.FramesIn++
+		s.stats.BytesIn += int64(frameHeaderLen + len(body))
+		return typ, body, nil
+	}
 	if s.dl != nil {
 		_ = s.dl.SetReadDeadline(time.Now().Add(s.timeout))
 	}
@@ -146,13 +160,13 @@ func (s *session) lockstep(send, recv func() error) error {
 
 // run executes one contact session over s.conn. Phases mirror Section V:
 //
-//	0. HELLO exchange (identity, role, degree)
-//	1. election (PROMOTE/DEMOTE per the Section V-B rules)
-//	2. genuine filter (consumer -> broker interest propagation; one
-//	   direction, both sides derive it from the shared election outcome)
-//	3. relay filters + preferential forwarding (broker <-> broker)
-//	4. interest-BF pulls (direct delivery + producer->broker replication)
-//	5. BYE
+//  0. HELLO exchange (identity, role, degree)
+//  1. election (PROMOTE/DEMOTE per the Section V-B rules)
+//  2. genuine filter (consumer -> broker interest propagation; one
+//     direction, both sides derive it from the shared election outcome)
+//  3. relay filters + preferential forwarding (broker <-> broker)
+//  4. interest-BF pulls (direct delivery + producer->broker replication)
+//  5. BYE
 func (s *session) run(now time.Duration) error {
 	n := s.n
 
@@ -509,9 +523,11 @@ func (s *session) askReplication(now time.Duration) error {
 }
 
 // answerReplication replicates matching produced messages to the broker,
-// bounded by the copy limit; a message leaves our memory when its copies
-// are exhausted. A copy is claimed (decremented) through the engine before
-// it travels and refunded if the peer's ACK never arrives.
+// bounded by the copy limit; an exhausted message stops replicating but
+// stays in the produced store until TTL so later contacts can still serve
+// matching subscribers directly. A copy is claimed (decremented) through
+// the engine before it travels and refunded if the peer's ACK never
+// arrives.
 func (s *session) answerReplication() error {
 	n := s.n
 	body, err := s.readPull(pullReplication)

@@ -149,6 +149,14 @@ type Counters struct {
 	// MsgsRefunded counts message copies claimed for a transfer that was
 	// never ACKed and therefore refunded to their stores.
 	MsgsRefunded uint64
+	// MeetRetries counts reconnect attempts: Meet calls that slept a
+	// jittered backoff and tried the contact again after a failure.
+	MeetRetries uint64
+	// GossipSent / GossipAnswered count membership datagrams exchanged
+	// outside contact sessions: outbound exchanges that completed, and
+	// inbound gossip frames answered through Config.GossipHandler.
+	GossipSent     uint64
+	GossipAnswered uint64
 	// Frame and byte totals across all finished sessions.
 	FramesIn, FramesOut uint64
 	BytesIn, BytesOut   uint64
@@ -163,6 +171,27 @@ func (n *Node) Stats() Counters {
 	n.statsMu.Lock()
 	defer n.statsMu.Unlock()
 	return n.counters
+}
+
+// meetRetried accounts one reconnect attempt (a Meet retry after backoff).
+func (n *Node) meetRetried() {
+	n.statsMu.Lock()
+	n.counters.MeetRetries++
+	n.statsMu.Unlock()
+}
+
+// gossipSent accounts one completed outbound gossip exchange.
+func (n *Node) gossipSent() {
+	n.statsMu.Lock()
+	n.counters.GossipSent++
+	n.statsMu.Unlock()
+}
+
+// gossipAnswered accounts one inbound gossip frame served.
+func (n *Node) gossipAnswered() {
+	n.statsMu.Lock()
+	n.counters.GossipAnswered++
+	n.statsMu.Unlock()
 }
 
 // sessionStarted accounts a session that acquired a slot and is about to

@@ -84,6 +84,13 @@ const (
 	// of a claimed copy treats the copy as spent only once the ACK
 	// arrives; until then an aborted session refunds the claim.
 	frameMsgAck
+	// frameGossip is a membership datagram riding outside contact
+	// sessions: a dialer opens a connection, sends one gossip frame, and
+	// reads one gossip frame back. The payload is opaque to this package
+	// (the mesh layer's membership codec); the responder answers through
+	// Config.GossipHandler without taking a session slot, so heartbeats
+	// keep flowing while every contact slot is busy.
+	frameGossip
 )
 
 // protoVersion is the contact-protocol version announced in the HELLO.

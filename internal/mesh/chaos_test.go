@@ -1,0 +1,389 @@
+package mesh
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bsub/internal/core"
+	"bsub/internal/faultnet"
+	"bsub/internal/livenode"
+	"bsub/internal/testutil"
+	"bsub/internal/workload"
+)
+
+// The churn chaos suite: a 100+ node in-process mesh wired through a
+// faultnet Fabric runs a scripted kill/restart/partition schedule while
+// messages disseminate. Invariants asserted:
+//
+//   - exactly-once: no node incarnation ever sees one message delivered
+//     twice (a restarted node is a new incarnation — its dedup state
+//     died with it, so re-delivery across a restart is correct, and
+//     counted per incarnation);
+//   - copy conservation: after the storm, each message's replication
+//     copies across every surviving node sum to at most CopyLimit —
+//     churn may destroy copies, never mint them;
+//   - eventual delivery: subscribers that rejoined after a kill or sat
+//     behind the partition still receive every matching message once the
+//     mesh heals;
+//   - no goroutine leaks once every mesh is closed.
+
+const (
+	churnNodes  = 104
+	churnTopics = 8
+)
+
+func churnTopic(i int) workload.Key {
+	return workload.Key(fmt.Sprintf("t%d", i%churnTopics))
+}
+
+// churnRec records one node incarnation's deliveries.
+type churnRec struct {
+	id  uint32
+	inc int
+
+	mu   sync.Mutex
+	seen map[int]int
+}
+
+func (r *churnRec) deliver(d livenode.Delivery) {
+	r.mu.Lock()
+	r.seen[d.Message.ID]++
+	r.mu.Unlock()
+}
+
+func (r *churnRec) count(id int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen[id]
+}
+
+// churnHarness owns the mesh fleet, the fabric, and the delivery records.
+type churnHarness struct {
+	t      *testing.T
+	fabric *faultnet.Fabric
+
+	mu     sync.Mutex
+	meshes map[uint32]*Mesh
+	incs   map[uint32]int
+	recs   []*churnRec // every incarnation ever started
+	active map[uint32]*churnRec
+}
+
+func keyOf(id uint32) string { return fmt.Sprintf("n%d", id) }
+
+// start boots (or reboots) node id with the given seed addresses. The
+// node subscribes to its topic, registers its fresh listen address under
+// its stable fabric key, and gets a new delivery recorder.
+func (h *churnHarness) start(id uint32, seeds ...string) *Mesh {
+	h.t.Helper()
+	h.mu.Lock()
+	h.incs[id]++
+	rec := &churnRec{id: id, inc: h.incs[id], seen: map[int]int{}}
+	h.recs = append(h.recs, rec)
+	h.active[id] = rec
+	h.mu.Unlock()
+
+	ncfg := livenode.Config{
+		ID:             id,
+		Protocol:       core.DefaultConfig(0.01),
+		TTL:            2 * time.Hour,
+		SessionTimeout: 5 * time.Second,
+		OnDeliver:      rec.deliver,
+		Dial:           h.fabric.Dialer(keyOf(id)),
+	}
+	// The schedule is deliberately calm for a 104-node fleet under the
+	// race detector, which multiplies every exchange's CPU cost ~10-20x
+	// and may have a single core to spend it on. The gossip tick is the
+	// event-loop clock: at 1s with fanout 2 the fleet runs ~200 gossip
+	// exchanges plus ~100 contact attempts per second mesh-wide, which a
+	// race-instrumented core can actually serve — at a 200ms tick the
+	// timers fire on schedule but the sessions starve behind them, and
+	// delivery stalls for CPU reasons indistinguishable from protocol
+	// bugs. Suspicion thresholds are sized to tolerate relay-depth age
+	// inflation and scheduler lag, and a contact fanout of one still
+	// sweeps every peer well inside the delivery deadline.
+	mcfg := Config{
+		GossipInterval:      time.Second,
+		GossipFanout:        2,
+		GossipEntries:       64,
+		ContactInterval:     5 * time.Second,
+		ContactFanout:       1,
+		SuspectAfter:        6 * time.Second,
+		DeadAfter:           12 * time.Second,
+		ForgetAfter:         10 * time.Minute,
+		ReconnectBackoff:    25 * time.Millisecond,
+		MaxReconnectBackoff: 500 * time.Millisecond,
+		Seeds:               seeds,
+		Seed:                int64(id)*1000 + int64(h.incOf(id)),
+	}
+	m, err := Start("127.0.0.1:0", ncfg, mcfg)
+	if err != nil {
+		h.t.Fatalf("start node %d: %v", id, err)
+	}
+	m.Subscribe(churnTopic(int(id)))
+	h.fabric.Register(keyOf(id), m.Addr())
+
+	h.mu.Lock()
+	h.meshes[id] = m
+	h.mu.Unlock()
+	return m
+}
+
+func (h *churnHarness) incOf(id uint32) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.incs[id]
+}
+
+// kill closes node id's mesh — process death, carried copies and dedup
+// state gone — and unbinds its stale address.
+func (h *churnHarness) kill(id uint32) {
+	h.t.Helper()
+	h.mu.Lock()
+	m := h.meshes[id]
+	delete(h.meshes, id)
+	delete(h.active, id)
+	h.mu.Unlock()
+	addr := m.Addr()
+	if err := m.Close(); err != nil {
+		h.t.Errorf("close node %d: %v", id, err)
+	}
+	h.fabric.Forget(addr)
+}
+
+func (h *churnHarness) mesh(id uint32) *Mesh {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.meshes[id]
+}
+
+// closeAll shuts the surviving fleet down in parallel: a single Close can
+// spend seconds letting an in-flight session drain, and a hundred of
+// them serially would dominate the test's runtime.
+func (h *churnHarness) closeAll() {
+	h.mu.Lock()
+	all := make([]*Mesh, 0, len(h.meshes))
+	for _, m := range h.meshes {
+		all = append(all, m)
+	}
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, m := range all {
+		wg.Add(1)
+		go func(m *Mesh) {
+			defer wg.Done()
+			_ = m.Close()
+		}(m)
+	}
+	wg.Wait()
+}
+
+// activeRec returns the recorder of node id's current incarnation.
+func (h *churnHarness) activeRec(id uint32) *churnRec {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.active[id]
+}
+
+func TestMeshChurnExactlyOnceAndCopyConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn chaos suite is long; skipped with -short")
+	}
+	testutil.CheckGoroutineLeaks(t)
+
+	h := &churnHarness{
+		t:      t,
+		fabric: faultnet.NewFabric(),
+		meshes: map[uint32]*Mesh{},
+		incs:   map[uint32]int{},
+		active: map[uint32]*churnRec{},
+	}
+	defer h.closeAll()
+
+	// Boot the fleet from a single seed, plus a chain seed to the
+	// previous node so bootstrap never depends on one hot listener.
+	first := h.start(1)
+	seedAddr := first.Addr()
+	prevAddr := seedAddr
+	for id := uint32(2); id <= churnNodes; id++ {
+		m := h.start(id, seedAddr, prevAddr)
+		prevAddr = m.Addr()
+	}
+
+	t.Logf("fleet booted at %s", time.Now().Format("15:04:05"))
+	// Converged: every node's table holds the whole fleet and nobody has
+	// been declared dead. Transient suspect flaps are tolerated — under
+	// this load gossip ages breathe, and the delivery assertions below
+	// are the real proof the mesh works.
+	waitFor(t, 180*time.Second, "initial full membership", func() bool {
+		for id := uint32(1); id <= churnNodes; id++ {
+			st := h.mesh(id).Stats()
+			if st.Alive+st.Suspect < churnNodes-1 || st.Dead > 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Batch 1: with the mesh whole, the first churnTopics nodes each
+	// publish to their own topic.
+	type pub struct {
+		id     int
+		origin uint32
+		topic  workload.Key
+	}
+	var pubs []pub
+	publish := func(origin uint32, topic workload.Key, payload string) {
+		t.Helper()
+		id, err := h.mesh(origin).Publish([]byte(payload), topic)
+		if err != nil {
+			t.Fatalf("publish from %d: %v", origin, err)
+		}
+		pubs = append(pubs, pub{id: id, origin: origin, topic: topic})
+	}
+	for i := 0; i < churnTopics; i++ {
+		publish(uint32(i+1), churnTopic(i), "batch1")
+	}
+
+	// Partition the fleet into two halves. Established cross-half
+	// connections die mid-flight; the engine's claim discipline must
+	// refund any copy caught in an unACKed hand-off.
+	var sideA, sideB []string
+	for id := uint32(1); id <= churnNodes; id++ {
+		if id <= churnNodes/2 {
+			sideA = append(sideA, keyOf(id))
+		} else {
+			sideB = append(sideB, keyOf(id))
+		}
+	}
+	t.Logf("membership converged at %s; partitioning", time.Now().Format("15:04:05"))
+	h.fabric.Partition(sideA, sideB)
+
+	// Batch 2: one producer on each side publishes while split.
+	publish(10, churnTopic(3), "batch2-sideA")
+	publish(60, churnTopic(5), "batch2-sideB")
+
+	// Kill five nodes per side (never the producers), leave them dead
+	// long enough for the suspicion machinery to declare it, then
+	// restart them as fresh incarnations — same ID and fabric key, new
+	// address, seeded from a live node on their own side.
+	killed := []uint32{20, 21, 22, 23, 24, 70, 71, 72, 73, 74}
+	for _, id := range killed {
+		h.kill(id)
+	}
+	time.Sleep(18 * time.Second) // > DeadAfter plus relay-age slack
+
+	var died, suspected uint64
+	for id := uint32(1); id <= churnNodes; id++ {
+		if m := h.mesh(id); m != nil {
+			st := m.Stats()
+			died += st.Died
+			suspected += st.Suspected
+		}
+	}
+	if suspected == 0 || died == 0 {
+		t.Fatalf("churn not observed: suspected = %d, died = %d", suspected, died)
+	}
+
+	for _, id := range killed {
+		if id <= churnNodes/2 {
+			h.start(id, h.mesh(10).Addr())
+		} else {
+			h.start(id, h.mesh(60).Addr())
+		}
+	}
+
+	// Heal. Everything must reconverge: rejoined incarnations and the
+	// far side of the partition catch up on both batches.
+	h.fabric.Heal()
+	t.Logf("healed at %s; waiting for post-churn delivery", time.Now().Format("15:04:05"))
+
+	missing := func() []string {
+		var out []string
+		for _, p := range pubs {
+			for id := uint32(1); id <= churnNodes; id++ {
+				if id == p.origin || churnTopic(int(id)) != p.topic {
+					continue
+				}
+				if h.activeRec(id).count(p.id) == 0 {
+					out = append(out, fmt.Sprintf("msg %d (topic %s, origin %d) -> node %d", p.id, p.topic, p.origin, id))
+				}
+			}
+		}
+		return out
+	}
+	// The budget covers roughly two full contact sweeps (103 peers at one
+	// attempt per second per node) under worst-case race-detector lag;
+	// the non-race run finishes in well under a minute.
+	deadline := time.Now().Add(420 * time.Second)
+	for {
+		miss := missing()
+		if len(miss) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for post-churn delivery: %d pairs undelivered, e.g.:\n  %v",
+				len(miss), miss[:min(10, len(miss))])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// A rejoined observer must exist: someone declared a peer dead and
+	// later saw it come back.
+	var rejoined uint64
+	for id := uint32(1); id <= churnNodes; id++ {
+		rejoined += h.mesh(id).Stats().Rejoined
+	}
+	if rejoined == 0 {
+		t.Error("no mesh observed a dead peer rejoining")
+	}
+
+	// Exactly-once: across every incarnation that ever ran, no message
+	// was delivered twice to one engine.
+	h.mu.Lock()
+	recs := append([]*churnRec(nil), h.recs...)
+	h.mu.Unlock()
+	for _, rec := range recs {
+		rec.mu.Lock()
+		for msgID, n := range rec.seen {
+			if n > 1 {
+				t.Errorf("node %d (incarnation %d) saw message %d delivered %d times",
+					rec.id, rec.inc, msgID, n)
+			}
+		}
+		rec.mu.Unlock()
+	}
+
+	// Copy conservation: quiesce the fleet, then census every message's
+	// surviving replication copies. Kills and dedup collapse destroy
+	// copies; the only legal mint is a refunded hand-off — the receiver
+	// stored, the ACK died with the link, the sender refunded (hand-offs
+	// are at-least-once; delivery dedup keeps them exactly-once). So each
+	// message's census is bounded by CopyLimit plus the mesh-wide refund
+	// count; anything past that is copies minted from nothing.
+	t.Logf("delivery complete at %s; closing fleet", time.Now().Format("15:04:05"))
+	h.closeAll()
+	t.Logf("fleet closed at %s", time.Now().Format("15:04:05"))
+	var refunds uint64
+	for id := uint32(1); id <= churnNodes; id++ {
+		if m := h.mesh(id); m != nil {
+			refunds += m.Node().Stats().MsgsRefunded
+		}
+	}
+	copyLimit := core.DefaultConfig(0.01).CopyLimit
+	bound := copyLimit + int(refunds)
+	for _, p := range pubs {
+		total := 0
+		for id := uint32(1); id <= churnNodes; id++ {
+			if m := h.mesh(id); m != nil {
+				total += m.Node().CopyCensus(p.id)
+			}
+		}
+		if total > bound {
+			t.Errorf("message %d (origin %d): %d copies across the mesh, want <= %d (CopyLimit %d + %d refunded hand-offs) — copies minted under churn",
+				p.id, p.origin, total, bound, copyLimit, refunds)
+		}
+	}
+}

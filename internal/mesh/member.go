@@ -1,0 +1,182 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// PeerState is a membership table entry's health, driven by gossip
+// freshness: Alive peers heartbeat within SuspectAfter, Suspect peers
+// have missed heartbeats but get probed rather than abandoned, Dead peers
+// stay in the table (so their death can be gossiped) until ForgetAfter
+// expires them.
+type PeerState uint8
+
+const (
+	StateAlive PeerState = iota
+	StateSuspect
+	StateDead
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Peer is a point-in-time snapshot of one membership entry, surfaced by
+// Mesh.Peers and in PeerEvents.
+type Peer struct {
+	ID       uint32
+	Addr     string
+	Broker   bool
+	Degree   int
+	State    PeerState
+	LastSeen time.Duration
+}
+
+// PeerEvent reports one membership state transition through
+// Config.OnPeerChange. From == To never happens; a peer first learned of
+// reports From == To-less zero value with Fresh set.
+type PeerEvent struct {
+	Peer  Peer
+	From  PeerState
+	To    PeerState
+	Fresh bool // first time this peer entered the table
+}
+
+// member is one row of the membership table. All fields are guarded by
+// Mesh.mu.
+type member struct {
+	id       uint32
+	addr     string
+	broker   bool
+	degree   int
+	state    PeerState
+	lastSeen time.Duration
+	// lastContact is when a contact with this peer was last scheduled,
+	// so the event loop does not double-book a peer whose job is still
+	// queued.
+	lastContact time.Duration
+	worker      *peerWorker // non-nil unless state == StateDead
+}
+
+func (mb *member) snapshot() Peer {
+	return Peer{
+		ID:       mb.id,
+		Addr:     mb.addr,
+		Broker:   mb.broker,
+		Degree:   mb.degree,
+		State:    mb.state,
+		LastSeen: mb.lastSeen,
+	}
+}
+
+// --- Gossip wire format -----------------------------------------------------
+
+// gossipVersion guards the membership codec independently of the contact
+// protocol version: gossip frames are opaque to livenode.
+const gossipVersion = 1
+
+// maxGossipAddr bounds one advertised address.
+const maxGossipAddr = 255
+
+// gossipEntry is one membership row on the wire. Age (time since the
+// sender last heard from the peer) travels instead of an absolute
+// timestamp, so nodes need no synchronized wall clock — the SWIM/Serf
+// anti-entropy idiom.
+type gossipEntry struct {
+	ID     uint32
+	Broker bool
+	Degree int
+	Age    time.Duration
+	Addr   string
+}
+
+// errGossipGarbage rejects undecodable gossip payloads; the exchange is
+// dropped, never trusted partially.
+var errGossipGarbage = errors.New("mesh: undecodable gossip payload")
+
+// encodeGossip serializes entries:
+//
+//	version(1) count(1) then per entry:
+//	id(4) flags(1) degree(2) ageMillis(4) addrLen(1) addr
+func encodeGossip(entries []gossipEntry) []byte {
+	if len(entries) > 255 {
+		entries = entries[:255]
+	}
+	out := make([]byte, 2, 2+len(entries)*32)
+	out[0] = gossipVersion
+	out[1] = byte(len(entries))
+	for _, e := range entries {
+		out = binary.BigEndian.AppendUint32(out, e.ID)
+		var flags byte
+		if e.Broker {
+			flags |= 1
+		}
+		out = append(out, flags)
+		out = binary.BigEndian.AppendUint16(out, uint16(min(e.Degree, 1<<16-1)))
+		ms := e.Age.Milliseconds()
+		if ms < 0 {
+			ms = 0
+		}
+		if ms > 1<<32-1 {
+			ms = 1<<32 - 1
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(ms))
+		addr := e.Addr
+		if len(addr) > maxGossipAddr {
+			addr = addr[:maxGossipAddr]
+		}
+		out = append(out, byte(len(addr)))
+		out = append(out, addr...)
+	}
+	return out
+}
+
+// decodeGossip parses a gossip payload, rejecting truncated or
+// version-mismatched bytes wholesale.
+func decodeGossip(data []byte) ([]gossipEntry, error) {
+	if len(data) < 2 {
+		return nil, errGossipGarbage
+	}
+	if data[0] != gossipVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", errGossipGarbage, data[0], gossipVersion)
+	}
+	count := int(data[1])
+	rest := data[2:]
+	entries := make([]gossipEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 12 {
+			return nil, fmt.Errorf("%w: truncated entry %d", errGossipGarbage, i)
+		}
+		var e gossipEntry
+		e.ID = binary.BigEndian.Uint32(rest)
+		if rest[4] > 1 {
+			return nil, fmt.Errorf("%w: flags %d", errGossipGarbage, rest[4])
+		}
+		e.Broker = rest[4] == 1
+		e.Degree = int(binary.BigEndian.Uint16(rest[5:]))
+		e.Age = time.Duration(binary.BigEndian.Uint32(rest[7:])) * time.Millisecond
+		addrLen := int(rest[11])
+		rest = rest[12:]
+		if len(rest) < addrLen {
+			return nil, fmt.Errorf("%w: truncated addr in entry %d", errGossipGarbage, i)
+		}
+		e.Addr = string(rest[:addrLen])
+		rest = rest[addrLen:]
+		entries = append(entries, e)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errGossipGarbage, len(rest))
+	}
+	return entries, nil
+}

@@ -1,0 +1,50 @@
+// Package testutil holds helpers shared by the repo's test suites. It is
+// imported only from _test.go files; nothing here ships in a build.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Goroutine-leak detection defaults. The slack absorbs runtime-internal
+// goroutines (finalizers, netpoller threads, timer goroutines) that come
+// and go outside the test's control; the deadline gives Close paths time
+// to wind their sessions down.
+const (
+	leakSlack    = 8
+	leakDeadline = 5 * time.Second
+)
+
+// CheckGoroutineLeaks records the current goroutine count and registers a
+// cleanup that fails the test if the count has not returned to within a
+// small slack of that baseline before a deadline. On failure it prints a
+// full goroutine dump so the leaked stacks are in the log.
+//
+// Call it FIRST in the test, before constructing nodes or meshes: cleanups
+// run last-registered-first, so the leak check must be registered before
+// the t.Cleanup(Close) calls whose goroutines it polices. Not meaningful
+// in tests marked t.Parallel(), where sibling tests' goroutines pollute
+// the count.
+func CheckGoroutineLeaks(t testing.TB) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakDeadline)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= baseline+leakSlack {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("goroutine leak: %d goroutines after cleanup, baseline %d (+%d slack)\n%s",
+					n, baseline, leakSlack, buf)
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+}
