@@ -1,7 +1,7 @@
 GO ?= go
 SHADOW := $(shell command -v shadow 2>/dev/null)
 
-.PHONY: build test race vet vet-shadow lint lint-one parity chaos chaos-mesh fuzz golden bench-smoke check bench bench-json
+.PHONY: build test race vet vet-shadow lint lint-one parity chaos chaos-mesh fuzz golden bench-smoke determinism scale check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -79,20 +79,39 @@ golden:
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkEngineContact -benchtime 10x ./internal/engine
 
+# determinism is the quick-mode sharded-runner gate: the same seeded scale
+# config must produce byte-identical reports at workers=1 and workers=8,
+# across epoch widths, and streamed vs materialized (DESIGN.md §11).
+determinism:
+	$(GO) test -count=1 -short -run 'TestShardedDeterminism|TestStreamedMatchesMaterialized|TestScaleRunDeterministicAcrossWorkers' \
+		./internal/sim ./internal/experiments
+
+# scale runs the full ROADMAP population sweep (10k / 100k / 1M nodes,
+# takes minutes and a few GB of RAM) and leaves scale.csv + scale.json in
+# artifacts/; bench-json embeds artifacts/scale.json when present.
+scale:
+	$(GO) run ./cmd/experiments -run scale -csv artifacts
+
 # check is the PR gate: vet (plus the shadow pass), the repo-specific
-# analyzers, and the full suite under the race detector, then sim/live
+# analyzers, the quick sharded-determinism gate, and the full suite under
+# the race detector, then sim/live
 # parity, the chaos suite, the mesh churn controller, a fuzz smoke pass
 # over the wire decoders, the engine state machine, and the TCBF
 # differential model, the golden-CSV comparison, and a benchmark smoke
 # run. The livenode session adapter and the mesh daemon are concurrent;
 # never ship them unraced.
-check: vet vet-shadow lint race parity chaos chaos-mesh fuzz golden bench-smoke
+check: vet vet-shadow lint determinism race parity chaos chaos-mesh fuzz golden bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# bench-json captures the hot-path benchmarks as a JSON document for
-# checking in (BENCH_PR6.json records the packed-counter contact path).
+# bench-json captures the hot-path benchmarks plus end-to-end simulator
+# throughput (contacts/s at 10k and 100k nodes) as a JSON document for
+# checking in (BENCH_PR8.json; BENCH_PR6.json recorded the packed-counter
+# contact path). When `make scale` has left artifacts/scale.json behind,
+# the full 10k/100k/1M sweep is embedded as the document's "scale" field.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineContact|InsertPre|ContainsPre|MMergeInPlace|EncodeTo|DecodeInto|EncodeFull|DecodeFull' \
-		-benchmem -count=1 ./internal/engine ./internal/tcbf | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineContact|InsertPre|ContainsPre|MMergeInPlace|EncodeTo|DecodeInto|EncodeFull|DecodeFull' \
+		-benchmem -count=1 ./internal/engine ./internal/tcbf ; \
+	  $(GO) test -run '^$$' -bench BenchmarkScaleSim -benchtime 1x -count=1 ./internal/experiments ; } \
+		| $(GO) run ./cmd/benchjson $(if $(wildcard artifacts/scale.json),-scale artifacts/scale.json) > BENCH_PR8.json

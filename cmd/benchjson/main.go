@@ -8,35 +8,55 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line. Metrics holds any custom units reported
+// via b.ReportMetric (e.g. the sim throughput benchmarks' contacts/s).
 type Result struct {
-	Pkg         string  `json:"pkg"`
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Pkg         string             `json:"pkg"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the checked-in document.
+// Report is the checked-in document. Scale carries the population-sweep
+// points from `make scale` (a JSON array of experiments.ScalePoint) when
+// -scale names their file.
 type Report struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
+	Goos       string          `json:"goos,omitempty"`
+	Goarch     string          `json:"goarch,omitempty"`
+	CPU        string          `json:"cpu,omitempty"`
+	Benchmarks []Result        `json:"benchmarks"`
+	Scale      json.RawMessage `json:"scale,omitempty"`
 }
 
 func main() {
+	scalePath := flag.String("scale", "", "embed this scale-sweep JSON file (from make scale) as the document's \"scale\" field")
+	flag.Parse()
 	report, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *scalePath != "" {
+		raw, err := os.ReadFile(*scalePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *scalePath)
+			os.Exit(1)
+		}
+		report.Scale = json.RawMessage(raw)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -108,6 +128,15 @@ func parseBench(line string) (*Result, error) {
 			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
 				return nil, fmt.Errorf("allocs/op: %w", err)
 			}
+		default:
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", unit, err)
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
 		}
 	}
 	return r, nil

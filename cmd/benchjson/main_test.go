@@ -42,6 +42,22 @@ PASS
 	}
 }
 
+func TestParseBenchCustomMetrics(t *testing.T) {
+	r, err := parseBench("BenchmarkScaleSim/10k-8   	       1	1021312625 ns/op	    131072 contacts/s	       142.5 RSSbytes/node	 8011216 B/op	   90176 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "BenchmarkScaleSim/10k" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Metrics["contacts/s"] != 131072 || r.Metrics["RSSbytes/node"] != 142.5 {
+		t.Errorf("custom metrics = %v", r.Metrics)
+	}
+	if r.BytesPerOp != 8011216 || r.AllocsPerOp != 90176 {
+		t.Errorf("standard units mislaid: %+v", r)
+	}
+}
+
 func TestParseBenchMalformed(t *testing.T) {
 	if _, err := parseBench("BenchmarkX only three"); err == nil {
 		t.Error("iteration garbage accepted")

@@ -5,11 +5,16 @@
 //
 //	bsub-sim -protocol bsub -ttl 2h -df 0.138 trace.txt
 //	bsub-sim -protocol push -preset haggle -ttl 10h
+//	bsub-sim -nodes 100000 -workers 8 -epoch 10m -ttl 6h
 //
 // The trace comes either from a file argument (the repository's text
-// format, see cmd/tracegen) or from a -preset. The workload follows the
-// paper: one weighted Twitter-Trend interest per node, message rates
-// proportional to centrality, sizes up to 140 bytes.
+// format, see cmd/tracegen), from a -preset, or — for population-scale
+// runs — from -nodes, which streams a synthetic community trace and
+// workload without ever materializing them (DESIGN.md §11). The workload
+// follows the paper: one weighted Twitter-Trend interest per node,
+// message rates proportional to centrality, sizes up to 140 bytes.
+// -workers shards contact execution across goroutines and -epoch sets the
+// barrier width; results are byte-identical for any setting of either.
 package main
 
 import (
@@ -42,8 +47,26 @@ func run() error {
 		df        = flag.Float64("df", -1, "B-SUB decaying factor per minute (-1 = derive from TTL via Eq. 5)")
 		bandwidth = flag.Int("bandwidth", sim.DefaultBandwidthBps, "effective link rate in bits/s")
 		seed      = flag.Int64("seed", 1, "random seed for workload and protocol")
+		nodes     = flag.Int("nodes", 0, "stream a synthetic scale trace with this many nodes (alternative to a trace file or -preset)")
+		workers   = flag.Int("workers", 0, "execution goroutines; 0 = 1; output is identical for any value")
+		epoch     = flag.Duration("epoch", 0, "sharding epoch width; 0 = default; output is identical for any value")
 	)
 	flag.Parse()
+
+	switch {
+	case *nodes < 0 || *nodes == 1:
+		return fmt.Errorf("-nodes must be at least 2, got %d", *nodes)
+	case *nodes > 0 && (*preset != "" || flag.Arg(0) != ""):
+		return errors.New("-nodes streams its own trace; drop the -preset/file argument")
+	case *workers < 0 || *workers > sim.MaxWorkers:
+		return fmt.Errorf("-workers must be in [0,%d], got %d", sim.MaxWorkers, *workers)
+	case *epoch < 0:
+		return fmt.Errorf("-epoch must be non-negative, got %v", *epoch)
+	}
+
+	if *nodes > 0 {
+		return runScale(*nodes, *workers, *epoch, *protoName, *ttl, *df, *bandwidth, *seed)
+	}
 
 	tr, err := loadTrace(*preset, flag.Arg(0), *seed)
 	if err != nil {
@@ -80,6 +103,8 @@ func run() error {
 		TTL:          *ttl,
 		BandwidthBps: *bandwidth,
 		Seed:         *seed,
+		Workers:      *workers,
+		Epoch:        *epoch,
 	}, proto)
 	if err != nil {
 		return err
@@ -91,6 +116,54 @@ func run() error {
 	fmt.Printf("workload:  %d messages, TTL %v\n", len(fixture.Messages), *ttl)
 	fmt.Printf("result:    %s\n", report)
 	fmt.Printf("traffic:   control %d B, data %d B\n", report.ControlBytes, report.DataBytes)
+	return nil
+}
+
+// runScale simulates a protocol over a streamed -nodes population: the
+// contact and message streams are generated on the fly, so memory stays
+// proportional to the population, not the event count.
+func runScale(nodes, workers int, epoch time.Duration, protoName string, ttl time.Duration, df float64, bandwidth int, seed int64) error {
+	ts, interests, msgs, err := experiments.ScaleStreams(nodes, seed)
+	if err != nil {
+		return err
+	}
+	var proto sim.Protocol
+	switch protoName {
+	case "push":
+		proto = protocol.NewPush()
+	case "pull":
+		proto = protocol.NewPull()
+	case "bsub":
+		if df < 0 {
+			df = 0.1 // Eq. 5 derivation needs a materialized trace; use the tuned default
+			fmt.Fprintf(os.Stderr, "streamed trace: using default DF = %.4f/min (pass -df to override)\n", df)
+		}
+		proto = core.New(core.DefaultConfig(df))
+	default:
+		return fmt.Errorf("unknown protocol %q", protoName)
+	}
+	started := time.Now()
+	report, err := sim.Run(sim.Config{
+		Source:       ts,
+		MsgSource:    msgs,
+		Interests:    interests,
+		TTL:          ttl,
+		BandwidthBps: bandwidth,
+		Seed:         seed,
+		Workers:      workers,
+		Epoch:        epoch,
+	}, proto)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(started)
+	fmt.Printf("trace:     scale-%d (streamed, %d nodes, %d linked pairs, %d contacts)\n",
+		nodes, nodes, ts.Links(), report.Contacts)
+	fmt.Printf("workload:  %d messages (streamed), TTL %v\n", report.Created, ttl)
+	fmt.Printf("result:    %s\n", report)
+	fmt.Printf("traffic:   control %d B, data %d B\n", report.ControlBytes, report.DataBytes)
+	fmt.Printf("engine:    %d workers, %v wall, %.0f contacts/s\n",
+		max(workers, 1), wall.Round(time.Millisecond), float64(report.Contacts)/wall.Seconds())
 	return nil
 }
 

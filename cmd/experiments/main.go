@@ -32,7 +32,7 @@ func main() {
 
 func run() error {
 	var (
-		only   = flag.String("run", "", "run a single artifact: table1 | table2 | fig7 | fig8 | fig9 | memory | analysis | allocation | ablation")
+		only   = flag.String("run", "", "run a single artifact: table1 | table2 | fig7 | fig8 | fig9 | memory | analysis | allocation | ablation | scale")
 		seed   = flag.Int64("seed", 1, "random seed")
 		quick  = flag.Bool("quick", false, "use the small fixture and reduced sweeps")
 		csvDir = flag.String("csv", "", "also write the figure series as CSV files into this directory")
@@ -40,6 +40,11 @@ func run() error {
 	flag.Parse()
 
 	artifacts := []string{"table1", "table2", "fig7", "fig8", "fig9", "memory", "analysis", "allocation", "ablation"}
+	if *only == "scale" {
+		// The million-node sweep is not part of the run-everything default;
+		// it is requested explicitly.
+		artifacts = append(artifacts, "scale")
+	}
 	if *only != "" {
 		found := false
 		for _, a := range artifacts {
@@ -229,6 +234,28 @@ func runArtifact(name string, seed int64, quick bool, csvDir string) error {
 			fmt.Println()
 		}
 		return nil
+
+	case "scale":
+		sizes := experiments.DefaultScaleSizes
+		if quick {
+			sizes = experiments.QuickScaleSizes
+		}
+		points, err := experiments.ScaleSweep(sizes, 0, seed)
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "scale.csv", func(w io.Writer) error {
+			return experiments.WriteScaleCSV(w, points)
+		}); err != nil {
+			return err
+		}
+		if err := writeCSV(csvDir, "scale.json", func(w io.Writer) error {
+			return experiments.WriteScaleJSON(w, points)
+		}); err != nil {
+			return err
+		}
+		return experiments.WriteScale(os.Stdout,
+			"Scale sweep: B-SUB over streamed traces (ROADMAP item 1)", points)
 	}
 	return fmt.Errorf("unknown artifact %q", name)
 }

@@ -20,6 +20,9 @@ type fakeEnv struct {
 var _ sim.Env = (*fakeEnv)(nil)
 
 func (e *fakeEnv) Now() time.Duration                 { return e.now }
+func (e *fakeEnv) Worker() int                        { return 0 }
+func (e *fakeEnv) Workers() int                       { return 1 }
+func (e *fakeEnv) RNG() *rand.Rand                    { return rand.New(rand.NewSource(1)) }
 func (e *fakeEnv) Nodes() int                         { return e.nodes }
 func (e *fakeEnv) Interest(trace.NodeID) workload.Key { return "k" }
 func (e *fakeEnv) InterestSet(n trace.NodeID) []workload.Key {
@@ -52,7 +55,7 @@ func TestAdapterTracksBrokerCensus(t *testing.T) {
 		t.Fatalf("fresh run has %d brokers", p.BrokerCount())
 	}
 	budget := sim.NewBudget(1 << 20)
-	p.OnContact(0, 1, budget)
+	p.OnContact(&fakeEnv{nodes: 3, ttl: time.Hour}, 0, 1, budget)
 	// Broker scarcity makes both users elect the other; the engine's
 	// tie-break promotes only the higher-ID side.
 	if p.BrokerCount() != 1 {

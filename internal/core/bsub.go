@@ -20,6 +20,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"bsub/internal/engine"
@@ -73,11 +74,20 @@ type node struct {
 // engine.
 type BSub struct {
 	cfg   Config
-	env   sim.Env
 	nodes []*node
 
-	// brokerFractionSum accumulates the broker fraction observed at each
-	// contact, for MeanBrokerFraction.
+	// caches holds one engine.SessionCache per simulator worker, so a
+	// handful of warm scratch arenas serve the whole population instead
+	// of one arena lingering per node.
+	caches []*engine.SessionCache
+
+	// The broker census below is cross-node diagnostic state, so it is the
+	// one piece of BSub that contacts in disjoint components still share;
+	// censusMu keeps it race-free under the sharded simulator. Under
+	// workers > 1 the per-contact fraction samples depend on cross-
+	// component interleaving, so MeanBrokerFraction is reproducible only
+	// at Workers <= 1 — it feeds diagnostics, never the metrics Report.
+	censusMu          sync.Mutex
 	brokerFractionSum float64
 	brokerSamples     int
 	brokerCount       int
@@ -92,16 +102,19 @@ func New(cfg Config) *BSub { return &BSub{cfg: cfg} }
 func (p *BSub) Name() string { return "B-SUB" }
 
 // Init implements sim.Protocol.
-func (p *BSub) Init(env sim.Env, _ *rand.Rand) error {
-	p.env = env
-	p.nodes = make([]*node, env.Nodes())
+func (p *BSub) Init(pop sim.Population, _ *rand.Rand) error {
+	p.nodes = make([]*node, pop.Nodes())
 	for i := range p.nodes {
-		eng, err := engine.NewNode(i, p.cfg, env.TTL())
+		eng, err := engine.NewNode(i, p.cfg, pop.TTL())
 		if err != nil {
 			return err
 		}
-		eng.Subscribe(env.InterestSet(trace.NodeID(i))...)
+		eng.Subscribe(pop.InterestSet(trace.NodeID(i))...)
 		p.nodes[i] = &node{id: trace.NodeID(i), eng: eng}
+	}
+	p.caches = make([]*engine.SessionCache, pop.Workers())
+	for i := range p.caches {
+		p.caches[i] = engine.NewSessionCache()
 	}
 	return nil
 }
@@ -109,7 +122,7 @@ func (p *BSub) Init(env sim.Env, _ *rand.Rand) error {
 // OnMessage stores the fresh message at its producer with the full copy
 // budget. Simulated messages carry no payload bytes; budgets charge the
 // workload's Size field.
-func (p *BSub) OnMessage(msg workload.Message) {
+func (p *BSub) OnMessage(_ sim.Env, msg workload.Message) {
 	p.nodes[msg.Origin].eng.AddProduced(msg, nil)
 }
 
@@ -117,8 +130,8 @@ func (p *BSub) OnMessage(msg workload.Message) {
 // propagation or relay exchange, then per-side delivery and replication
 // pulls — the same step sequence the live node frames over TCP, with a
 // the session initiator.
-func (p *BSub) OnContact(aID, bID trace.NodeID, budget *sim.Budget) {
-	now := p.env.Now()
+func (p *BSub) OnContact(env sim.Env, aID, bID trace.NodeID, budget *sim.Budget) {
+	now := env.Now()
 	a, b := p.nodes[aID], p.nodes[bID]
 
 	// 1. Identity handshake. A contact too short even for this carries
@@ -126,40 +139,38 @@ func (p *BSub) OnContact(aID, bID trace.NodeID, budget *sim.Budget) {
 	if !budget.Spend(engine.HandshakeBytes) {
 		return
 	}
-	p.env.RecordControl(engine.HandshakeBytes)
+	env.RecordControl(engine.HandshakeBytes)
 
 	// 2. Broker allocation: both sides elect on the hello snapshots, then
 	// apply the exchanged verdicts — the same simultaneous round trip the
-	// live node performs.
-	sa := a.eng.BeginContact(budget, now)
-	sb := b.eng.BeginContact(budget, now)
+	// live node performs. Sessions draw their scratch arenas from the
+	// executing worker's cache.
+	cache := p.caches[env.Worker()]
+	sa := a.eng.BeginContactFrom(cache, budget, now)
+	sb := b.eng.BeginContactFrom(cache, budget, now)
 	sa.SetPeer(sb.Hello())
 	sb.SetPeer(sa.Hello())
 	actA, actB := sa.Elect(), sb.Elect()
 	sa.Apply(actA, actB)
 	sb.Apply(actB, actA)
-	p.syncRole(a, now)
-	p.syncRole(b, now)
-
-	p.brokerFractionSum += float64(p.brokerCount) / float64(len(p.nodes))
-	p.brokerSamples++
+	p.syncRoles(a, b, now)
 
 	// 3. Interest propagation: brokers exchange relay filters and forward
 	// preferentially; mixed contacts push the consumer's genuine filter.
 	if sa.RelayExchange() {
-		p.exchangeRelays(a, sa, b, sb, now)
+		p.exchangeRelays(env, a, sa, b, sb, now)
 	} else {
-		p.propagateGenuine(a, sa, b, sb, now)
-		p.propagateGenuine(b, sb, a, sa, now)
+		p.propagateGenuine(env, a, sa, b, sb, now)
+		p.propagateGenuine(env, b, sb, a, sa, now)
 	}
 
 	// 4. Pulls, initiator first: each side asks for deliveries matching
 	// its interest BF, then (brokers only) for replicas matching its
 	// relay advert.
-	p.deliveryPull(a, sa, b, sb, now)
-	p.replicationPull(a, sa, b, sb, now)
-	p.deliveryPull(b, sb, a, sa, now)
-	p.replicationPull(b, sb, a, sa, now)
+	p.deliveryPull(env, a, sa, b, sb, now)
+	p.replicationPull(env, a, sa, b, sb, now)
+	p.deliveryPull(env, b, sb, a, sa, now)
+	p.replicationPull(env, b, sb, a, sa, now)
 
 	// 5. Contact over: recycle both sessions' scratch arenas. Every claim
 	// above was committed inline, so Release refunds nothing.
@@ -167,8 +178,19 @@ func (p *BSub) OnContact(aID, bID trace.NodeID, budget *sim.Budget) {
 	sb.Release()
 }
 
-// syncRole reconciles the adapter's oracle and broker census with the
-// engine's post-election role; oracle non-nilness marks "was broker".
+// syncRoles reconciles both contact sides' oracles and the broker census
+// with the engines' post-election roles; oracle non-nilness marks "was
+// broker". One mutex hold covers the role flips and the census sample.
+func (p *BSub) syncRoles(a, b *node, now time.Duration) {
+	p.censusMu.Lock()
+	defer p.censusMu.Unlock()
+	p.syncRole(a, now)
+	p.syncRole(b, now)
+	p.brokerFractionSum += float64(p.brokerCount) / float64(len(p.nodes))
+	p.brokerSamples++
+}
+
+// syncRole updates one node under censusMu.
 func (p *BSub) syncRole(n *node, now time.Duration) {
 	switch {
 	case n.eng.IsBroker() && n.oracle == nil:
@@ -220,7 +242,7 @@ func mergeOracle(dst, src map[workload.Key]float64, mode BrokerMergeMode) {
 // propagateGenuine pushes the consumer side's genuine filter to the peer
 // broker, which A-merges it into its relay filter (reinforcement), and
 // mirrors the reinforcement on the broker's oracle.
-func (p *BSub) propagateGenuine(c *node, sc *engine.Session, br *node, sbr *engine.Session, now time.Duration) {
+func (p *BSub) propagateGenuine(env sim.Env, c *node, sc *engine.Session, br *node, sbr *engine.Session, now time.Duration) {
 	if !sc.SendsGenuine() {
 		return
 	}
@@ -228,7 +250,7 @@ func (p *BSub) propagateGenuine(c *node, sc *engine.Session, br *node, sbr *engi
 	if err != nil || data == nil {
 		return
 	}
-	p.env.RecordControl(len(data))
+	env.RecordControl(len(data))
 	if err := sbr.AbsorbGenuine(data); err != nil {
 		return
 	}
@@ -244,19 +266,19 @@ func (p *BSub) propagateGenuine(c *node, sc *engine.Session, br *node, sbr *engi
 // exchangeRelays handles a broker-broker meeting: exchange relay filters,
 // make forwarding decisions against the peer's pre-merge filter, then
 // merge — mirroring the merges on the ground-truth oracles.
-func (p *BSub) exchangeRelays(a *node, sa *engine.Session, b *node, sb *engine.Session, now time.Duration) {
+func (p *BSub) exchangeRelays(env sim.Env, a *node, sa *engine.Session, b *node, sb *engine.Session, now time.Duration) {
 	dataA, errA := sa.RelayOut()
 	dataB, errB := sb.RelayOut()
 	if errA != nil || errB != nil || dataA == nil || dataB == nil {
 		return
 	}
-	p.env.RecordControl(len(dataA) + len(dataB))
+	env.RecordControl(len(dataA) + len(dataB))
 	if sa.SetPeerRelay(dataB) != nil || sb.SetPeerRelay(dataA) != nil {
 		return
 	}
 
-	p.forward(a, sa, b, now)
-	p.forward(b, sb, a, now)
+	p.forward(env, a, sa, b, now)
+	p.forward(env, b, sb, a, now)
 
 	if sa.MergeRelay() != nil || sb.MergeRelay() != nil {
 		return
@@ -278,7 +300,7 @@ func (p *BSub) exchangeRelays(a *node, sa *engine.Session, b *node, sb *engine.S
 // preference first. Forwarded messages leave src's memory ("this is to
 // prevent excessive copies in the network"); a copy dst already holds is
 // collapsed at src without spending budget.
-func (p *BSub) forward(src *node, ss *engine.Session, dst *node, now time.Duration) {
+func (p *BSub) forward(env sim.Env, src *node, ss *engine.Session, dst *node, now time.Duration) {
 	cands, err := ss.ForwardCandidates()
 	if err != nil {
 		return
@@ -298,9 +320,9 @@ func (p *BSub) forward(src *node, ss *engine.Session, dst *node, now time.Durati
 		claim.Commit()
 		m := claim.Msg()
 		acc := dst.eng.AcceptCarried(m, claim.Payload(), now)
-		p.env.RecordForwarding(&m)
+		env.RecordForwarding(&m)
 		if acc.Delivered {
-			p.env.Deliver(&m, dst.id)
+			env.Deliver(&m, dst.id)
 		}
 	}
 }
@@ -309,12 +331,12 @@ func (p *BSub) forward(src *node, ss *engine.Session, dst *node, now time.Durati
 // matching the asker's counter-less interest BF; matching is what
 // introduces delivery-side false positives, and env.Deliver classifies
 // them.
-func (p *BSub) deliveryPull(asker *node, sAsker *engine.Session, server *node, sServer *engine.Session, now time.Duration) {
+func (p *BSub) deliveryPull(env sim.Env, asker *node, sAsker *engine.Session, server *node, sServer *engine.Session, now time.Duration) {
 	data, err := sAsker.InterestOut()
 	if err != nil || data == nil {
 		return
 	}
-	p.env.RecordControl(len(data))
+	env.RecordControl(len(data))
 	matches, err := sServer.DeliveryMatches(data)
 	if err != nil {
 		return
@@ -335,8 +357,8 @@ func (p *BSub) deliveryPull(asker *node, sAsker *engine.Session, server *node, s
 		}
 		claim.Commit()
 		m := claim.Msg()
-		p.env.RecordForwarding(&m)
-		p.env.Deliver(&m, asker.id)
+		env.RecordForwarding(&m)
+		env.Deliver(&m, asker.id)
 		asker.eng.ReceiveDelivery(m, int(server.id), now)
 	}
 }
@@ -346,7 +368,7 @@ func (p *BSub) deliveryPull(asker *node, sAsker *engine.Session, server *node, s
 // advertises its relay filter as a counter-less BF; false positives here
 // are what inject useless traffic, and the oracle classifies each
 // replication as genuine or injected.
-func (p *BSub) replicationPull(asker *node, sAsker *engine.Session, server *node, sServer *engine.Session, now time.Duration) {
+func (p *BSub) replicationPull(env sim.Env, asker *node, sAsker *engine.Session, server *node, sServer *engine.Session, now time.Duration) {
 	if !sAsker.SelfBroker() {
 		return
 	}
@@ -354,7 +376,7 @@ func (p *BSub) replicationPull(asker *node, sAsker *engine.Session, server *node
 	if err != nil || data == nil {
 		return
 	}
-	p.env.RecordControl(len(data))
+	env.RecordControl(len(data))
 	matches, err := sServer.ReplicationMatches(data)
 	if err != nil {
 		return
@@ -370,7 +392,7 @@ func (p *BSub) replicationPull(asker *node, sAsker *engine.Session, server *node
 		claim.Commit()
 		m := claim.Msg()
 		acc := asker.eng.AcceptCarried(m, claim.Payload(), now)
-		p.env.RecordForwarding(&m)
+		env.RecordForwarding(&m)
 		p.advanceOracle(asker, now)
 		genuineMatch := false
 		if asker.oracle != nil {
@@ -381,9 +403,9 @@ func (p *BSub) replicationPull(asker *node, sAsker *engine.Session, server *node
 				}
 			}
 		}
-		p.env.RecordReplication(!genuineMatch)
+		env.RecordReplication(!genuineMatch)
 		if acc.Delivered {
-			p.env.Deliver(&m, asker.id)
+			env.Deliver(&m, asker.id)
 		}
 	}
 }

@@ -701,7 +701,7 @@ func TestOracleMirrorsRelayDecay(t *testing.T) {
 
 	// A full contact at t=0 pushes consumer 0's genuine filter ("k") into
 	// broker 1's relay filter and oracle.
-	p.OnContact(0, 1, sim.NewBudget(1<<20))
+	p.OnContact(&fakeEnv{nodes: 2, ttl: time.Hour}, 0, 1, sim.NewBudget(1<<20))
 
 	if n.oracle["k"] <= 0 {
 		t.Fatalf("oracle missing planted interest: %v", n.oracle)

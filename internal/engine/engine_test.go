@@ -401,7 +401,7 @@ func TestClaimReplicationExhaustsBudgetOnly(t *testing.T) {
 		c2.Abort()
 	}
 	// Past the TTL the store finally lets go.
-	if n.Purge(2*time.Hour); n.ProducedCount() != 0 {
+	if n.Purge(2 * time.Hour); n.ProducedCount() != 0 {
 		t.Error("expired message still stored")
 	}
 }

@@ -72,11 +72,14 @@ type Node struct {
 	relay *tcbf.Partitioned
 
 	// produced holds the node's own messages with their remaining
-	// replication budget; carried holds broker-relayed copies.
+	// replication budget; carried holds broker-relayed copies. Both are
+	// nil until first use (store reads are nil-safe): at million-node
+	// scale most nodes never hold a message.
 	produced *store
 	carried  *store
 
-	// delivered dedups application deliveries by message ID.
+	// delivered dedups application deliveries by message ID. Lazy, like
+	// the two maps below: nil reads as empty, first write allocates.
 	delivered map[int]struct{}
 
 	// meetings maps peers to their last meeting time; a node's degree is
@@ -98,7 +101,9 @@ type Node struct {
 	clockHigh time.Duration
 }
 
-// NewNode validates cfg and returns a fresh user node.
+// NewNode validates cfg and returns a fresh user node. The node's stores
+// and bookkeeping maps allocate lazily on first use, so an idle node costs
+// one struct — the property the million-node simulator depends on.
 func NewNode(id NodeID, cfg Config, ttl time.Duration) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -107,15 +112,10 @@ func NewNode(id NodeID, cfg Config, ttl time.Duration) (*Node, error) {
 		return nil, fmt.Errorf("engine: TTL must be positive, got %v", ttl)
 	}
 	return &Node{
-		cfg:       cfg,
-		fcfg:      cfg.FilterConfig(),
-		ttl:       ttl,
-		id:        id,
-		produced:  newStore(),
-		carried:   newStore(),
-		delivered: make(map[int]struct{}),
-		meetings:  make(map[NodeID]time.Duration),
-		sightings: make(map[NodeID]sighting),
+		cfg:  cfg,
+		fcfg: cfg.FilterConfig(),
+		ttl:  ttl,
+		id:   id,
 	}, nil
 }
 
@@ -128,7 +128,10 @@ func (n *Node) Config() Config { return n.cfg }
 // TTL returns the message lifetime.
 func (n *Node) TTL() time.Duration { return n.ttl }
 
-// Subscribe adds interest keys, deduplicating.
+// Subscribe adds interest keys, deduplicating. A node's first (and, in
+// the paper's workload, only) subscription shares the interned digest
+// slice for its key; the shared slice has cap 1, so a second Subscribe
+// relocates rather than mutating it.
 func (n *Node) Subscribe(keys ...workload.Key) {
 	for _, k := range keys {
 		dup := false
@@ -138,10 +141,16 @@ func (n *Node) Subscribe(keys ...workload.Key) {
 				break
 			}
 		}
-		if !dup {
-			n.interests = append(n.interests, k)
-			n.preInterests = append(n.preInterests, tcbf.Precompute(k))
+		if dup {
+			continue
 		}
+		if n.interests == nil {
+			n.interests = internKeySlice(k)
+			n.preInterests = internPre(k)
+			continue
+		}
+		n.interests = append(n.interests, k)
+		n.preInterests = append(n.preInterests, tcbf.Precompute(k))
 	}
 }
 
@@ -165,6 +174,9 @@ func (n *Node) Wants(m *workload.Message) bool {
 // AddProduced stores one of the node's own messages with the full copy
 // budget; it expires TTL after creation.
 func (n *Node) AddProduced(msg workload.Message, payload []byte) {
+	if n.produced == nil {
+		n.produced = newStore()
+	}
 	n.produced.add(&stored{
 		msg:       msg,
 		payload:   payload,
@@ -185,6 +197,9 @@ func (n *Node) AcceptCarried(msg workload.Message, payload []byte, now time.Dura
 	acc.Delivered = n.markDelivered(&msg)
 	if n.carried.has(msg.ID) {
 		return acc
+	}
+	if n.carried == nil {
+		n.carried = newStore()
 	}
 	n.carried.add(&stored{
 		msg:       msg,
@@ -218,6 +233,9 @@ func (n *Node) markDelivered(msg *workload.Message) bool {
 	}
 	if _, dup := n.delivered[msg.ID]; dup {
 		return false
+	}
+	if n.delivered == nil {
+		n.delivered = make(map[int]struct{})
 	}
 	n.delivered[msg.ID] = struct{}{}
 	return true
@@ -268,16 +286,32 @@ func (n *Node) Demote() {
 //
 //bsub:hotpath
 func (n *Node) RecordMeeting(peer NodeID, at time.Duration) {
+	if n.meetings == nil {
+		n.growMeetings()
+	}
 	n.meetings[peer] = at
 }
+
+// growMeetings allocates the meeting history on a node's first contact.
+//
+//bsub:coldpath
+func (n *Node) growMeetings() { n.meetings = make(map[NodeID]time.Duration) }
 
 // RecordBrokerSighting seeds the election history with a broker sighting
 // (tests and adapters; Session records sightings automatically).
 //
 //bsub:hotpath
 func (n *Node) RecordBrokerSighting(peer NodeID, degree int, at time.Duration) {
+	if n.sightings == nil {
+		n.growSightings()
+	}
 	n.sightings[peer] = sighting{at: at, degree: degree}
 }
+
+// growSightings allocates the sighting history on first use.
+//
+//bsub:coldpath
+func (n *Node) growSightings() { n.sightings = make(map[NodeID]sighting) }
 
 // Degree counts (and prunes) the distinct peers met within the election
 // window ending at now.
@@ -438,6 +472,9 @@ func (n *Node) Purge(now time.Duration) {
 // suspected simply dedups the repeat delivery (exactly-once per
 // incarnation is the receiver's job).
 func (n *Node) ClearSentTo(peer NodeID) {
+	if n.produced == nil {
+		return
+	}
 	for _, e := range n.produced.entries {
 		delete(e.sent, peer)
 	}

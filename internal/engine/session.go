@@ -69,6 +69,9 @@ type Session struct {
 	n      *Node
 	budget Budget
 	now    time.Duration
+	// cache, when non-nil, is where Release returns this session instead
+	// of the node's own freelist (see SessionCache).
+	cache *SessionCache
 
 	// helloBroker pins the role announced at contact start; concurrent
 	// sessions on a live node may change n.broker underneath us, and the
@@ -119,9 +122,6 @@ type Session struct {
 //
 //bsub:hotpath
 func (n *Node) BeginContact(budget Budget, now time.Duration) *Session {
-	if budget == nil {
-		budget = Unlimited{}
-	}
 	var s *Session
 	if k := len(n.freeSessions); k > 0 {
 		s = n.freeSessions[k-1]
@@ -130,6 +130,77 @@ func (n *Node) BeginContact(budget Budget, now time.Duration) *Session {
 	} else {
 		s = &Session{n: n}
 	}
+	s.cache = nil
+	return s.begin(budget, now)
+}
+
+// SessionCache pools released sessions' scratch arenas across nodes.
+// Per-node freelists (BeginContact) keep one warm arena per node — at
+// million-node populations that is gigabytes of idle scratch filters. An
+// adapter that serializes its contacts (or runs one cache per worker, as
+// the sharded simulator does) needs only as many arenas as it has
+// concurrent contacts, whatever the population size. A cache must not be
+// used from concurrent goroutines, and every node it serves must run the
+// same filter geometry (Config.FilterM/FilterK/Partitions); a session
+// rebound to a node with different geometry drops its arena and rebuilds
+// lazily.
+type SessionCache struct {
+	free []*Session
+}
+
+// NewSessionCache returns an empty cache.
+func NewSessionCache() *SessionCache { return &SessionCache{} }
+
+// BeginContactFrom opens a contact session like BeginContact, drawing the
+// scratch arena from c instead of the node's own freelist; Release will
+// return it to c. A nil cache falls back to BeginContact. Rebinding a
+// cached arena to a different node is safe: every scratch filter is
+// Reset/DecodeInto'd (which re-pins its clock) before use, so the arena
+// carries no state — and in particular no time obligation — between nodes.
+//
+//bsub:hotpath
+func (n *Node) BeginContactFrom(c *SessionCache, budget Budget, now time.Duration) *Session {
+	if c == nil {
+		return n.BeginContact(budget, now)
+	}
+	var s *Session
+	if k := len(c.free); k > 0 {
+		s = c.free[k-1]
+		c.free[k-1] = nil
+		c.free = c.free[:k-1]
+		if s.n != n {
+			if s.n.fcfg != n.fcfg || s.n.cfg.partitions() != n.cfg.partitions() {
+				s.dropArena()
+			}
+			s.n = n
+		}
+	} else {
+		s = &Session{n: n}
+	}
+	s.cache = c
+	return s.begin(budget, now)
+}
+
+// dropArena discards geometry-dependent scratch state so the next use
+// rebuilds it for the session's current node.
+//
+//bsub:coldpath
+func (s *Session) dropArena() {
+	s.peerRelayBuf = nil
+	s.genuineBuf = nil
+	s.advertBuf = nil
+	s.interestBuf = nil
+	s.deliveryBuf = nil
+}
+
+// begin (re)initializes a session for one contact.
+//
+//bsub:hotpath
+func (s *Session) begin(budget Budget, now time.Duration) *Session {
+	if budget == nil {
+		budget = Unlimited{}
+	}
+	n := s.n
 	s.budget = budget
 	s.now = now
 	s.ratchet()
@@ -175,6 +246,10 @@ func (s *Session) Release() {
 		claimLeakHook(leaked)
 	}
 	s.released = true
+	if s.cache != nil {
+		s.cache.free = append(s.cache.free, s)
+		return
+	}
 	s.n.freeSessions = append(s.n.freeSessions, s)
 }
 

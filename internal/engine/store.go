@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"bsub/internal/tcbf"
@@ -21,9 +22,49 @@ type stored struct {
 	sent      map[NodeID]struct{}
 }
 
+// preKeyCache interns the one-element PreKey slice of each single-key
+// message and subscription. The key universe is small (a workload KeySet)
+// while copies are legion — at million-node scale, interning collapses
+// what would be one 56-byte slice per stored copy and per node into one
+// per distinct key. The cached slices are immutable by contract: they are
+// handed out at len == cap == 1, so any append relocates instead of
+// scribbling on the shared array. sync.Map because live-node adapters
+// drive engines from concurrent goroutines; the value is a pure function
+// of the key, so racing fills agree.
+var preKeyCache sync.Map // workload.Key -> []tcbf.PreKey
+
+// internPre returns the shared digest slice for a single key.
+func internPre(k workload.Key) []tcbf.PreKey {
+	if v, ok := preKeyCache.Load(k); ok {
+		return v.([]tcbf.PreKey)
+	}
+	pre := make([]tcbf.PreKey, 1)
+	pre[0] = tcbf.Precompute(k)
+	v, _ := preKeyCache.LoadOrStore(k, pre)
+	return v.([]tcbf.PreKey)
+}
+
+// keySliceCache interns one-element interest slices the same way, for
+// Node.Subscribe's single-subscription fast path.
+var keySliceCache sync.Map // workload.Key -> []workload.Key
+
+// internKeySlice returns the shared one-element slice holding k, at
+// len == cap == 1 (append relocates, never mutates).
+func internKeySlice(k workload.Key) []workload.Key {
+	if v, ok := keySliceCache.Load(k); ok {
+		return v.([]workload.Key)
+	}
+	v, _ := keySliceCache.LoadOrStore(k, []workload.Key{k})
+	return v.([]workload.Key)
+}
+
 // precomputeKeys hashes all of a message's match keys once at store time,
 // so per-contact filter queries reuse the digests instead of rehashing.
+// Single-key messages (the paper's workload) share interned digests.
 func precomputeKeys(m *workload.Message) []tcbf.PreKey {
+	if len(m.Extra) == 0 {
+		return internPre(m.Key)
+	}
 	out := make([]tcbf.PreKey, 1, 1+len(m.Extra))
 	out[0] = tcbf.Precompute(m.Key)
 	for _, k := range m.Extra {
@@ -52,6 +93,10 @@ func (e *stored) markSent(peer NodeID) {
 // or twice per contact on hot paths, so new IDs accumulate in a small
 // pending list merged into the sorted index on the next read instead of
 // re-sorting the whole buffer every contact.
+//
+// Read methods are nil-receiver-safe (a nil store reads as empty), which
+// is what lets Node allocate its stores lazily: most nodes in a
+// million-node population never hold a message, and pay nothing.
 type store struct {
 	entries map[int]*stored
 	sorted  []int
@@ -74,18 +119,36 @@ func (s *store) add(e *stored) {
 
 //bsub:hotpath
 func (s *store) has(id int) bool {
+	if s == nil {
+		return false
+	}
 	_, ok := s.entries[id]
 	return ok
 }
 
 //bsub:hotpath
-func (s *store) get(id int) *stored { return s.entries[id] }
+func (s *store) get(id int) *stored {
+	if s == nil {
+		return nil
+	}
+	return s.entries[id]
+}
 
 //bsub:hotpath
-func (s *store) remove(id int) { delete(s.entries, id) }
+func (s *store) remove(id int) {
+	if s == nil {
+		return
+	}
+	delete(s.entries, id)
+}
 
 //bsub:hotpath
-func (s *store) len() int { return len(s.entries) }
+func (s *store) len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.entries)
+}
 
 // live returns the unexpired copies sorted by ID, purging expired entries
 // (and sweeping stale index slots) as a side effect. The returned slice is
@@ -94,6 +157,9 @@ func (s *store) len() int { return len(s.entries) }
 //
 //bsub:hotpath
 func (s *store) live(now time.Duration) []*stored {
+	if s == nil {
+		return nil
+	}
 	s.settleIndex()
 	out := s.liveBuf[:0]
 	kept := s.sorted[:0]
@@ -116,6 +182,9 @@ func (s *store) live(now time.Duration) []*stored {
 
 // ids returns all present IDs (possibly expired) in ascending order.
 func (s *store) ids() []int {
+	if s == nil {
+		return nil
+	}
 	out := make([]int, 0, len(s.entries))
 	for id := range s.entries {
 		out = append(out, id)

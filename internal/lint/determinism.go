@@ -8,19 +8,27 @@ import (
 )
 
 // Determinism keeps the replayable core replayable: internal/engine,
-// internal/tcbf, internal/core, and internal/trace* must not read wall
-// clocks (time.Now and friends — time is threaded explicitly as a
-// parameter everywhere), must not draw from the global math/rand state
-// (seeded *rand.Rand generators are fine), and must not iterate a map
-// where the body's effects are order-sensitive: appending to an outer
-// slice that is not subsequently sorted, accumulating floating-point
-// sums, or feeding keys into a filter/wire buffer whose state depends
-// on insertion order.
+// internal/tcbf, internal/core, internal/trace* (the tracegen pair
+// streams included), internal/workload, internal/sim, internal/metrics,
+// and internal/xrand must not read wall clocks (time.Now and friends —
+// time is threaded explicitly as a parameter everywhere), must not draw
+// from the global math/rand state (seeded *rand.Rand generators are
+// fine), and must not iterate a map where the body's effects are
+// order-sensitive: appending to an outer slice that is not subsequently
+// sorted, accumulating floating-point sums, or feeding keys into a
+// filter/wire buffer whose state depends on insertion order. The sharded
+// runner's byte-identical-at-any-worker-count guarantee (DESIGN.md §11)
+// rests on exactly these properties: a map-ordered merge or an ambient
+// RNG in a stream would shift results between runs, not just between
+// worker counts.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "deterministic packages must not use wall clocks, global rand, or order-sensitive map iteration",
 	Applies: func(rel string) bool {
-		for _, scoped := range []string{"internal/engine", "internal/tcbf", "internal/core"} {
+		for _, scoped := range []string{
+			"internal/engine", "internal/tcbf", "internal/core",
+			"internal/sim", "internal/workload", "internal/metrics", "internal/xrand",
+		} {
 			if rel == scoped || strings.HasPrefix(rel, scoped+"/") {
 				return true
 			}
@@ -104,6 +112,23 @@ func checkMapRangeBody(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
 		}
 		return obj
 	}
+	// sinkObj resolves an assignment target that outlives the loop: a
+	// plain identifier, or a field selector on an outer value (the shard
+	// merge's total.delays shape). Fields resolve to the field object, so
+	// a later sort of the same field counts as settling the order.
+	sinkObj := func(expr ast.Expr) (types.Object, string) {
+		switch lhs := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return outerObj(lhs), lhs.Name
+		case *ast.SelectorExpr:
+			base, ok := ast.Unparen(lhs.X).(*ast.Ident)
+			if !ok || outerObj(base) == nil {
+				return nil, ""
+			}
+			return info.Uses[lhs.Sel], base.Name + "." + lhs.Sel.Name
+		}
+		return nil, ""
+	}
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
@@ -125,16 +150,12 @@ func checkMapRangeBody(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
 					if i >= len(n.Lhs) {
 						continue
 					}
-					lhs, ok := n.Lhs[i].(*ast.Ident)
-					if !ok {
-						continue
-					}
-					obj := outerObj(lhs)
+					obj, name := sinkObj(n.Lhs[i])
 					if obj == nil {
 						continue
 					}
 					if !sortedAfter(pass, fd, rng, obj) {
-						pass.Reportf(n.Pos(), "append to %s inside a map range leaks iteration order; sort the result or iterate sorted keys", lhs.Name)
+						pass.Reportf(n.Pos(), "append to %s inside a map range leaks iteration order; sort the result or iterate sorted keys", name)
 					}
 				}
 			}
@@ -142,16 +163,12 @@ func checkMapRangeBody(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
 			// float arithmetic.
 			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN {
 				for _, lhs := range n.Lhs {
-					id, ok := lhs.(*ast.Ident)
-					if !ok {
-						continue
-					}
-					obj := outerObj(id)
+					obj, name := sinkObj(lhs)
 					if obj == nil {
 						continue
 					}
 					if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
-						pass.Reportf(n.Pos(), "floating-point accumulation into %s inside a map range is order-sensitive", id.Name)
+						pass.Reportf(n.Pos(), "floating-point accumulation into %s inside a map range is order-sensitive", name)
 					}
 				}
 			}
@@ -194,8 +211,15 @@ func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Obj
 			return true
 		}
 		for _, arg := range call.Args {
-			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
-				sorted = true
+			switch a := ast.Unparen(arg).(type) {
+			case *ast.Ident:
+				if info.Uses[a] == obj {
+					sorted = true
+				}
+			case *ast.SelectorExpr:
+				if info.Uses[a.Sel] == obj {
+					sorted = true
+				}
 			}
 		}
 		return !sorted

@@ -119,6 +119,20 @@ func TestDeterminismFixture(t *testing.T) {
 	checkFixture(t, Determinism, "bsub/internal/core")
 }
 
+func TestDeterminismSimFixture(t *testing.T) {
+	// The sharded-runner patterns: map-ordered shard merges, ambient RNG
+	// in pair streams, wall clocks in the event loop.
+	for _, rel := range []string{
+		"internal/sim", "internal/workload", "internal/metrics",
+		"internal/xrand", "internal/tracegen",
+	} {
+		if !Determinism.Applies(rel) {
+			t.Errorf("determinism must apply to %s", rel)
+		}
+	}
+	checkFixture(t, Determinism, "bsub/internal/sim")
+}
+
 func TestDeterminismScopedOut(t *testing.T) {
 	// bsub/other reads the wall clock and iterates maps: legal outside
 	// the deterministic core.

@@ -92,6 +92,31 @@ func calls() {
 	unmarked() // want `hotpath function calls unmarked, which is not marked //bsub:hotpath or //bsub:coldpath`
 }
 
+// lazyState mirrors the compact-node-state idiom: hot accessors guard a
+// nil map and delegate the one-time allocation to a coldpath grow helper.
+type lazyState struct {
+	seen map[int]int
+}
+
+//bsub:coldpath
+func (l *lazyState) grow() { l.seen = make(map[int]int) }
+
+//bsub:hotpath
+func (l *lazyState) record(k, v int) {
+	if l.seen == nil {
+		l.grow() // coldpath escape hatch: fine
+	}
+	l.seen[k] = v
+}
+
+//bsub:hotpath
+func (l *lazyState) recordInline(k, v int) {
+	if l.seen == nil {
+		l.seen = make(map[int]int) // want `make allocates in a hotpath function`
+	}
+	l.seen[k] = v
+}
+
 //bsub:hotpath
 func suppressed() {
 	//lint:ignore bsub/hotpathalloc one-time init, proven cold by BenchmarkContact

@@ -1,0 +1,90 @@
+// Package sim exercises the determinism analyzer over the sharded-runner
+// patterns it was extended to guard: map-ordered shard merges, ambient
+// RNG in stream generators, and wall clocks in the event loop. The clean
+// variants mirror how internal/sim actually writes these.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// report stands in for a shard-local metrics collector.
+type report struct {
+	delays []int64
+	sum    float64
+}
+
+// mergeLeaky merges shard results in map order: the appended sequence
+// (and any float accumulation) inherits the map's iteration order.
+func mergeLeaky(shards map[int]*report) *report {
+	total := &report{}
+	for _, r := range shards { // shard merge must not be map-ordered
+		total.delays = append(total.delays, r.delays...) // want `append to total\.delays inside a map range leaks iteration order; sort the result or iterate sorted keys`
+	}
+	return total
+}
+
+// mergeFloatLeaky shows the float-sum variant of the same bug.
+func mergeFloatLeaky(shards map[int]*report) float64 {
+	sum := 0.0
+	for _, r := range shards {
+		sum += r.sum // want `floating-point accumulation into sum inside a map range is order-sensitive`
+	}
+	return sum
+}
+
+// mergeFieldFloatLeaky accumulates into an outer struct field — the same
+// bug through a selector.
+func mergeFieldFloatLeaky(shards map[int]*report, total *report) {
+	for _, r := range shards {
+		total.sum += r.sum // want `floating-point accumulation into total\.sum inside a map range is order-sensitive`
+	}
+}
+
+// mergeFieldSorted appends into a field and sorts it afterwards: fine.
+func mergeFieldSorted(shards map[int]*report, total *report) {
+	for _, r := range shards {
+		total.delays = append(total.delays, r.delays...) // sorted below
+	}
+	sort.Slice(total.delays, func(i, j int) bool { return total.delays[i] < total.delays[j] })
+}
+
+// mergeSorted is the deterministic idiom: collect, then sort.
+func mergeSorted(shards map[int]*report) []int64 {
+	var out []int64
+	for _, r := range shards {
+		out = append(out, r.delays...) // sorted below
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// pairStream stands in for a lazily instantiated contact generator.
+type pairStream struct {
+	t   float64
+	rng *rand.Rand
+}
+
+// advanceAmbient draws from the global math/rand state: two runs of the
+// same seeded simulation would see different contact schedules.
+func advanceAmbient(p *pairStream) {
+	p.t += rand.ExpFloat64() // want `global math/rand\.ExpFloat64 is seeded from runtime state; use a seeded \*rand\.Rand`
+}
+
+// advanceSeeded draws from the pair's own derived generator: fine.
+func advanceSeeded(p *pairStream) {
+	p.t += p.rng.ExpFloat64()
+}
+
+// epochStamp reads the wall clock where only the simulation clock may
+// appear.
+func epochStamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock; thread the simulation clock explicitly`
+}
+
+// epochWidth does Duration arithmetic only: fine.
+func epochWidth(now, epoch time.Duration) int64 {
+	return int64(now / epoch)
+}

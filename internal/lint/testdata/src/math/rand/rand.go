@@ -11,4 +11,8 @@ func New(src *Source) *Rand { return &Rand{} }
 
 func (r *Rand) Intn(n int) int { return 0 }
 
+func (r *Rand) ExpFloat64() float64 { return 0 }
+
 func Intn(n int) int { return 0 }
+
+func ExpFloat64() float64 { return 0 }

@@ -2,3 +2,5 @@
 package sort
 
 func Ints(x []int) {}
+
+func Slice(x any, less func(i, j int) bool) {}

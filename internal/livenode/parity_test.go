@@ -1,6 +1,7 @@
 package livenode
 
 import (
+	"math/rand"
 	"net"
 	"reflect"
 	"sort"
@@ -24,6 +25,9 @@ type parityEnv struct {
 }
 
 func (e *parityEnv) Now() time.Duration                        { return e.clock.now() }
+func (e *parityEnv) Worker() int                               { return 0 }
+func (e *parityEnv) Workers() int                              { return 1 }
+func (e *parityEnv) RNG() *rand.Rand                           { return rand.New(rand.NewSource(1)) }
 func (e *parityEnv) Nodes() int                                { return len(e.interests) }
 func (e *parityEnv) Interest(n trace.NodeID) workload.Key      { return e.interests[n][0] }
 func (e *parityEnv) InterestSet(n trace.NodeID) []workload.Key { return e.interests[n] }
@@ -170,7 +174,7 @@ func TestSimLiveParity(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			simSide.OnMessage(workload.Message{
+			simSide.OnMessage(env, workload.Message{
 				ID:        id,
 				Key:       st.key,
 				Origin:    st.publish,
@@ -180,7 +184,7 @@ func TestSimLiveParity(t *testing.T) {
 			continue
 		}
 		a, b := st.contact[0], st.contact[1]
-		simSide.OnContact(trace.NodeID(a), trace.NodeID(b), sim.NewBudget(1<<30))
+		simSide.OnContact(env, trace.NodeID(a), trace.NodeID(b), sim.NewBudget(1<<30))
 		liveContact(t, live[a], live[b])
 		for i := 0; i < n; i++ {
 			simS, liveS := simSnap(i), liveSnap(i)

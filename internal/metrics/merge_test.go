@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestMinDelayWins: delivery delay is order-independent — recording the
+// later delivery first must not change the answer.
+func TestMinDelayWins(t *testing.T) {
+	c := NewCollector("x")
+	c.MessageCreated(true)
+	c.GenuineDelivery(0, 100, 5*time.Minute)
+	c.GenuineDelivery(0, 101, time.Minute) // earlier delivery, recorded later
+	r := c.Report()
+	if r.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", r.Delivered)
+	}
+	if r.MeanDelay() != time.Minute {
+		t.Errorf("mean delay = %v, want the earliest delivery's 1m", r.MeanDelay())
+	}
+}
+
+// TestMergeExact: splitting an event stream across two collectors and
+// merging must reproduce the single-collector report field for field,
+// including overlapping (message, consumer) delivery events.
+func TestMergeExact(t *testing.T) {
+	one := NewCollector("p")
+	a, b := NewCollector("p"), NewCollector("p")
+
+	feed := func(c *Collector, half int) {
+		if half == 0 {
+			c.MessageCreated(true)
+			c.MessageCreated(false)
+			c.GenuineDelivery(0, 1, 2*time.Minute)
+			c.GenuineDelivery(0, 2, time.Minute)
+			c.FalseDelivery(3)
+			c.Forwarding()
+			c.Replication(true)
+			c.ControlBytes(10)
+			c.Contact()
+		} else {
+			c.MessageCreated(true)
+			c.GenuineDelivery(0, 1, 3*time.Minute) // duplicate pair, later delay
+			c.GenuineDelivery(7, 9, time.Hour)
+			c.FalseDelivery(3) // duplicate false message
+			c.Forwarding()
+			c.Forwarding()
+			c.Replication(false)
+			c.DataBytes(99)
+			c.LateDrop()
+			c.Contact()
+		}
+	}
+	feed(one, 0)
+	feed(one, 1)
+	feed(a, 0)
+	feed(b, 1)
+	a.Merge(b)
+
+	got, want := a.Report(), one.Report()
+	if got.Created != want.Created || got.Deliverable != want.Deliverable ||
+		got.Delivered != want.Delivered || got.DeliveryEvents != want.DeliveryEvents ||
+		got.FalseDeliveries != want.FalseDeliveries || got.Forwardings != want.Forwardings ||
+		got.Replications != want.Replications || got.FalseInjections != want.FalseInjections ||
+		got.ControlBytes != want.ControlBytes || got.DataBytes != want.DataBytes ||
+		got.LateDrops != want.LateDrops || got.Contacts != want.Contacts {
+		t.Fatalf("merged report differs:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.MeanDelay() != want.MeanDelay() {
+		t.Errorf("merged mean delay %v, want %v", got.MeanDelay(), want.MeanDelay())
+	}
+	if got.DelayPercentile(0.9) != want.DelayPercentile(0.9) {
+		t.Errorf("merged p90 %v, want %v", got.DelayPercentile(0.9), want.DelayPercentile(0.9))
+	}
+}
+
+// TestMergeRandomizedPartition: for random event streams, any partition of
+// events across any number of collectors merges to the sequential report.
+func TestMergeRandomizedPartition(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		shards := 1 + rng.Intn(7)
+		parts := make([]*Collector, shards)
+		for i := range parts {
+			parts[i] = NewCollector("p")
+		}
+		one := NewCollector("p")
+
+		apply := func(c *Collector, op int, rng *rand.Rand) {
+			switch op % 6 {
+			case 0:
+				c.MessageCreated(rng.Intn(2) == 0)
+			case 1:
+				c.GenuineDelivery(rng.Intn(10), rng.Intn(8), time.Duration(1+rng.Intn(3600))*time.Second)
+			case 2:
+				c.FalseDelivery(rng.Intn(10))
+			case 3:
+				c.Forwarding()
+			case 4:
+				c.Replication(rng.Intn(2) == 0)
+			case 5:
+				c.Contact()
+			}
+		}
+		for i := 0; i < 200; i++ {
+			op := rng.Intn(6)
+			// The same op with the same draws goes to both the sequential
+			// collector and one random shard.
+			r1 := rand.New(rand.NewSource(seed*1000 + int64(i)))
+			r2 := rand.New(rand.NewSource(seed*1000 + int64(i)))
+			apply(one, op, r1)
+			apply(parts[rng.Intn(shards)], op, r2)
+		}
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			merged.Merge(p)
+		}
+		got, want := merged.Report(), one.Report()
+		if got.Delivered != want.Delivered || got.DeliveryEvents != want.DeliveryEvents ||
+			got.MeanDelay() != want.MeanDelay() || got.Forwardings != want.Forwardings ||
+			got.FalseDeliveries != want.FalseDeliveries || got.Contacts != want.Contacts {
+			t.Fatalf("seed %d: merged %v != sequential %v", seed, got, want)
+		}
+	}
+}

@@ -26,7 +26,8 @@ import (
 )
 
 // Collector accumulates raw simulation events. It is not safe for
-// concurrent use; the simulator is single-threaded.
+// concurrent use; the sharded simulator gives each worker its own
+// collector and combines them with Merge at epoch barriers.
 type Collector struct {
 	protocol    string
 	created     int
@@ -42,6 +43,7 @@ type Collector struct {
 	controlBytes    int64
 	dataBytes       int64
 	lateDrops       int
+	contacts        int
 }
 
 type pairKey struct {
@@ -68,13 +70,16 @@ func (c *Collector) MessageCreated(deliverable bool) {
 	}
 }
 
-// GenuineDelivery records a delivery to an interested consumer. The first
-// genuine delivery of each message defines its delay; each distinct
-// (message, consumer) pair counts as one delivery event for the overhead
-// metric.
+// GenuineDelivery records a delivery to an interested consumer. The
+// earliest genuine delivery of each message defines its delay; each
+// distinct (message, consumer) pair counts as one delivery event for the
+// overhead metric. Keeping the minimum delay (rather than the first
+// recorded one) makes the operation order-independent, so shard-local
+// collectors fed out of global time order still merge to the exact
+// sequential answer.
 func (c *Collector) GenuineDelivery(msgID, consumer int, delay time.Duration) {
 	c.events[pairKey{msg: msgID, node: consumer}] = struct{}{}
-	if _, dup := c.delivered[msgID]; dup {
+	if cur, ok := c.delivered[msgID]; ok && cur <= delay {
 		return
 	}
 	c.delivered[msgID] = delay
@@ -112,6 +117,39 @@ func (c *Collector) DataBytes(n int) { c.dataBytes += int64(n) }
 // simulator refuses.
 func (c *Collector) LateDrop() { c.lateDrops++ }
 
+// Contact records one executed contact session; the scale sweep divides
+// the total by wall time for its contacts-per-second throughput figure.
+func (c *Collector) Contact() { c.contacts++ }
+
+// Merge folds other into c. Every constituent is merged exactly — counters
+// sum, delivery-event and false-delivery sets union, per-message delays
+// take the minimum — so merging shard-local collectors in any order yields
+// the same totals as one sequential collector observing every event
+// (Merge is commutative and associative over disjoint or overlapping event
+// sets). other is left unchanged.
+func (c *Collector) Merge(other *Collector) {
+	c.created += other.created
+	c.deliverable += other.deliverable
+	c.forwardings += other.forwardings
+	c.replications += other.replications
+	c.falseInjections += other.falseInjections
+	c.controlBytes += other.controlBytes
+	c.dataBytes += other.dataBytes
+	c.lateDrops += other.lateDrops
+	c.contacts += other.contacts
+	for id, d := range other.delivered {
+		if cur, ok := c.delivered[id]; !ok || d < cur {
+			c.delivered[id] = d
+		}
+	}
+	for k := range other.events {
+		c.events[k] = struct{}{}
+	}
+	for id := range other.falseMsg {
+		c.falseMsg[id] = struct{}{}
+	}
+}
+
 // Report freezes the collector into an immutable summary.
 func (c *Collector) Report() Report {
 	var total time.Duration
@@ -134,6 +172,7 @@ func (c *Collector) Report() Report {
 		ControlBytes:    c.controlBytes,
 		DataBytes:       c.dataBytes,
 		LateDrops:       c.lateDrops,
+		Contacts:        c.contacts,
 		totalDelay:      total,
 		sortedDelays:    delays,
 	}
@@ -153,6 +192,7 @@ type Report struct {
 	ControlBytes    int64
 	DataBytes       int64
 	LateDrops       int
+	Contacts        int
 	totalDelay      time.Duration
 	sortedDelays    []time.Duration
 }

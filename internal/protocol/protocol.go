@@ -8,6 +8,11 @@
 //     it is interested in from its directly encountered neighbors". Its
 //     overhead is minimal (one forwarding per delivery) but delivery ratio
 //     and delay suffer.
+//
+// Both keep strictly per-node state — stores indexed by node, duplicate
+// tracking keyed by the receiving node — so they run unsynchronized under
+// the sharded simulator: contacts executed concurrently never share a
+// node, hence never share any of this state.
 package protocol
 
 import (
@@ -22,8 +27,8 @@ import (
 // matches reports whether any of the message's keys is in node n's
 // interest set (multi-key extension; reduces to equality for the paper's
 // one-key workload).
-func matches(env sim.Env, m *workload.Message, n trace.NodeID) bool {
-	for _, want := range env.InterestSet(n) {
+func matches(pop sim.Population, m *workload.Message, n trace.NodeID) bool {
+	for _, want := range pop.InterestSet(n) {
 		for _, k := range m.MatchKeys() {
 			if k == want {
 				return true
@@ -35,7 +40,6 @@ func matches(env sim.Env, m *workload.Message, n trace.NodeID) bool {
 
 // Push is the epidemic flooding baseline.
 type Push struct {
-	env    sim.Env
 	stores []*msgstore.Store
 }
 
@@ -48,9 +52,8 @@ func NewPush() *Push { return &Push{} }
 func (p *Push) Name() string { return "PUSH" }
 
 // Init implements sim.Protocol.
-func (p *Push) Init(env sim.Env, _ *rand.Rand) error {
-	p.env = env
-	p.stores = make([]*msgstore.Store, env.Nodes())
+func (p *Push) Init(pop sim.Population, _ *rand.Rand) error {
+	p.stores = make([]*msgstore.Store, pop.Nodes())
 	for i := range p.stores {
 		p.stores[i] = msgstore.New()
 	}
@@ -58,19 +61,19 @@ func (p *Push) Init(env sim.Env, _ *rand.Rand) error {
 }
 
 // OnMessage stores the new message at its origin.
-func (p *Push) OnMessage(msg workload.Message) {
-	p.stores[msg.Origin].Add(msg, msg.CreatedAt+p.env.TTL(), 0)
+func (p *Push) OnMessage(env sim.Env, msg workload.Message) {
+	p.stores[msg.Origin].Add(msg, msg.CreatedAt+env.TTL(), 0)
 }
 
 // OnContact replicates every message each side stores to the other, budget
 // permitting, and delivers to interested receivers.
-func (p *Push) OnContact(a, b trace.NodeID, budget *sim.Budget) {
-	p.replicate(a, b, budget)
-	p.replicate(b, a, budget)
+func (p *Push) OnContact(env sim.Env, a, b trace.NodeID, budget *sim.Budget) {
+	p.replicate(env, a, b, budget)
+	p.replicate(env, b, a, budget)
 }
 
-func (p *Push) replicate(from, to trace.NodeID, budget *sim.Budget) {
-	now := p.env.Now()
+func (p *Push) replicate(env sim.Env, from, to trace.NodeID, budget *sim.Budget) {
+	now := env.Now()
 	src, dst := p.stores[from], p.stores[to]
 	for _, m := range src.Live(now) {
 		if dst.Has(m.ID) {
@@ -80,21 +83,22 @@ func (p *Push) replicate(from, to trace.NodeID, budget *sim.Budget) {
 			return
 		}
 		m := m
-		dst.Add(m, m.CreatedAt+p.env.TTL(), 0)
-		p.env.RecordForwarding(&m)
-		if matches(p.env, &m, to) {
-			p.env.Deliver(&m, to)
+		dst.Add(m, m.CreatedAt+env.TTL(), 0)
+		env.RecordForwarding(&m)
+		if matches(env, &m, to) {
+			env.Deliver(&m, to)
 		}
 	}
 }
 
 // Pull is the one-hop interest-pulling baseline.
 type Pull struct {
-	env    sim.Env
 	stores []*msgstore.Store
-	// sent tracks which (message, node) transfers already happened so a
-	// producer does not repeat a transfer to the same consumer.
-	sent map[int]map[trace.NodeID]struct{}
+	// sent tracks which (message, receiver) transfers already happened so
+	// a producer does not repeat a transfer to the same consumer. It is
+	// keyed by the receiving node, which makes it per-node state: only a
+	// contact involving that node can read or write its map.
+	sent []map[int]struct{}
 }
 
 var _ sim.Protocol = (*Pull)(nil)
@@ -106,47 +110,46 @@ func NewPull() *Pull { return &Pull{} }
 func (p *Pull) Name() string { return "PULL" }
 
 // Init implements sim.Protocol.
-func (p *Pull) Init(env sim.Env, _ *rand.Rand) error {
-	p.env = env
-	p.stores = make([]*msgstore.Store, env.Nodes())
+func (p *Pull) Init(pop sim.Population, _ *rand.Rand) error {
+	p.stores = make([]*msgstore.Store, pop.Nodes())
 	for i := range p.stores {
 		p.stores[i] = msgstore.New()
 	}
-	p.sent = make(map[int]map[trace.NodeID]struct{})
+	p.sent = make([]map[int]struct{}, pop.Nodes())
 	return nil
 }
 
 // OnMessage stores the new message at its producer; in PULL only producers
 // hold messages.
-func (p *Pull) OnMessage(msg workload.Message) {
-	p.stores[msg.Origin].Add(msg, msg.CreatedAt+p.env.TTL(), 0)
+func (p *Pull) OnMessage(env sim.Env, msg workload.Message) {
+	p.stores[msg.Origin].Add(msg, msg.CreatedAt+env.TTL(), 0)
 }
 
 // OnContact lets each side pull the other's matching messages.
-func (p *Pull) OnContact(a, b trace.NodeID, budget *sim.Budget) {
-	p.pull(a, b, budget)
-	p.pull(b, a, budget)
+func (p *Pull) OnContact(env sim.Env, a, b trace.NodeID, budget *sim.Budget) {
+	p.pull(env, a, b, budget)
+	p.pull(env, b, a, budget)
 }
 
 // pull transfers from's stored messages that match to's interests.
-func (p *Pull) pull(to, from trace.NodeID, budget *sim.Budget) {
-	now := p.env.Now()
+func (p *Pull) pull(env sim.Env, to, from trace.NodeID, budget *sim.Budget) {
+	now := env.Now()
 	for _, m := range p.stores[from].Live(now) {
 		m := m
-		if !matches(p.env, &m, to) {
+		if !matches(env, &m, to) {
 			continue
 		}
-		if _, dup := p.sent[m.ID][to]; dup {
+		if _, dup := p.sent[to][m.ID]; dup {
 			continue
 		}
 		if !budget.Spend(m.Size) {
 			return
 		}
-		if p.sent[m.ID] == nil {
-			p.sent[m.ID] = make(map[trace.NodeID]struct{})
+		if p.sent[to] == nil {
+			p.sent[to] = make(map[int]struct{})
 		}
-		p.sent[m.ID][to] = struct{}{}
-		p.env.RecordForwarding(&m)
-		p.env.Deliver(&m, to)
+		p.sent[to][m.ID] = struct{}{}
+		env.RecordForwarding(&m)
+		env.Deliver(&m, to)
 	}
 }

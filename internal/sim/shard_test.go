@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"bsub/internal/testutil"
+	"bsub/internal/trace"
+	"bsub/internal/tracegen"
+	"bsub/internal/workload"
+)
+
+// sprayProtocol is a sharding-safe reference protocol: strictly per-node
+// message stores, deterministic slice iteration, and probabilistic
+// forwarding drawn from env.RNG(). It exists to prove the executor's
+// determinism claim with a protocol that exercises every Env method.
+type sprayProtocol struct {
+	stores [][]workload.Message
+	seen   []map[int]struct{}
+}
+
+func (s *sprayProtocol) Name() string { return "spray" }
+func (s *sprayProtocol) Init(pop Population, _ *rand.Rand) error {
+	s.stores = make([][]workload.Message, pop.Nodes())
+	s.seen = make([]map[int]struct{}, pop.Nodes())
+	return nil
+}
+func (s *sprayProtocol) OnMessage(_ Env, m workload.Message) {
+	s.add(trace.NodeID(m.Origin), m)
+}
+
+func (s *sprayProtocol) add(n trace.NodeID, m workload.Message) {
+	s.stores[n] = append(s.stores[n], m)
+	if s.seen[n] == nil {
+		s.seen[n] = make(map[int]struct{})
+	}
+	s.seen[n][m.ID] = struct{}{}
+}
+
+func (s *sprayProtocol) OnContact(env Env, a, b trace.NodeID, budget *Budget) {
+	env.RecordControl(8) // a fixed per-contact handshake
+	addA := s.exchange(env, a, b, budget)
+	addB := s.exchange(env, b, a, budget)
+	for _, m := range addA {
+		s.add(b, m)
+	}
+	for _, m := range addB {
+		s.add(a, m)
+	}
+}
+
+// exchange returns the messages src hands to dst this contact.
+func (s *sprayProtocol) exchange(env Env, src, dst trace.NodeID, budget *Budget) []workload.Message {
+	var added []workload.Message
+	for _, m := range s.stores[src] {
+		if env.Now() > m.CreatedAt+env.TTL() {
+			continue
+		}
+		if s.holds(dst, m.ID) {
+			continue
+		}
+		if env.RNG().Float64() > 0.8 { // probabilistic spray
+			continue
+		}
+		if !budget.Spend(m.Size) {
+			break
+		}
+		env.RecordForwarding(&m)
+		added = append(added, m)
+		for _, k := range env.InterestSet(dst) {
+			if k == m.Key {
+				env.Deliver(&m, dst)
+				break
+			}
+		}
+	}
+	return added
+}
+
+func (s *sprayProtocol) holds(n trace.NodeID, id int) bool {
+	_, ok := s.seen[n][id]
+	return ok
+}
+
+// shardConfig builds a streamed population-scale config. Each call makes
+// fresh streams, so two calls with the same arguments replay identically.
+func shardConfig(t testing.TB, nodes int, workers int, epoch time.Duration) Config {
+	t.Helper()
+	cfg := tracegen.Scale(nodes, 7)
+	cs, err := tracegen.NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := workload.NewTrendKeySet()
+	interests := workload.Interests(ks, nodes, rand.New(rand.NewSource(7)))
+	rates := make([]float64, nodes)
+	for i := range rates {
+		rates[i] = 2
+	}
+	return Config{
+		Source:    cs,
+		MsgSource: workload.NewStream(ks, rates, cfg.Span, 7),
+		Interests: interests,
+		TTL:       6 * time.Hour,
+		Seed:      7,
+		Workers:   workers,
+		Epoch:     epoch,
+	}
+}
+
+// TestShardedDeterminism is the PR's headline regression: the same seeded
+// scale config must produce a byte-identical report at workers=1 and
+// workers=8, and at different epoch widths. reflect.DeepEqual covers the
+// unexported delay distribution too.
+func TestShardedDeterminism(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	nodes := 300
+	if !testing.Short() {
+		nodes = 1000
+	}
+	base, err := Run(shardConfig(t, nodes, 1, 0), &sprayProtocol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Contacts == 0 || base.Created == 0 {
+		t.Fatalf("degenerate run: %+v", base)
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+		epoch   time.Duration
+	}{
+		{"workers=8", 8, 0},
+		{"workers=3/epoch=7m", 3, 7 * time.Minute},
+		{"workers=8/epoch=1h", 8, time.Hour},
+		{"workers=1/epoch=1m", 1, time.Minute},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Run(shardConfig(t, nodes, tc.workers, tc.epoch), &sprayProtocol{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("report differs from workers=1:\ngot  %+v\nwant %+v", got, base)
+			}
+		})
+	}
+}
+
+// TestStreamedMatchesMaterialized: driving the simulator from a
+// trace.Source must equal materializing the same stream into a Trace
+// first — the streaming path is an optimization, not a semantic change.
+func TestStreamedMatchesMaterialized(t *testing.T) {
+	nodes := 300
+	streamed, err := Run(shardConfig(t, nodes, 1, 0), &sprayProtocol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := shardConfig(t, nodes, 1, 0)
+	tr, err := trace.New("materialized", nodes, trace.Collect(cfg.Source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Source = nil
+	cfg.Trace = tr
+	materialized, err := Run(cfg, &sprayProtocol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, materialized) {
+		t.Errorf("streamed run differs from materialized:\ngot  %+v\nwant %+v", streamed, materialized)
+	}
+}
+
+// TestWorkerPoolGoroutineHygiene: a parallel run must not leave worker
+// goroutines behind after Run returns (the pool is per-flush, joined at
+// each epoch barrier).
+func TestWorkerPoolGoroutineHygiene(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	if _, err := Run(shardConfig(t, 300, 8, time.Minute), &sprayProtocol{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComponentsShareNoNodes: within one flush, two events touching the
+// same node must land in the same component (the no-shared-state
+// precondition the parallel executor relies on).
+func TestComponentsShareNoNodes(t *testing.T) {
+	tr, err := trace.New("comp", 6, []trace.Contact{
+		{A: 0, B: 1, Start: time.Minute, End: 2 * time.Minute},
+		{A: 2, B: 3, Start: time.Minute, End: 2 * time.Minute},
+		{A: 1, B: 2, Start: 3 * time.Minute, End: 4 * time.Minute},
+		{A: 4, B: 5, Start: 3 * time.Minute, End: 4 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type seen struct {
+		nodes map[trace.NodeID]bool
+	}
+	comps := map[int64]*seen{}
+	p := &probe{}
+	p.onTouch = func(env Env, a, b trace.NodeID, _ *Budget) {
+		we := env.(*workerEnv)
+		c := int64(we.comp) // unique per component within this single flush
+		s, ok := comps[c]
+		if !ok {
+			s = &seen{nodes: map[trace.NodeID]bool{}}
+			comps[c] = s
+		}
+		s.nodes[a] = true
+		s.nodes[b] = true
+	}
+	_, err = Run(Config{
+		Trace:     tr,
+		Interests: make([]workload.Key, 6),
+		TTL:       time.Hour,
+		Epoch:     time.Hour, // everything in one flush
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2 (0-1-2-3 chained, 4-5 separate)", len(comps))
+	}
+	for _, a := range comps {
+		for _, b := range comps {
+			if a == b {
+				continue
+			}
+			for n := range a.nodes {
+				if b.nodes[n] {
+					t.Fatalf("node %d appears in two components", n)
+				}
+			}
+		}
+	}
+}

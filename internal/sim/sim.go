@@ -1,12 +1,20 @@
 // Package sim is the discrete-event DTN simulator the B-SUB evaluation
-// runs on (Section VII-A). It replays a contact trace against a
-// pre-generated message workload, handing each contact to the protocol
-// under test as a bandwidth-budgeted session ("the average transmission
-// rate is 250Kbps. The durations of all the contacts are already recorded
-// in the trace"), and collects the Section VII metrics.
+// runs on (Section VII-A). It replays a contact schedule against a message
+// workload, handing each contact to the protocol under test as a
+// bandwidth-budgeted session ("the average transmission rate is 250Kbps.
+// The durations of all the contacts are already recorded in the trace"),
+// and collects the Section VII metrics.
 //
-// The simulator is deterministic: event order is fully defined by the
-// trace and workload, and protocols receive a seeded RNG.
+// Contacts and messages arrive through trace.Source and workload.Source
+// streams, so populations far larger than memory-resident traces can be
+// simulated. Execution is sharded: events are buffered into fixed-width
+// epochs, partitioned into contact-connected node components, and the
+// components run on worker goroutines that merge at the epoch barrier (see
+// DESIGN.md §11). Output is byte-identical for any worker count and any
+// epoch width: components within an epoch share no nodes, protocol state
+// is per-node, protocol RNG streams derive from the root seed plus each
+// event's own identity, and the shard-local metrics collectors merge
+// exactly.
 package sim
 
 import (
@@ -14,13 +22,20 @@ import (
 	"math/rand"
 	"time"
 
-	"bsub/internal/metrics"
 	"bsub/internal/trace"
 	"bsub/internal/workload"
 )
 
 // DefaultBandwidthBps is the paper's effective Bluetooth rate: 250 Kbps.
 const DefaultBandwidthBps = 250_000
+
+// DefaultEpoch is the default epoch width. Correctness never depends on
+// the width — only load-balancing granularity does.
+const DefaultEpoch = 10 * time.Minute
+
+// MaxWorkers bounds Config.Workers; more workers than that is certainly a
+// misconfiguration, not a parallelism request.
+const MaxWorkers = 1024
 
 // Budget is a contact session's remaining byte allowance. All transfers —
 // control filters and message payloads — draw from it.
@@ -30,10 +45,18 @@ type Budget struct {
 
 // NewBudget returns a budget of n bytes; negative n is treated as zero.
 func NewBudget(n int) *Budget {
+	b := &Budget{}
+	b.reset(n)
+	return b
+}
+
+// reset re-arms a budget in place; the sharded runner reuses one Budget
+// per worker to keep the per-contact path allocation-free.
+func (b *Budget) reset(n int) {
 	if n < 0 {
 		n = 0
 	}
-	return &Budget{remaining: n}
+	b.remaining = n
 }
 
 // Spend deducts n bytes and reports success; a failed spend deducts
@@ -50,11 +73,10 @@ func (b *Budget) Spend(n int) bool {
 // Remaining returns the unspent byte allowance.
 func (b *Budget) Remaining() int { return b.remaining }
 
-// Env is the protocol's window into the running simulation: clock,
-// population facts, and metric recording. Implemented by the runner.
-type Env interface {
-	// Now returns the current simulation time.
-	Now() time.Duration
+// Population is the static view of the simulated population a protocol
+// receives at Init: size, subscriptions, lifetimes, and the worker count
+// it should size any per-worker state for.
+type Population interface {
 	// Nodes returns the population size.
 	Nodes() int
 	// Interest returns the node's primary subscribed key.
@@ -64,6 +86,27 @@ type Env interface {
 	InterestSet(n trace.NodeID) []workload.Key
 	// TTL returns the message lifetime; messages expire TTL after creation.
 	TTL() time.Duration
+	// Workers returns the number of execution workers the simulation runs
+	// with (>= 1). Protocols that keep per-worker scratch state (session
+	// caches) size it from this.
+	Workers() int
+}
+
+// Env is the protocol's window into the running simulation: population
+// facts, the executing worker's clock, and metric recording. Each worker
+// goroutine has its own Env; an Env handed to OnMessage/OnContact is only
+// valid for the duration of that call.
+type Env interface {
+	Population
+	// Now returns the current simulation time of the executing worker.
+	Now() time.Duration
+	// Worker returns the executing worker's index in [0, Workers()).
+	Worker() int
+	// RNG returns a deterministic random source for protocol decisions. It
+	// is seeded from the root seed and the executing event's identity —
+	// never from the worker, epoch, or component — so draws are
+	// byte-identical at any worker count and epoch width.
+	RNG() *rand.Rand
 	// Deliver records the arrival of msg at node to. The simulator
 	// classifies it as genuine (to is interested) or false, deduplicates
 	// pairs, and refuses post-TTL deliveries.
@@ -79,32 +122,43 @@ type Env interface {
 	RecordControl(n int)
 }
 
-// Protocol is a routing scheme under test: PUSH, PULL, or B-SUB.
+// Protocol is a routing scheme under test: PUSH, PULL, or B-SUB. Protocol
+// state must be per-node: OnMessage and OnContact are invoked concurrently
+// for events whose node sets are disjoint, and the env argument identifies
+// the executing worker. State shared across nodes must be either
+// synchronized or sized per worker (see Population.Workers).
 type Protocol interface {
 	// Name labels the protocol in reports.
 	Name() string
 	// Init prepares per-node state. It is called once before any event.
-	Init(env Env, rng *rand.Rand) error
+	Init(pop Population, rng *rand.Rand) error
 	// OnMessage delivers a freshly created message to its origin node.
-	OnMessage(msg workload.Message)
+	OnMessage(env Env, msg workload.Message)
 	// OnContact runs one contact session between nodes a and b. The
 	// protocol spends budget on whatever control and data exchange its
 	// rules dictate.
-	OnContact(a, b trace.NodeID, budget *Budget)
+	OnContact(env Env, a, b trace.NodeID, budget *Budget)
 }
 
 // Config assembles one simulation run.
 type Config struct {
-	// Trace drives the contact schedule.
+	// Trace drives the contact schedule from a materialized trace.
+	// Exactly one of Trace and Source must be set.
 	Trace *trace.Trace
+	// Source drives the contact schedule from a stream (tracegen.Stream at
+	// population scale). Contacts must arrive in (Start, End, A, B) order.
+	Source trace.Source
 	// Interests holds one key per node.
 	Interests []workload.Key
 	// InterestSets optionally widens each node's subscription to several
 	// keys (the multi-key extension). When set it must be node-parallel
 	// and each set must contain that node's Interests entry.
 	InterestSets [][]workload.Key
-	// Messages is the pre-generated workload, sorted by CreatedAt.
+	// Messages is the pre-generated workload, sorted by CreatedAt. Ignored
+	// when MsgSource is set.
 	Messages []workload.Message
+	// MsgSource streams the message workload instead of Messages.
+	MsgSource workload.Source
 	// TTL is the message lifetime ("identical to their maximum tolerable
 	// delay").
 	TTL time.Duration
@@ -118,6 +172,12 @@ type Config struct {
 	// state survives — it was only powered off). Used to test the broker
 	// election's self-healing.
 	Failures []Failure
+	// Workers is the number of execution goroutines; zero means 1. Any
+	// value produces byte-identical output for the same seed.
+	Workers int
+	// Epoch is the sharding epoch width; zero selects DefaultEpoch. Any
+	// positive value produces byte-identical output for the same seed.
+	Epoch time.Duration
 }
 
 // Failure is one node outage window [From, Until).
@@ -127,29 +187,50 @@ type Failure struct {
 	Until time.Duration
 }
 
+// nodes returns the population size implied by the contact schedule.
+func (c Config) nodes() int {
+	if c.Source != nil {
+		return c.Source.Nodes()
+	}
+	if c.Trace != nil {
+		return c.Trace.Nodes
+	}
+	return 0
+}
+
 func (c Config) validate() error {
 	switch {
-	case c.Trace == nil:
-		return fmt.Errorf("sim: nil trace")
-	case len(c.Interests) != c.Trace.Nodes:
-		return fmt.Errorf("sim: %d interests for %d nodes", len(c.Interests), c.Trace.Nodes)
+	case c.Trace == nil && c.Source == nil:
+		return fmt.Errorf("sim: nil trace and nil source")
+	case c.Trace != nil && c.Source != nil:
+		return fmt.Errorf("sim: both trace and source set")
 	case c.TTL <= 0:
 		return fmt.Errorf("sim: TTL must be positive, got %v", c.TTL)
 	case c.BandwidthBps < 0:
 		return fmt.Errorf("sim: bandwidth must be non-negative, got %d", c.BandwidthBps)
+	case c.Workers < 0 || c.Workers > MaxWorkers:
+		return fmt.Errorf("sim: workers must be in [0,%d], got %d", MaxWorkers, c.Workers)
+	case c.Epoch < 0:
+		return fmt.Errorf("sim: epoch must be non-negative, got %v", c.Epoch)
 	}
-	for i := 1; i < len(c.Messages); i++ {
-		if c.Messages[i].CreatedAt < c.Messages[i-1].CreatedAt {
-			return fmt.Errorf("sim: messages not sorted at index %d", i)
+	n := c.nodes()
+	if len(c.Interests) != n {
+		return fmt.Errorf("sim: %d interests for %d nodes", len(c.Interests), n)
+	}
+	if c.MsgSource == nil {
+		for i := 1; i < len(c.Messages); i++ {
+			if c.Messages[i].CreatedAt < c.Messages[i-1].CreatedAt {
+				return fmt.Errorf("sim: messages not sorted at index %d", i)
+			}
 		}
-	}
-	for i, m := range c.Messages {
-		if m.Origin < 0 || m.Origin >= c.Trace.Nodes {
-			return fmt.Errorf("sim: message %d origin %d out of range", i, m.Origin)
+		for i, m := range c.Messages {
+			if m.Origin < 0 || m.Origin >= n {
+				return fmt.Errorf("sim: message %d origin %d out of range", i, m.Origin)
+			}
 		}
 	}
 	for i, fl := range c.Failures {
-		if fl.Node < 0 || int(fl.Node) >= c.Trace.Nodes {
+		if fl.Node < 0 || int(fl.Node) >= n {
 			return fmt.Errorf("sim: failure %d node %d out of range", i, fl.Node)
 		}
 		if fl.Until <= fl.From || fl.From < 0 {
@@ -157,8 +238,8 @@ func (c Config) validate() error {
 		}
 	}
 	if c.InterestSets != nil {
-		if len(c.InterestSets) != c.Trace.Nodes {
-			return fmt.Errorf("sim: %d interest sets for %d nodes", len(c.InterestSets), c.Trace.Nodes)
+		if len(c.InterestSets) != n {
+			return fmt.Errorf("sim: %d interest sets for %d nodes", len(c.InterestSets), n)
 		}
 		for i, set := range c.InterestSets {
 			if len(set) == 0 {
@@ -177,133 +258,6 @@ func (c Config) validate() error {
 		}
 	}
 	return nil
-}
-
-// runner implements Env.
-type runner struct {
-	cfg       Config
-	now       time.Duration
-	collector *metrics.Collector
-}
-
-var _ Env = (*runner)(nil)
-
-func (r *runner) Now() time.Duration                   { return r.now }
-func (r *runner) Nodes() int                           { return r.cfg.Trace.Nodes }
-func (r *runner) Interest(n trace.NodeID) workload.Key { return r.cfg.Interests[n] }
-func (r *runner) TTL() time.Duration                   { return r.cfg.TTL }
-func (r *runner) RecordControl(n int)                  { r.collector.ControlBytes(n) }
-
-func (r *runner) InterestSet(n trace.NodeID) []workload.Key {
-	if r.cfg.InterestSets != nil {
-		return r.cfg.InterestSets[n]
-	}
-	return r.cfg.Interests[n : n+1]
-}
-
-// matches reports whether any of the message's keys is subscribed by node n.
-func (r *runner) matches(msg *workload.Message, n trace.NodeID) bool {
-	for _, want := range r.InterestSet(n) {
-		for _, k := range msg.MatchKeys() {
-			if k == want {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func (r *runner) Deliver(msg *workload.Message, to trace.NodeID) {
-	if r.now > msg.CreatedAt+r.cfg.TTL {
-		r.collector.LateDrop()
-		return
-	}
-	r.collector.DataBytes(msg.Size)
-	if int(to) != msg.Origin && r.matches(msg, to) {
-		r.collector.GenuineDelivery(msg.ID, int(to), r.now-msg.CreatedAt)
-		return
-	}
-	r.collector.FalseDelivery(msg.ID)
-}
-
-func (r *runner) RecordReplication(falsePositive bool) {
-	r.collector.Replication(falsePositive)
-}
-
-func (r *runner) RecordForwarding(msg *workload.Message) {
-	r.collector.Forwarding()
-	r.collector.DataBytes(msg.Size)
-}
-
-// Run replays cfg against proto and returns the metrics report.
-func Run(cfg Config, proto Protocol) (metrics.Report, error) {
-	if err := cfg.validate(); err != nil {
-		return metrics.Report{}, err
-	}
-	if cfg.BandwidthBps == 0 {
-		cfg.BandwidthBps = DefaultBandwidthBps
-	}
-	r := &runner{
-		cfg:       cfg,
-		collector: metrics.NewCollector(proto.Name()),
-	}
-
-	// Index subscribers per key to classify each message as deliverable.
-	subscribers := make(map[workload.Key][]trace.NodeID, len(cfg.Interests))
-	for n := 0; n < cfg.Trace.Nodes; n++ {
-		for _, k := range r.InterestSet(trace.NodeID(n)) {
-			subscribers[k] = append(subscribers[k], trace.NodeID(n))
-		}
-	}
-	deliverable := func(m *workload.Message) bool {
-		for _, k := range m.MatchKeys() {
-			for _, n := range subscribers[k] {
-				if int(n) != m.Origin {
-					return true
-				}
-			}
-		}
-		return false
-	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	if err := proto.Init(r, rng); err != nil {
-		return metrics.Report{}, fmt.Errorf("sim: init %s: %w", proto.Name(), err)
-	}
-
-	bytesPerSec := float64(cfg.BandwidthBps) / 8
-
-	// Merge the two time-sorted event streams: message creations and
-	// contact starts.
-	mi, ci := 0, 0
-	msgs, contacts := cfg.Messages, cfg.Trace.Contacts
-	for mi < len(msgs) || ci < len(contacts) {
-		nextMsg := time.Duration(1<<62 - 1)
-		if mi < len(msgs) {
-			nextMsg = msgs[mi].CreatedAt
-		}
-		nextContact := time.Duration(1<<62 - 1)
-		if ci < len(contacts) {
-			nextContact = contacts[ci].Start
-		}
-		if nextMsg <= nextContact {
-			m := msgs[mi]
-			mi++
-			r.now = m.CreatedAt
-			r.collector.MessageCreated(deliverable(&m))
-			proto.OnMessage(m)
-			continue
-		}
-		c := contacts[ci]
-		ci++
-		r.now = c.Start
-		if down(cfg.Failures, c.A, c.Start) || down(cfg.Failures, c.B, c.Start) {
-			continue // one radio is off: the contact never happens
-		}
-		budget := NewBudget(int(c.Duration().Seconds() * bytesPerSec))
-		proto.OnContact(c.A, c.B, budget)
-	}
-	return r.collector.Report(), nil
 }
 
 // down reports whether node n is inside a failure window at time t.

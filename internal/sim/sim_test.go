@@ -39,34 +39,31 @@ func TestBudget(t *testing.T) {
 }
 
 // probe records the event sequence the simulator feeds a protocol.
+// Its slices are shared state, so probe tests run at Workers <= 1.
 type probe struct {
-	env      Env
 	events   []string
-	onMsg    func(msg workload.Message)
-	onTouch  func(a, b trace.NodeID, budget *Budget)
+	onMsg    func(env Env, msg workload.Message)
+	onTouch  func(env Env, a, b trace.NodeID, budget *Budget)
 	initErr  error
 	nowAtEvt []time.Duration
 }
 
 var _ Protocol = (*probe)(nil)
 
-func (p *probe) Name() string { return "probe" }
-func (p *probe) Init(env Env, _ *rand.Rand) error {
-	p.env = env
-	return p.initErr
-}
-func (p *probe) OnMessage(msg workload.Message) {
+func (p *probe) Name() string                            { return "probe" }
+func (p *probe) Init(pop Population, _ *rand.Rand) error { return p.initErr }
+func (p *probe) OnMessage(env Env, msg workload.Message) {
 	p.events = append(p.events, "msg")
-	p.nowAtEvt = append(p.nowAtEvt, p.env.Now())
+	p.nowAtEvt = append(p.nowAtEvt, env.Now())
 	if p.onMsg != nil {
-		p.onMsg(msg)
+		p.onMsg(env, msg)
 	}
 }
-func (p *probe) OnContact(a, b trace.NodeID, budget *Budget) {
+func (p *probe) OnContact(env Env, a, b trace.NodeID, budget *Budget) {
 	p.events = append(p.events, "contact")
-	p.nowAtEvt = append(p.nowAtEvt, p.env.Now())
+	p.nowAtEvt = append(p.nowAtEvt, env.Now())
 	if p.onTouch != nil {
-		p.onTouch(a, b, budget)
+		p.onTouch(env, a, b, budget)
 	}
 }
 
@@ -119,7 +116,7 @@ func TestRunEventOrdering(t *testing.T) {
 func TestRunBudgetFromContactDuration(t *testing.T) {
 	var got int
 	p := &probe{}
-	p.onTouch = func(_, _ trace.NodeID, b *Budget) { got = b.Remaining() }
+	p.onTouch = func(_ Env, _, _ trace.NodeID, b *Budget) { got = b.Remaining() }
 	cfg := baseConfig(t)
 	cfg.BandwidthBps = 8000 // 1000 bytes/sec; contacts are 60s
 	if _, err := Run(cfg, p); err != nil {
@@ -132,13 +129,10 @@ func TestRunBudgetFromContactDuration(t *testing.T) {
 
 func TestRunDeliveryClassification(t *testing.T) {
 	p := &probe{}
-	p.onTouch = func(a, b trace.NodeID, _ *Budget) {
-		// Deliver message 0 (key "b") to node 1 (interested) and node 0
-		// (producer, not counted), plus a false delivery of message 1 to
-		// node 0? message 1 key "a", node 0 interested in "a" -> genuine.
+	p.onTouch = func(env Env, a, b trace.NodeID, _ *Budget) {
 		msg0 := &workload.Message{ID: 0, Key: "b", Origin: 0, Size: 10, CreatedAt: 5 * time.Minute}
-		p.env.Deliver(msg0, 1) // genuine
-		p.env.Deliver(msg0, 0) // producer: classified false
+		env.Deliver(msg0, 1) // genuine
+		env.Deliver(msg0, 0) // producer: classified false
 	}
 	rep, err := Run(baseConfig(t), p)
 	if err != nil {
@@ -157,17 +151,20 @@ func TestRunDeliveryClassification(t *testing.T) {
 	if rep.DeliveryRatio() != 0.5 {
 		t.Errorf("delivery ratio = %g", rep.DeliveryRatio())
 	}
+	if rep.Contacts != 2 {
+		t.Errorf("contacts = %d, want 2", rep.Contacts)
+	}
 }
 
 func TestRunRefusesLateDelivery(t *testing.T) {
 	p := &probe{}
-	p.onTouch = func(a, b trace.NodeID, _ *Budget) {
-		if p.env.Now() < 30*time.Minute {
+	p.onTouch = func(env Env, a, b trace.NodeID, _ *Budget) {
+		if env.Now() < 30*time.Minute {
 			return
 		}
 		// TTL is 15 minutes; message 0 was created at 5m, now it is 30m.
 		late := &workload.Message{ID: 0, Key: "b", Origin: 0, Size: 10, CreatedAt: 5 * time.Minute}
-		p.env.Deliver(late, 1)
+		env.Deliver(late, 1)
 	}
 	cfg := baseConfig(t)
 	cfg.TTL = 15 * time.Minute
@@ -190,9 +187,13 @@ func TestRunValidation(t *testing.T) {
 		mutate func(*Config)
 	}{
 		{name: "nil trace", mutate: func(c *Config) { c.Trace = nil }},
+		{name: "trace and source", mutate: func(c *Config) { c.Source = c.Trace.Source() }},
 		{name: "interest count", mutate: func(c *Config) { c.Interests = c.Interests[:1] }},
 		{name: "zero ttl", mutate: func(c *Config) { c.TTL = 0 }},
 		{name: "negative bandwidth", mutate: func(c *Config) { c.BandwidthBps = -1 }},
+		{name: "negative workers", mutate: func(c *Config) { c.Workers = -1 }},
+		{name: "too many workers", mutate: func(c *Config) { c.Workers = MaxWorkers + 1 }},
+		{name: "negative epoch", mutate: func(c *Config) { c.Epoch = -time.Minute }},
 		{name: "unsorted messages", mutate: func(c *Config) {
 			c.Messages[0].CreatedAt, c.Messages[1].CreatedAt = c.Messages[1].CreatedAt, c.Messages[0].CreatedAt
 		}},
@@ -212,6 +213,30 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+// TestRunStreamedValidation: origin-range and sort checks still fire when
+// the workload arrives through a stream (checked at the pump, since the
+// stream cannot be inspected up front).
+func TestRunStreamedValidation(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.MsgSource = workload.SliceSource([]workload.Message{
+		{ID: 0, Key: "b", Origin: 99, Size: 10, CreatedAt: time.Minute},
+	})
+	cfg.Messages = nil
+	if _, err := Run(cfg, &probe{}); err == nil {
+		t.Error("streamed out-of-range origin accepted")
+	}
+
+	cfg = baseConfig(t)
+	cfg.MsgSource = workload.SliceSource([]workload.Message{
+		{ID: 0, Key: "b", Origin: 0, Size: 10, CreatedAt: 2 * time.Minute},
+		{ID: 1, Key: "a", Origin: 1, Size: 10, CreatedAt: time.Minute},
+	})
+	cfg.Messages = nil
+	if _, err := Run(cfg, &probe{}); err == nil {
+		t.Error("streamed unsorted workload accepted")
+	}
+}
+
 func TestRunInitError(t *testing.T) {
 	p := &probe{initErr: errInit}
 	if _, err := Run(baseConfig(t), p); err == nil {
@@ -228,7 +253,7 @@ func (e errTest) Error() string { return string(e) }
 func TestRunZeroBandwidthDefault(t *testing.T) {
 	var got int
 	p := &probe{}
-	p.onTouch = func(_, _ trace.NodeID, b *Budget) { got = b.Remaining() }
+	p.onTouch = func(_ Env, _, _ trace.NodeID, b *Budget) { got = b.Remaining() }
 	cfg := baseConfig(t)
 	cfg.BandwidthBps = 0
 	if _, err := Run(cfg, p); err != nil {
@@ -283,33 +308,30 @@ func TestFailureValidation(t *testing.T) {
 
 // echoProtocol delivers every message to every interested node at the
 // first contact after creation — a reference protocol used to check the
-// simulator's accounting invariants across random workloads.
+// simulator's accounting invariants across random workloads. Its pending
+// queue is global, so it must run at Workers <= 1.
 type echoProtocol struct {
-	env     Env
+	nodes   int
 	pending []workload.Message
 }
 
 func (e *echoProtocol) Name() string { return "echo" }
-func (e *echoProtocol) Init(env Env, _ *rand.Rand) error {
-	e.env = env
+func (e *echoProtocol) Init(pop Population, _ *rand.Rand) error {
+	e.nodes = pop.Nodes()
 	return nil
 }
-func (e *echoProtocol) OnMessage(m workload.Message) { e.pending = append(e.pending, m) }
-func (e *echoProtocol) OnContact(a, b trace.NodeID, _ *Budget) {
+func (e *echoProtocol) OnMessage(_ Env, m workload.Message) { e.pending = append(e.pending, m) }
+func (e *echoProtocol) OnContact(env Env, a, b trace.NodeID, _ *Budget) {
 	for i := range e.pending {
-		m := e.pending[i]
-		for n := 0; n < e.env.Nodes(); n++ {
-			e.env.Deliver(&e.pending[i], trace.NodeID(n))
+		for n := 0; n < e.nodes; n++ {
+			env.Deliver(&e.pending[i], trace.NodeID(n))
 		}
-		_ = m
 	}
 	e.pending = nil
 }
 
 // Property: across arbitrary seeds, the simulator's accounting invariants
-// hold — delivered <= deliverable <= created, ratios in [0,1], and a
-// deliver-to-everyone oracle achieves a full delivery ratio for messages
-// created before the last contact.
+// hold — delivered <= deliverable <= created, ratios in [0,1].
 func TestAccountingInvariantsProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		tr, err := traceForSeed(seed)
@@ -366,16 +388,22 @@ func traceForSeed(seed int64) (*trace.Trace, error) {
 
 func TestEnvGetters(t *testing.T) {
 	p := &probe{}
-	p.onTouch = func(a, b trace.NodeID, _ *Budget) {
-		if p.env.Interest(0) != "a" || p.env.Interest(1) != "b" {
+	p.onTouch = func(env Env, a, b trace.NodeID, _ *Budget) {
+		if env.Interest(0) != "a" || env.Interest(1) != "b" {
 			t.Error("Interest getter wrong")
 		}
-		if p.env.TTL() != time.Hour {
+		if env.TTL() != time.Hour {
 			t.Error("TTL getter wrong")
 		}
-		p.env.RecordControl(7)
-		p.env.RecordReplication(true)
-		p.env.RecordReplication(false)
+		if env.Workers() != 1 {
+			t.Errorf("Workers() = %d, want 1", env.Workers())
+		}
+		if env.Worker() != 0 {
+			t.Errorf("Worker() = %d, want 0", env.Worker())
+		}
+		env.RecordControl(7)
+		env.RecordReplication(true)
+		env.RecordReplication(false)
 	}
 	rep, err := Run(baseConfig(t), p)
 	if err != nil {

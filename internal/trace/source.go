@@ -1,0 +1,51 @@
+package trace
+
+// Source is a time-ordered stream of contacts. Stored traces and synthetic
+// generators implement it, so the simulator can replay a materialized
+// []Contact or consume contacts straight off a generator without ever
+// holding the full schedule in memory (the million-node path).
+//
+// Contacts must be produced in the same total order trace.New sorts into:
+// ascending (Start, End, A, B). Next returns ok=false once the stream is
+// exhausted; after that every call returns ok=false.
+type Source interface {
+	// Next returns the next contact in time order.
+	Next() (c Contact, ok bool)
+	// Nodes returns the population size the stream draws node IDs from.
+	Nodes() int
+}
+
+// cursor streams a materialized trace's contacts.
+type cursor struct {
+	t *Trace
+	i int
+}
+
+// Source returns a Source that replays the trace's contacts in order. Each
+// call returns an independent cursor; the trace itself is not consumed.
+func (t *Trace) Source() Source { return &cursor{t: t} }
+
+func (c *cursor) Nodes() int { return c.t.Nodes }
+
+func (c *cursor) Next() (Contact, bool) {
+	if c.i >= len(c.t.Contacts) {
+		return Contact{}, false
+	}
+	ct := c.t.Contacts[c.i]
+	c.i++
+	return ct, true
+}
+
+// Collect drains a Source into a slice. Intended for tests and for small
+// populations where a materialized trace is still convenient; at scale the
+// simulator consumes the Source directly.
+func Collect(s Source) []Contact {
+	var out []Contact
+	for {
+		c, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, c)
+	}
+}

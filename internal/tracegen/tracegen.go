@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"bsub/internal/trace"
@@ -171,6 +170,31 @@ func MITReality3Day(seed int64) Config {
 	}
 }
 
+// Scale returns a configuration for population-scale sweeps: communities
+// of ~40 nodes, sparse cross links (~4 per node), ~10 contacts per node
+// over a diurnal 24-hour span. Designed for the streaming generator: the
+// linked-pair graph is O(nodes), never O(nodes²), so a million-node
+// stream instantiates ~2×10⁷ pair streams instead of 5×10¹¹.
+func Scale(nodes int, seed int64) Config {
+	comms := nodes / 40
+	if comms < 1 {
+		comms = 1
+	}
+	return Config{
+		Name:                fmt.Sprintf("scale-%d", nodes),
+		Nodes:               nodes,
+		Span:                24 * time.Hour,
+		TargetContacts:      10 * nodes,
+		Communities:         comms,
+		CommunityBias:       3,
+		CrossLinkProb:       4.0 / float64(nodes),
+		MeanContactDuration: 2 * time.Minute,
+		ActivityAlpha:       2,
+		Diurnal:             true,
+		Seed:                seed,
+	}
+}
+
 // Small returns a compact configuration for tests and examples: 20 nodes,
 // 12 hours, ~2,000 contacts.
 func Small(seed int64) Config {
@@ -188,76 +212,15 @@ func Small(seed int64) Config {
 	}
 }
 
-// Generate synthesizes a trace from cfg.
+// Generate synthesizes a trace from cfg by collecting the streaming
+// generator, so materialized and streamed generation are the same process
+// observed two ways: Generate(cfg).Contacts == trace.Collect(NewStream(cfg)).
 func Generate(cfg Config) (*trace.Trace, error) {
-	if err := cfg.validate(); err != nil {
+	s, err := NewStream(cfg)
+	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	weights := activityWeights(rng, cfg.Nodes, cfg.ActivityAlpha)
-	community := cfg.CommunityAssignment
-	if community == nil {
-		community = assignCommunities(rng, cfg.Nodes, cfg.Communities)
-	}
-
-	// Pair rate shape: w_i * w_j, boosted for same-community pairs.
-	type pair struct {
-		a, b  int
-		shape float64
-	}
-	crossLink := cfg.CrossLinkProb
-	if crossLink == 0 {
-		crossLink = 1
-	}
-	pairs := make([]pair, 0, cfg.Nodes*(cfg.Nodes-1)/2)
-	shapeSum := 0.0
-	for i := 0; i < cfg.Nodes; i++ {
-		for j := i + 1; j < cfg.Nodes; j++ {
-			same := community[i] == community[j]
-			if !same && crossLink < 1 && rng.Float64() >= crossLink {
-				continue // these two people simply never cross paths
-			}
-			s := weights[i] * weights[j]
-			if same {
-				s *= cfg.CommunityBias
-			}
-			pairs = append(pairs, pair{a: i, b: j, shape: s})
-			shapeSum += s
-		}
-	}
-
-	// Calibrate the base rate so the expected accepted contact count hits
-	// the target: E[total] = sum_ij base*shape_ij * span * meanActivity.
-	meanAct := 1.0
-	if cfg.Diurnal {
-		meanAct = meanDiurnalActivity()
-	}
-	spanHours := cfg.Span.Hours()
-	base := float64(cfg.TargetContacts) / (shapeSum * spanHours * meanAct)
-
-	var contacts []trace.Contact
-	for _, p := range pairs {
-		rate := base * p.shape // contacts per hour at peak activity
-		if rate <= 0 {
-			continue
-		}
-		starts := poissonThinned(rng, rate, cfg.Span, cfg.Diurnal)
-		prevEnd := time.Duration(-1)
-		for _, s := range starts {
-			if s <= prevEnd {
-				continue // pairs cannot be in two simultaneous contacts
-			}
-			d := expDuration(rng, cfg.MeanContactDuration)
-			contacts = append(contacts, trace.Contact{
-				A:     trace.NodeID(p.a),
-				B:     trace.NodeID(p.b),
-				Start: s,
-				End:   s + d,
-			})
-			prevEnd = s + d
-		}
-	}
+	contacts := trace.Collect(s)
 	if len(contacts) == 0 {
 		return nil, fmt.Errorf("tracegen: configuration produced no contacts")
 	}
@@ -319,29 +282,10 @@ func assignCommunities(rng *rand.Rand, nodes, communities int) []int {
 	return out
 }
 
-// poissonThinned draws the arrival times of a Poisson process with the
-// given peak rate (events per hour) over span, thinned by the diurnal
-// activity profile when enabled. Returned times are sorted.
-func poissonThinned(rng *rand.Rand, ratePerHour float64, span time.Duration, diurnal bool) []time.Duration {
-	var out []time.Duration
-	t := 0.0 // hours
-	limit := span.Hours()
-	for {
-		t += rng.ExpFloat64() / ratePerHour
-		if t >= limit {
-			break
-		}
-		if diurnal && rng.Float64() >= diurnalActivity(t) {
-			continue
-		}
-		out = append(out, time.Duration(t*float64(time.Hour)))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 // diurnalActivity returns the relative contact intensity at hour-offset t
 // (hours since trace epoch, which is taken to be midnight).
+//
+//bsub:hotpath
 func diurnalActivity(tHours float64) float64 {
 	hod := math.Mod(tHours, 24)
 	if hod >= nightStartHour || hod < nightEndHour {
@@ -355,12 +299,4 @@ func meanDiurnalActivity() float64 {
 	nightHours := float64((24 - nightStartHour) + nightEndHour)
 	dayHours := 24 - nightHours
 	return (nightHours*nightActivity + dayHours) / 24
-}
-
-func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
-	d := time.Duration(rng.ExpFloat64() * float64(mean))
-	if d < 10*time.Second {
-		d = 10 * time.Second
-	}
-	return d
 }

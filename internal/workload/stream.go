@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"time"
+
+	"bsub/internal/xrand"
+)
+
+// Source is a time-ordered stream of message-creation events, the workload
+// counterpart of trace.Source: the simulator merges it with the contact
+// stream without ever materializing the full workload. Next returns
+// ok=false once the span is exhausted; messages arrive sorted by
+// (CreatedAt, Origin) with sequential IDs.
+type Source interface {
+	Next() (m Message, ok bool)
+}
+
+// msgSalt decorrelates per-node message streams from the contact streams a
+// caller may derive from the same root seed.
+const msgSalt = 0x6a09e667f3bcc909
+
+// nodeStream is one producing node's lazily evaluated Poisson arrival
+// process: the buffered next arrival plus the node's own generator, so a
+// node's message sequence is independent of every other node's.
+type nodeStream struct {
+	at     time.Duration // buffered next arrival
+	t      float64       // arrival clock, hours
+	rng    xrand.PRNG
+	rate   float64 // messages per hour
+	origin int32
+}
+
+// advance draws the node's next arrival; false when past the span.
+func (n *nodeStream) advance(limitHours float64) bool {
+	n.t += n.rng.Exp() / n.rate
+	if n.t >= limitHours {
+		return false
+	}
+	n.at = time.Duration(n.t * float64(time.Hour))
+	return true
+}
+
+// Stream produces the Section VII-A message workload incrementally: one
+// Poisson stream per node with a positive rate, merged through a binary
+// heap on (CreatedAt, Origin). Memory is O(producing nodes); keys and
+// sizes are drawn from the producing node's own stream at emission time.
+type Stream struct {
+	ks         *KeySet
+	limitHours float64
+	nodes      []nodeStream
+	heap       []int32
+	nextID     int
+}
+
+var _ Source = (*Stream)(nil)
+
+// NewStream builds the streamed equivalent of GenerateMessages: rates are
+// messages per hour per node (zero-rate nodes never produce), span bounds
+// arrival times, and seed derives every node's independent generator.
+func NewStream(ks *KeySet, rates []float64, span time.Duration, seed int64) *Stream {
+	s := &Stream{ks: ks, limitHours: span.Hours()}
+	for node, rate := range rates {
+		if rate <= 0 {
+			continue
+		}
+		n := nodeStream{
+			rng:    xrand.New(uint64(seed) ^ msgSalt ^ uint64(uint32(node))),
+			rate:   rate,
+			origin: int32(node),
+		}
+		if n.advance(s.limitHours) {
+			s.heap = append(s.heap, int32(len(s.nodes)))
+			s.nodes = append(s.nodes, n)
+		}
+	}
+	// The appends above keep heap entries in node order, but heapify anyway
+	// so the invariant never depends on it.
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	return s
+}
+
+// Next pops the earliest buffered arrival, stamps it with the next
+// sequential ID, draws its key and size from the producing node's stream,
+// and advances that node.
+func (s *Stream) Next() (Message, bool) {
+	if len(s.heap) == 0 {
+		return Message{}, false
+	}
+	n := &s.nodes[s.heap[0]]
+	m := Message{
+		ID:        s.nextID,
+		Key:       s.ks.sampleU(n.rng.Float64()),
+		Origin:    int(n.origin),
+		Size:      1 + n.rng.Intn(MaxMessageBytes),
+		CreatedAt: n.at,
+	}
+	s.nextID++
+	if n.advance(s.limitHours) {
+		s.siftDown(0)
+	} else {
+		last := len(s.heap) - 1
+		s.heap[0] = s.heap[last]
+		s.heap = s.heap[:last]
+		if last > 0 {
+			s.siftDown(0)
+		}
+	}
+	return m, true
+}
+
+// less orders heap entries by (CreatedAt, Origin) — GenerateMessages'
+// historical sort key. Origins are distinct, so the order is total.
+func (s *Stream) less(x, y int32) bool {
+	nx, ny := &s.nodes[x], &s.nodes[y]
+	if nx.at != ny.at {
+		return nx.at < ny.at
+	}
+	return nx.origin < ny.origin
+}
+
+func (s *Stream) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(s.heap) {
+			return
+		}
+		least := l
+		if r := l + 1; r < len(s.heap) && s.less(s.heap[r], s.heap[l]) {
+			least = r
+		}
+		if !s.less(s.heap[least], s.heap[i]) {
+			return
+		}
+		s.heap[i], s.heap[least] = s.heap[least], s.heap[i]
+		i = least
+	}
+}
+
+// Collect drains a Source into a slice. Tests and small fixtures use it;
+// at scale the simulator consumes the Source directly.
+func Collect(s Source) []Message {
+	var out []Message
+	for {
+		m, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, m)
+	}
+}
+
+// sliceSource replays pre-generated messages.
+type sliceSource struct {
+	msgs []Message
+	i    int
+}
+
+// SliceSource wraps a materialized, CreatedAt-sorted workload as a Source.
+func SliceSource(msgs []Message) Source { return &sliceSource{msgs: msgs} }
+
+func (s *sliceSource) Next() (Message, bool) {
+	if s.i >= len(s.msgs) {
+		return Message{}, false
+	}
+	m := s.msgs[s.i]
+	s.i++
+	return m, true
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestStreamMatchesGenerate: collecting a stream must reproduce
+// GenerateMessages exactly for the same derived seed.
+func TestStreamMatchesGenerate(t *testing.T) {
+	ks := NewTrendKeySet()
+	rates := []float64{2, 0, 5, 1, 3}
+	span := 48 * time.Hour
+
+	rng := rand.New(rand.NewSource(9))
+	seed := rand.New(rand.NewSource(9)).Int63()
+	want := GenerateMessages(ks, rates, span, rng)
+	got := Collect(NewStream(ks, rates, span, seed))
+	if len(got) != len(want) {
+		t.Fatalf("stream emitted %d messages, GenerateMessages %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Key != want[i].Key ||
+			got[i].Origin != want[i].Origin || got[i].Size != want[i].Size ||
+			got[i].CreatedAt != want[i].CreatedAt {
+			t.Fatalf("message %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamOrderAndIDs: arrivals must come out sorted by
+// (CreatedAt, Origin) with dense sequential IDs, and a zero-rate node must
+// never produce.
+func TestStreamOrderAndIDs(t *testing.T) {
+	ks := NewTrendKeySet()
+	s := NewStream(ks, []float64{3, 0, 3}, 24*time.Hour, 4)
+	id := 0
+	var prev Message
+	for {
+		m, ok := s.Next()
+		if !ok {
+			break
+		}
+		if m.ID != id {
+			t.Fatalf("ID %d, want %d", m.ID, id)
+		}
+		if m.Origin == 1 {
+			t.Fatal("zero-rate node produced a message")
+		}
+		if m.Size < 1 || m.Size > MaxMessageBytes {
+			t.Fatalf("size %d out of [1,%d]", m.Size, MaxMessageBytes)
+		}
+		if id > 0 && (m.CreatedAt < prev.CreatedAt ||
+			(m.CreatedAt == prev.CreatedAt && m.Origin <= prev.Origin)) {
+			t.Fatalf("out of order: %+v after %+v", m, prev)
+		}
+		prev = m
+		id++
+	}
+	if id == 0 {
+		t.Fatal("stream produced nothing")
+	}
+}
+
+// TestSliceSource round-trips a materialized workload.
+func TestSliceSource(t *testing.T) {
+	msgs := []Message{
+		{ID: 0, Key: "a", Origin: 0, Size: 10, CreatedAt: time.Minute},
+		{ID: 1, Key: "b", Origin: 1, Size: 20, CreatedAt: time.Hour},
+	}
+	got := Collect(SliceSource(msgs))
+	if len(got) != 2 || got[0].Key != "a" || got[1].Key != "b" {
+		t.Fatalf("round trip lost messages: %+v", got)
+	}
+}
+
+// TestStreamSeedIndependence: different seeds must give different
+// workloads; the same seed must reproduce the sequence.
+func TestStreamSeedIndependence(t *testing.T) {
+	ks := NewTrendKeySet()
+	rates := []float64{4, 4}
+	a := Collect(NewStream(ks, rates, 24*time.Hour, 1))
+	b := Collect(NewStream(ks, rates, 24*time.Hour, 1))
+	c := Collect(NewStream(ks, rates, 24*time.Hour, 2))
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d messages", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].CreatedAt != b[i].CreatedAt || a[i].Key != b[i].Key {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i].CreatedAt != c[i].CreatedAt {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical workloads")
+		}
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 )
 
@@ -110,8 +109,10 @@ func (ks *KeySet) Weight(i int) float64 { return ks.weights[i] }
 func (ks *KeySet) Key(i int) Key { return ks.keys[i] }
 
 // Sample draws one key according to the weight distribution.
-func (ks *KeySet) Sample(rng *rand.Rand) Key {
-	u := rng.Float64()
+func (ks *KeySet) Sample(rng *rand.Rand) Key { return ks.sampleU(rng.Float64()) }
+
+// sampleU maps a uniform draw u in [0, 1) to a key by inverse CDF.
+func (ks *KeySet) sampleU(u float64) Key {
 	lo, hi := 0, len(ks.cum)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -281,48 +282,16 @@ func Rates(centrality []float64, baseRatePerHour float64) ([]float64, error) {
 	return out, nil
 }
 
-type arrival struct {
-	at     time.Duration
-	origin int
-}
-
 // GenerateMessages draws each node's Poisson message arrivals over span,
 // assigning keys by weight and sizes uniform in [1, MaxMessageBytes]. The
-// result is sorted by creation time with sequential IDs.
+// result is sorted by creation time with sequential IDs. It is the
+// materialized view of Stream: the stream seed is drawn from rng, then all
+// randomness comes from per-node derived generators (see NewStream), so
+// streamed and collected generation produce the identical sequence.
 func GenerateMessages(ks *KeySet, rates []float64, span time.Duration, rng *rand.Rand) []Message {
-	var arrivals []arrival
-	for node, rate := range rates {
-		if rate <= 0 {
-			continue
-		}
-		t := 0.0
-		limit := span.Hours()
-		for {
-			t += rng.ExpFloat64() / rate
-			if t >= limit {
-				break
-			}
-			arrivals = append(arrivals, arrival{
-				at:     time.Duration(t * float64(time.Hour)),
-				origin: node,
-			})
-		}
-	}
-	sort.Slice(arrivals, func(i, j int) bool {
-		if arrivals[i].at != arrivals[j].at {
-			return arrivals[i].at < arrivals[j].at
-		}
-		return arrivals[i].origin < arrivals[j].origin
-	})
-	out := make([]Message, len(arrivals))
-	for i, a := range arrivals {
-		out[i] = Message{
-			ID:        i,
-			Key:       ks.Sample(rng),
-			Origin:    a.origin,
-			Size:      1 + rng.Intn(MaxMessageBytes),
-			CreatedAt: a.at,
-		}
+	out := Collect(NewStream(ks, rates, span, rng.Int63()))
+	if out == nil {
+		out = []Message{}
 	}
 	return out
 }
