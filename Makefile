@@ -1,7 +1,7 @@
 GO ?= go
 SHADOW := $(shell command -v shadow 2>/dev/null)
 
-.PHONY: build test race vet vet-shadow lint lint-one parity chaos chaos-mesh fuzz golden bench-smoke determinism scale check bench bench-json
+.PHONY: build test race vet vet-shadow lint lint-one parity chaos chaos-mesh fuzz golden bench-smoke determinism scale ablation ablation-smoke check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -64,14 +64,18 @@ fuzz:
 	$(GO) test ./internal/livenode -run '^$$' -fuzz FuzzDecodeHello -fuzztime 5s
 	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzSessionSteps -fuzztime 5s
 	$(GO) test ./internal/tcbf -run '^$$' -fuzz FuzzTCBFModel -fuzztime 5s
+	$(GO) test ./internal/filtertest -run '^$$' -fuzz FuzzFilterModel -fuzztime 5s
 	$(GO) test ./internal/faultnet -run '^$$' -fuzz FuzzFabricHealDuringHandshake -fuzztime 5s
 
 # golden regenerates the quick-mode experiment CSVs (seed 1) and compares
-# them byte-for-byte against cmd/experiments/testdata, pinning the
-# zero-allocation contact path to the exact results of the straightforward
-# implementation it replaced.
+# them byte-for-byte against the committed goldens: the figure series in
+# cmd/experiments/testdata, pinning the zero-allocation contact path to
+# the exact results of the straightforward implementation it replaced,
+# and the filter-backend ablation grid in internal/experiments/testdata,
+# pinning the filter seam itself.
 golden:
 	$(GO) test -count=1 -run TestGoldenCSVs ./cmd/experiments
+	$(GO) test -count=1 -run TestBackendAblationGolden ./internal/experiments
 
 # bench-smoke runs the contact benchmark a handful of iterations so a PR
 # that breaks the benchmark harness (or its zero-alloc assumptions, see
@@ -92,15 +96,29 @@ determinism:
 scale:
 	$(GO) run ./cmd/experiments -run scale -csv artifacts
 
+# ablation runs the full ablation battery — including the filter-backend
+# matrix over the fig7/fig9 traces and the 10k-node streamed population —
+# leaving the CSV grids in artifacts/ and the backend comparison in
+# BENCH_PR9.json. Takes minutes.
+ablation:
+	$(GO) run ./cmd/experiments -run ablation -csv artifacts -bench-json BENCH_PR9.json
+
+# ablation-smoke is the quick-mode backend-matrix gate: the conformance
+# subjects build, every backend survives a full trace replay and the
+# streamed-population leg, and the quick grid matches its golden.
+ablation-smoke:
+	$(GO) test -count=1 -run 'TestFilterBackendsMatrix|TestBackendAblationGolden|TestBackendScaleSweepQuick' ./internal/experiments
+
 # check is the PR gate: vet (plus the shadow pass), the repo-specific
 # analyzers, the quick sharded-determinism gate, and the full suite under
 # the race detector, then sim/live
 # parity, the chaos suite, the mesh churn controller, a fuzz smoke pass
-# over the wire decoders, the engine state machine, and the TCBF
-# differential model, the golden-CSV comparison, and a benchmark smoke
+# over the wire decoders, the engine state machine, the TCBF differential
+# model, and the cross-backend filter conformance suite, the golden-CSV
+# comparisons, the filter-backend ablation smoke, and a benchmark smoke
 # run. The livenode session adapter and the mesh daemon are concurrent;
 # never ship them unraced.
-check: vet vet-shadow lint determinism race parity chaos chaos-mesh fuzz golden bench-smoke
+check: vet vet-shadow lint determinism race parity chaos chaos-mesh fuzz golden ablation-smoke bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

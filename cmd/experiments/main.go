@@ -32,10 +32,11 @@ func main() {
 
 func run() error {
 	var (
-		only   = flag.String("run", "", "run a single artifact: table1 | table2 | fig7 | fig8 | fig9 | memory | analysis | allocation | ablation | scale")
-		seed   = flag.Int64("seed", 1, "random seed")
-		quick  = flag.Bool("quick", false, "use the small fixture and reduced sweeps")
-		csvDir = flag.String("csv", "", "also write the figure series as CSV files into this directory")
+		only     = flag.String("run", "", "run a single artifact: table1 | table2 | fig7 | fig8 | fig9 | memory | analysis | allocation | ablation | scale")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "use the small fixture and reduced sweeps")
+		csvDir   = flag.String("csv", "", "also write the figure series as CSV files into this directory")
+		benchOut = flag.String("bench-json", "", "write the filter-backend ablation (grid + population leg) as JSON to this file; ablation artifact only")
 	)
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func run() error {
 
 	for _, a := range artifacts {
 		started := time.Now()
-		if err := runArtifact(a, *seed, *quick, *csvDir); err != nil {
+		if err := runArtifact(a, *seed, *quick, *csvDir, *benchOut); err != nil {
 			return fmt.Errorf("%s: %w", a, err)
 		}
 		fmt.Printf("-- %s done in %v --\n\n", a, time.Since(started).Round(time.Millisecond))
@@ -88,7 +89,7 @@ func writeCSV(dir, file string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-func runArtifact(name string, seed int64, quick bool, csvDir string) error {
+func runArtifact(name string, seed int64, quick bool, csvDir, benchOut string) error {
 	switch name {
 	case "table1":
 		rows, err := experiments.Table1(seed)
@@ -233,7 +234,7 @@ func runArtifact(name string, seed int64, quick bool, csvDir string) error {
 			}
 			fmt.Println()
 		}
-		return nil
+		return backendAblation(seed, quick, csvDir, benchOut)
 
 	case "scale":
 		sizes := experiments.DefaultScaleSizes
@@ -258,6 +259,67 @@ func runArtifact(name string, seed int64, quick bool, csvDir string) error {
 			"Scale sweep: B-SUB over streamed traces (ROADMAP item 1)", points)
 	}
 	return fmt.Errorf("unknown artifact %q", name)
+}
+
+// backendAblation runs the filter-backend matrix (ISSUE 9): every
+// backend over the fig7 and fig9 traces at a fixed TTL, then over the
+// streamed 10k-node population, emitting the grid as CSV and — when
+// -bench-json is set — the BENCH_PR9.json document.
+func backendAblation(seed int64, quick bool, csvDir, benchOut string) error {
+	ttl := 8 * time.Hour
+	if quick {
+		ttl = 4 * time.Hour
+	}
+	var rows []experiments.BackendTraceRow
+	for _, which := range []string{"haggle", "mit"} {
+		f, err := fixture(which, seed, quick)
+		if err != nil {
+			return err
+		}
+		results, err := experiments.AblateFilterBackends(f, ttl)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, experiments.BackendTraceRows(which, ttl, results)...)
+		if err := experiments.WriteAblation(os.Stdout,
+			fmt.Sprintf("ablation: filter backend on %s (ISSUE 9)", f.Name), results); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if err := writeCSV(csvDir, "ablation-backends.csv", func(w io.Writer) error {
+		return experiments.WriteBackendAblationCSV(w, rows)
+	}); err != nil {
+		return err
+	}
+
+	nodes := 10_000
+	if quick {
+		nodes = 1_000
+	}
+	points, err := experiments.BackendScaleSweep(nodes, 0, seed)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBackendScale(os.Stdout,
+		fmt.Sprintf("ablation: filter backend at %d streamed nodes", nodes), points); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	if benchOut == "" {
+		return nil
+	}
+	f, err := os.Create(benchOut)
+	if err != nil {
+		return err
+	}
+	doc := experiments.BackendBench{TraceRows: rows, Scale: points}
+	if err := experiments.WriteBackendBenchJSON(f, doc); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fixture(which string, seed int64, quick bool) (*experiments.Fixture, error) {

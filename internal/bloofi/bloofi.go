@@ -1,0 +1,591 @@
+// Package bloofi implements a Bloofi-style hierarchical filter tree
+// (Crainiceanu & Lemire, "Bloofi: Multidimensional Bloom filters") as a
+// backend for the internal/filter seam. A Tree holds one TCBF per
+// downstream subscriber interest set as a leaf, and every inner node
+// carries the counter-wise maximum (M-merge) of its children — so an
+// inner aggregate contains every bit any descendant holds, with at least
+// the descendant's counter, and a membership query can descend the tree
+// pruning whole subtrees whose aggregate already misses the key:
+// O(d·log_d n) filter checks instead of n. Max-aggregation commutes with
+// the TCBF's uniform decay (both operands erode at the same rate), so
+// the pruning invariant survives time passing.
+//
+// As a relay-filter backend the tree changes A-merge's meaning: instead
+// of summing a consumer's genuine filter into one flat vector (losing
+// which consumer wanted what), the absorbed filter becomes its own leaf,
+// and the additive-reinforcement semantics of repeated meetings is
+// deliberately given up — that trade (per-subscriber resolution and
+// logarithmic checks versus reinforcement) is exactly what the backend
+// ablation measures. The mesh broker tier uses the same tree directly to
+// aggregate downstream peer interests and route floods with logarithmic
+// checks (see internal/mesh).
+package bloofi
+
+import (
+	"fmt"
+	"time"
+
+	"bsub/internal/filter"
+	"bsub/internal/tcbf"
+)
+
+// Defaults used when the corresponding Backend field is zero.
+const (
+	// DefaultBranching is the tree fan-out d.
+	DefaultBranching = 4
+	// DefaultMaxLeaves caps the leaf count; past it, the two smallest
+	// leaves are M-merged into one.
+	DefaultMaxLeaves = 64
+)
+
+// Backend builds Bloofi trees behind the internal/filter seam.
+type Backend struct {
+	// Branching is the inner-node fan-out d; zero means DefaultBranching.
+	// Must be in [2, 16].
+	Branching int
+	// MaxLeaves caps the number of leaves; zero means DefaultMaxLeaves.
+	// Must be at least Branching. On overflow the two leaves with the
+	// fewest set bits are M-merged, trading per-subscriber resolution
+	// for boundedness.
+	MaxLeaves int
+}
+
+// Name implements filter.Backend.
+func (Backend) Name() string { return "bloofi" }
+
+// Laws implements filter.Backend: aggregates only ever add bits, so
+// there are no false negatives; but A-merge is reinterpreted as leaf
+// insertion (max-aggregated), so counters are not additive, merge order
+// shows in the leaf structure, and the wire form is the root aggregate
+// only (a decode yields a one-leaf tree).
+func (Backend) Laws() filter.Laws {
+	return filter.Laws{NoFalseNegatives: true}
+}
+
+func (b Backend) branching() int {
+	if b.Branching == 0 {
+		return DefaultBranching
+	}
+	return b.Branching
+}
+
+func (b Backend) maxLeaves() int {
+	if b.MaxLeaves == 0 {
+		return DefaultMaxLeaves
+	}
+	return b.MaxLeaves
+}
+
+// Validate implements filter.Backend.
+func (b Backend) Validate(cfg tcbf.Config, partitions int) error {
+	if d := b.branching(); d < 2 || d > 16 {
+		return fmt.Errorf("bloofi: branching %d outside [2,16]", d)
+	}
+	if m := b.maxLeaves(); m < b.branching() {
+		return fmt.Errorf("bloofi: leaf cap %d below branching %d", m, b.branching())
+	}
+	if partitions < 1 || partitions > 255 {
+		return fmt.Errorf("bloofi: partition count must be in [1,255], got %d", partitions)
+	}
+	return cfg.Validate()
+}
+
+// New implements filter.Backend.
+func (b Backend) New(cfg tcbf.Config, partitions int, now time.Duration) (filter.Filter, error) {
+	t, err := NewTree(b, cfg, partitions, now)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewTree builds an empty tree with the concrete type exposed — the mesh
+// broker tier's entry point, which needs Tree-specific absorption.
+func NewTree(b Backend, cfg tcbf.Config, partitions int, now time.Duration) (*Tree, error) {
+	if err := b.Validate(cfg, partitions); err != nil {
+		return nil, err
+	}
+	root, err := tcbf.NewPartitioned(cfg, partitions, now)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		cfg:       cfg,
+		parts:     partitions,
+		branching: b.branching(),
+		maxLeaves: b.maxLeaves(),
+		rootAgg:   root,
+	}, nil
+}
+
+// node is one tree position: a leaf's own filter or an inner node's
+// max-aggregate of its children.
+type node struct {
+	agg      *tcbf.Partitioned
+	children []*node // nil for leaves
+}
+
+// Tree is a Bloofi filter tree implementing filter.Filter. It is not
+// safe for concurrent use.
+type Tree struct {
+	cfg       tcbf.Config
+	parts     int
+	branching int
+	maxLeaves int
+
+	// leaves in absorption order; root is nil until the first leaf
+	// exists. rootAgg always exists and mirrors the root's aggregate (an
+	// empty filter while the tree has no leaves), so encode and
+	// fill-ratio queries have a stable target.
+	leaves  []*node
+	root    *node
+	rootAgg *tcbf.Partitioned
+
+	// own is the leaf direct inserts land in (engine-driven insertion of
+	// this node's own interests); nil until the first insert.
+	own *node
+
+	merged bool
+	// spare pools retired inner nodes' filters for rebuilds.
+	spare []*tcbf.Partitioned
+}
+
+var _ filter.Filter = (*Tree)(nil)
+
+// Config implements filter.Filter.
+func (t *Tree) Config() tcbf.Config { return t.cfg }
+
+// Partitions implements filter.Filter.
+func (t *Tree) Partitions() int { return t.parts }
+
+// Leaves returns the current leaf count (introspection for tests and
+// the mesh tier).
+func (t *Tree) Leaves() int { return len(t.leaves) }
+
+// newFilter builds or recycles a partitioned TCBF for tree structure.
+func (t *Tree) newFilter(now time.Duration) (*tcbf.Partitioned, error) {
+	if k := len(t.spare); k > 0 {
+		f := t.spare[k-1]
+		t.spare = t.spare[:k-1]
+		f.Reset(now)
+		if err := f.SetDecayFactor(t.cfg.DecayPerMinute, now); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return tcbf.NewPartitioned(t.cfg, t.parts, now)
+}
+
+// rebuild reconstructs the inner levels bottom-up from the leaf list and
+// refreshes rootAgg. Called after any structural or leaf-content change;
+// n ≤ maxLeaves keeps this cheap, and queries stay logarithmic.
+func (t *Tree) rebuild(now time.Duration) error {
+	// Retire old inner nodes' filters into the spare pool.
+	var retire func(n *node)
+	retire = func(n *node) {
+		if n == nil || n.children == nil {
+			return
+		}
+		for _, c := range n.children {
+			retire(c)
+		}
+		t.spare = append(t.spare, n.agg)
+	}
+	retire(t.root)
+	t.root = nil
+
+	if len(t.leaves) == 0 {
+		t.rootAgg.Reset(now)
+		return nil
+	}
+	level := t.leaves
+	for len(level) > 1 {
+		next := make([]*node, 0, (len(level)+t.branching-1)/t.branching)
+		for i := 0; i < len(level); i += t.branching {
+			end := i + t.branching
+			if end > len(level) {
+				end = len(level)
+			}
+			agg, err := t.newFilter(now)
+			if err != nil {
+				return err
+			}
+			inner := &node{agg: agg, children: level[i:end:end]}
+			for _, c := range inner.children {
+				if err := inner.agg.MMerge(c.agg, now); err != nil {
+					return err
+				}
+			}
+			next = append(next, inner)
+		}
+		level = next
+	}
+	t.root = level[0]
+	// Mirror the root aggregate into the stable rootAgg filter.
+	t.rootAgg.Reset(now)
+	return t.rootAgg.MMerge(t.root.agg, now)
+}
+
+// addLeaf absorbs f (taking ownership) as a new leaf, merging the two
+// smallest leaves first when the cap is reached.
+func (t *Tree) addLeaf(f *tcbf.Partitioned, now time.Duration) error {
+	if len(t.leaves) >= t.maxLeaves {
+		// Find the two leaves with the fewest set bits (ties by index:
+		// older first) and fold the second into the first.
+		a, b := -1, -1
+		for i, l := range t.leaves {
+			sb := l.agg.SetBits()
+			switch {
+			case a < 0 || sb < t.leaves[a].agg.SetBits():
+				b = a
+				a = i
+			case b < 0 || sb < t.leaves[b].agg.SetBits():
+				b = i
+			}
+		}
+		if t.leaves[a] == t.own {
+			// Never fold the direct-insert leaf away; take the runner-up.
+			a, b = b, a
+		}
+		if err := t.leaves[b].agg.MMerge(t.leaves[a].agg, now); err != nil {
+			return err
+		}
+		if t.leaves[b] == t.own {
+			// The fold target absorbed own's content but own must stay
+			// insertable; the merged filter becomes a plain leaf.
+			t.own = nil
+		}
+		t.spare = append(t.spare, t.leaves[a].agg)
+		t.leaves[a] = t.leaves[len(t.leaves)-1]
+		t.leaves[len(t.leaves)-1] = nil
+		t.leaves = t.leaves[:len(t.leaves)-1]
+	}
+	t.leaves = append(t.leaves, &node{agg: f})
+	return t.rebuild(now)
+}
+
+// Reset implements filter.Filter.
+func (t *Tree) Reset(now time.Duration) {
+	var retire func(n *node)
+	retire = func(n *node) {
+		if n == nil {
+			return
+		}
+		for _, c := range n.children {
+			retire(c)
+		}
+		t.spare = append(t.spare, n.agg)
+	}
+	retire(t.root)
+	if t.root == nil {
+		for _, l := range t.leaves {
+			t.spare = append(t.spare, l.agg)
+		}
+	}
+	t.leaves = t.leaves[:0]
+	t.root = nil
+	t.own = nil
+	t.rootAgg.Reset(now)
+	t.merged = false
+}
+
+// each visits every filter in the tree (leaves, inner aggregates, and
+// the root mirror).
+func (t *Tree) each(fn func(*tcbf.Partitioned) error) error {
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n == nil {
+			return nil
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return fn(n.agg)
+	}
+	if t.root != nil {
+		if err := walk(t.root); err != nil {
+			return err
+		}
+	} else {
+		for _, l := range t.leaves {
+			if err := fn(l.agg); err != nil {
+				return err
+			}
+		}
+	}
+	return fn(t.rootAgg)
+}
+
+// Advance implements filter.Filter.
+func (t *Tree) Advance(now time.Duration) error {
+	return t.each(func(f *tcbf.Partitioned) error { return f.Advance(now) })
+}
+
+// SetDecayFactor implements filter.Filter.
+func (t *Tree) SetDecayFactor(perMinute float64, now time.Duration) error {
+	if err := t.each(func(f *tcbf.Partitioned) error {
+		return f.SetDecayFactor(perMinute, now)
+	}); err != nil {
+		return err
+	}
+	t.cfg.DecayPerMinute = perMinute
+	return nil
+}
+
+// Insert implements filter.Filter: direct inserts land in a dedicated
+// leaf (the tree owner's own interests).
+func (t *Tree) Insert(key string, now time.Duration) error {
+	return t.InsertPre(tcbf.Precompute(key), now)
+}
+
+// InsertAll implements filter.Filter.
+func (t *Tree) InsertAll(keys []string, now time.Duration) error {
+	for _, k := range keys {
+		if err := t.Insert(k, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertPre implements filter.Filter.
+func (t *Tree) InsertPre(k tcbf.PreKey, now time.Duration) error {
+	return t.insertAllPre([]tcbf.PreKey{k}, now)
+}
+
+// InsertAllPre implements filter.Filter.
+func (t *Tree) InsertAllPre(keys []tcbf.PreKey, now time.Duration) error {
+	return t.insertAllPre(keys, now)
+}
+
+func (t *Tree) insertAllPre(keys []tcbf.PreKey, now time.Duration) error {
+	if t.merged {
+		key := ""
+		if len(keys) > 0 {
+			key = keys[0].Key
+		}
+		return fmt.Errorf("bloofi: insert %q: %w", key, tcbf.ErrMerged)
+	}
+	if len(keys) == 0 {
+		return t.Advance(now)
+	}
+	if t.own == nil {
+		f, err := t.newFilter(now)
+		if err != nil {
+			return err
+		}
+		t.own = &node{agg: f}
+		t.leaves = append(t.leaves, t.own)
+	}
+	if err := t.own.agg.InsertAllPre(keys, now); err != nil {
+		return err
+	}
+	return t.rebuild(now)
+}
+
+// ContainsPre implements filter.Filter with the Bloofi descent: an inner
+// aggregate that misses the key prunes its whole subtree.
+func (t *Tree) ContainsPre(k tcbf.PreKey, now time.Duration) (bool, error) {
+	if t.root == nil {
+		_, err := t.rootAgg.ContainsPre(k, now)
+		return false, err
+	}
+	var descend func(n *node) (bool, error)
+	descend = func(n *node) (bool, error) {
+		ok, err := n.agg.ContainsPre(k, now)
+		if err != nil || !ok {
+			return false, err
+		}
+		if n.children == nil {
+			return true, nil
+		}
+		for _, c := range n.children {
+			ok, err := descend(c)
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	return descend(t.root)
+}
+
+// Contains implements filter.Filter.
+func (t *Tree) Contains(key string, now time.Duration) (bool, error) {
+	return t.ContainsPre(tcbf.Precompute(key), now)
+}
+
+// ContainsAnyPre implements filter.Filter.
+func (t *Tree) ContainsAnyPre(keys []tcbf.PreKey, now time.Duration) (bool, error) {
+	for i := range keys {
+		ok, err := t.ContainsPre(keys[i], now)
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// MinCounterPre implements filter.Filter: the key's strength is the best
+// minimum counter any single leaf gives it, found by descent — subtrees
+// whose aggregate cannot beat the current best are pruned (an aggregate's
+// min counter bounds every descendant's from above).
+func (t *Tree) MinCounterPre(k tcbf.PreKey, now time.Duration) (float64, error) {
+	if t.root == nil {
+		return 0, t.rootAgg.Advance(now)
+	}
+	best := 0.0
+	var descend func(n *node) error
+	descend = func(n *node) error {
+		c, err := n.agg.MinCounterPre(k, now)
+		if err != nil || c <= best {
+			return err
+		}
+		if n.children == nil {
+			best = c
+			return nil
+		}
+		for _, ch := range n.children {
+			if err := descend(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := descend(t.root); err != nil {
+		return 0, err
+	}
+	return best, nil
+}
+
+// PreferencePre implements filter.Filter with the receiver as self.
+func (t *Tree) PreferencePre(k tcbf.PreKey, peer filter.Filter, now time.Duration) (float64, error) {
+	o, ok := peer.(*Tree)
+	if !ok {
+		return 0, fmt.Errorf("bloofi: backend cannot operate on a %T peer", peer)
+	}
+	pf, err := o.MinCounterPre(k, now)
+	if err != nil {
+		return 0, fmt.Errorf("peer: %w", err)
+	}
+	g, err := t.MinCounterPre(k, now)
+	if err != nil {
+		return 0, fmt.Errorf("self: %w", err)
+	}
+	if g == 0 {
+		return pf, nil
+	}
+	return pf - g, nil
+}
+
+// AMerge implements filter.Filter: the absorbed filter's aggregate
+// becomes a new leaf. This is where the tree departs from the paper's
+// A-merge — repeated absorption of the same consumer adds (and
+// eventually folds) leaves instead of summing counters; see the package
+// comment.
+func (t *Tree) AMerge(other filter.Filter, now time.Duration) error {
+	return t.absorb(other, now)
+}
+
+// MMerge implements filter.Filter: identical to AMerge here, since leaf
+// aggregation is already by maximum.
+func (t *Tree) MMerge(other filter.Filter, now time.Duration) error {
+	return t.absorb(other, now)
+}
+
+func (t *Tree) absorb(other filter.Filter, now time.Duration) error {
+	o, ok := other.(*Tree)
+	if !ok {
+		return fmt.Errorf("bloofi: backend cannot operate on a %T peer", other)
+	}
+	if err := o.rootAgg.Advance(now); err != nil {
+		return err
+	}
+	leaf, err := t.newFilter(now)
+	if err != nil {
+		return err
+	}
+	if err := leaf.MMerge(o.rootAgg, now); err != nil {
+		return err
+	}
+	if err := t.addLeaf(leaf, now); err != nil {
+		return err
+	}
+	t.merged = true
+	return nil
+}
+
+// AbsorbPartitioned adds a decoded partitioned TCBF as a leaf (by
+// max-copy; the source is advanced but not retained).
+func (t *Tree) AbsorbPartitioned(f *tcbf.Partitioned, now time.Duration) error {
+	leaf, err := t.newFilter(now)
+	if err != nil {
+		return err
+	}
+	if err := leaf.MMerge(f, now); err != nil {
+		return err
+	}
+	if err := t.addLeaf(leaf, now); err != nil {
+		return err
+	}
+	t.merged = true
+	return nil
+}
+
+// AbsorbEncoded adds a wire-encoded partitioned TCBF (a downstream
+// peer's interest or relay filter, as produced by the engine's *Out
+// steps) directly as a leaf — the mesh broker tier's entry point, which
+// skips the scratch-tree decode a filter.Filter round-trip would need.
+func (t *Tree) AbsorbEncoded(data []byte, now time.Duration) error {
+	leaf, err := t.newFilter(now)
+	if err != nil {
+		return err
+	}
+	if err := leaf.DecodeInto(data, now); err != nil {
+		return err
+	}
+	if err := t.addLeaf(leaf, now); err != nil {
+		return err
+	}
+	t.merged = true
+	return nil
+}
+
+// Encode implements filter.Filter.
+func (t *Tree) Encode(mode tcbf.CounterMode) ([]byte, error) {
+	return t.EncodeTo(nil, mode)
+}
+
+// EncodeTo implements filter.Filter: the wire form is the root aggregate
+// alone (the membership superset of every leaf); per-leaf structure
+// never crosses the wire, so a decode yields a one-leaf tree.
+func (t *Tree) EncodeTo(dst []byte, mode tcbf.CounterMode) ([]byte, error) {
+	return t.rootAgg.EncodeTo(dst, mode)
+}
+
+// DecodeInto implements filter.Filter: the tree collapses to a single
+// leaf holding the decoded aggregate.
+func (t *Tree) DecodeInto(data []byte, now time.Duration) error {
+	t.Reset(now)
+	leaf, err := t.newFilter(now)
+	if err != nil {
+		return err
+	}
+	if err := leaf.DecodeInto(data, now); err != nil {
+		return err
+	}
+	if err := t.addLeaf(leaf, now); err != nil {
+		return err
+	}
+	t.merged = true
+	return nil
+}
+
+// SetBits implements filter.Filter (the root aggregate's view).
+func (t *Tree) SetBits() int { return t.rootAgg.SetBits() }
+
+// EstimatedFPR implements filter.Filter (the root aggregate's view —
+// what a descent's first check sees).
+func (t *Tree) EstimatedFPR() float64 { return t.rootAgg.EstimatedFPR() }

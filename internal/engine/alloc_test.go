@@ -7,26 +7,39 @@ import (
 	"testing"
 	"time"
 
+	"bsub/internal/bloofi"
+	"bsub/internal/filter"
 	"bsub/internal/workload"
 )
 
 // TestContactAllocationFree pins the tentpole property of the contact hot
 // path: a warm BeginContact → full broker-broker exchange → Release cycle
-// performs zero heap allocations, in both broker merge modes. Excluded
-// under -race (the race runtime allocates during bookkeeping).
+// performs zero heap allocations on the default packed TCBF backend, in
+// both broker merge modes. The alternative filter backends ride the same
+// cycle: retouching works in place and a stationary autoscaling stack
+// never grows, so both stay at zero; the Bloofi tree allocates by design
+// (per-insert rebuilds, absorb-as-leaf clones) and is pinned to a budget
+// with ~2x headroom so a hot-path regression still trips the guard.
+// Excluded under -race (the race runtime allocates during bookkeeping).
 func TestContactAllocationFree(t *testing.T) {
 	for _, m := range []struct {
-		name string
-		mode BrokerMergeMode
+		name    string
+		mode    BrokerMergeMode
+		backend filter.Backend // nil = the default packed TCBF
+		budget  float64        // max allocs per warm contact cycle
 	}{
-		{"mmerge", BrokerMergeMax},
-		{"amerge", BrokerMergeAdditive},
+		{"mmerge", BrokerMergeMax, nil, 0},
+		{"amerge", BrokerMergeAdditive, nil, 0},
+		{"retouched", BrokerMergeMax, filter.Retouched{}, 0},
+		{"autoscale", BrokerMergeMax, filter.Autoscale{}, 0},
+		{"bloofi", BrokerMergeMax, bloofi.Backend{}, allocBudgetBloofi},
 	} {
 		t.Run(m.name, func(t *testing.T) {
 			const ttl = 100 * time.Hour
 			now := time.Hour
 			cfg := DefaultConfig(0.01)
 			cfg.BrokerMerge = m.mode
+			cfg.Backend = m.backend
 			left, err := NewNode(1, cfg, ttl)
 			if err != nil {
 				t.Fatal(err)
@@ -124,9 +137,17 @@ func TestContactAllocationFree(t *testing.T) {
 				sl.Release()
 			}
 			contact() // warm the arenas
-			if avg := testing.AllocsPerRun(50, contact); avg != 0 {
-				t.Errorf("warm contact: %g allocs per run, want 0", avg)
+			if avg := testing.AllocsPerRun(50, contact); avg > m.budget {
+				t.Errorf("warm contact: %g allocs per run, want <= %g", avg, m.budget)
 			}
 		})
 	}
 }
+
+// Per-backend allocation ceilings for a warm contact cycle. The
+// autoscaling stack allocates only when it grows a layer, which a warm
+// stationary contact never does, so its steady state is zero like the
+// packed backends. The Bloofi tree rebuilds aggregate levels on every
+// insert and absorbs peers as cloned leaves (46 allocs measured); its
+// ceiling sits at ~2x so noise passes and a hot-path regression fails.
+const allocBudgetBloofi = 100

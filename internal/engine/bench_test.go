@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"bsub/internal/bloofi"
+	"bsub/internal/filter"
 	"bsub/internal/workload"
 )
 
@@ -12,15 +14,21 @@ import (
 // through the engine — hello/election, relay-filter encode/decode
 // exchange, preferential-forwarding decisions with copy claims, the
 // configured merge, and both sides' delivery and replication pulls — in
-// both broker merge modes. Claims are aborted at the end of each
+// both broker merge modes on the default packed TCBF backend (the
+// mmerge/amerge cases, whose names are the PR 6 baseline), and once per
+// alternative filter backend. Claims are aborted at the end of each
 // iteration so the stores stay stationary and iterations are comparable.
 func BenchmarkEngineContact(b *testing.B) {
 	modes := []struct {
-		name string
-		mode BrokerMergeMode
+		name    string
+		mode    BrokerMergeMode
+		backend filter.Backend // nil = the default packed TCBF
 	}{
-		{"mmerge", BrokerMergeMax},
-		{"amerge", BrokerMergeAdditive},
+		{"mmerge", BrokerMergeMax, nil},
+		{"amerge", BrokerMergeAdditive, nil},
+		{"retouched", BrokerMergeMax, filter.Retouched{}},
+		{"autoscale", BrokerMergeMax, filter.Autoscale{}},
+		{"bloofi", BrokerMergeMax, bloofi.Backend{}},
 	}
 	for _, m := range modes {
 		b.Run(m.name, func(b *testing.B) {
@@ -28,6 +36,7 @@ func BenchmarkEngineContact(b *testing.B) {
 			now := time.Hour
 			cfg := DefaultConfig(0.01)
 			cfg.BrokerMerge = m.mode
+			cfg.Backend = m.backend
 			left, err := NewNode(1, cfg, ttl)
 			if err != nil {
 				b.Fatal(err)

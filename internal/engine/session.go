@@ -5,6 +5,7 @@ import (
 	"slices"
 	"time"
 
+	"bsub/internal/filter"
 	"bsub/internal/tcbf"
 	"bsub/internal/workload"
 )
@@ -86,8 +87,8 @@ type Session struct {
 	// keys off; relay/peerRelay are the filters pinned for this contact.
 	selfBroker bool
 	peerBroker bool
-	relay      *tcbf.Partitioned
-	peerRelay  *tcbf.Partitioned // points at peerRelayBuf once set
+	relay      filter.Filter
+	peerRelay  filter.Filter // points at peerRelayBuf once set
 
 	claims   []*Claim
 	poisoned bool
@@ -99,11 +100,11 @@ type Session struct {
 	// peer state lives in its own filter so one step cannot clobber state a
 	// later step still reads (SetPeerRelay's decode must survive until
 	// ForwardCandidates/MergeRelay, which may interleave with the pulls).
-	peerRelayBuf *tcbf.Partitioned // SetPeerRelay decode target
-	genuineBuf   *tcbf.Partitioned // GenuineOut build / AbsorbGenuine decode
-	advertBuf    *tcbf.Partitioned // ReplicationMatches decode target
-	interestBuf  *tcbf.Filter      // InterestOut build
-	deliveryBuf  *tcbf.Filter      // DeliveryMatches decode target
+	peerRelayBuf filter.Filter // SetPeerRelay decode target
+	genuineBuf   filter.Filter // GenuineOut build / AbsorbGenuine decode
+	advertBuf    filter.Filter // ReplicationMatches decode target
+	interestBuf  *tcbf.Filter  // InterestOut build (protocol-fixed plain BF)
+	deliveryBuf  *tcbf.Filter  // DeliveryMatches decode target
 
 	relayEnc    []byte
 	genuineEnc  []byte
@@ -169,7 +170,8 @@ func (n *Node) BeginContactFrom(c *SessionCache, budget Budget, now time.Duratio
 		c.free[k-1] = nil
 		c.free = c.free[:k-1]
 		if s.n != n {
-			if s.n.fcfg != n.fcfg || s.n.cfg.partitions() != n.cfg.partitions() {
+			if s.n.fcfg != n.fcfg || s.n.cfg.partitions() != n.cfg.partitions() ||
+				s.n.cfg.backend() != n.cfg.backend() {
 				s.dropArena()
 			}
 			s.n = n
@@ -271,12 +273,12 @@ func (s *Session) ratchet() {
 	}
 }
 
-// scratchPartitioned lazily builds the partitioned scratch filter in slot.
+// scratchRelay lazily builds the backend scratch filter in slot.
 //
 //bsub:coldpath
-func (s *Session) scratchPartitioned(slot **tcbf.Partitioned) *tcbf.Partitioned {
+func (s *Session) scratchRelay(slot *filter.Filter) filter.Filter {
 	if *slot == nil {
-		*slot = tcbf.MustNewPartitioned(s.n.fcfg, s.n.cfg.partitions(), s.now)
+		*slot = filter.MustNew(s.n.cfg.backend(), s.n.fcfg, s.n.cfg.partitions(), s.now)
 	}
 	return *slot
 }
@@ -385,7 +387,7 @@ func (s *Session) Apply(own, peer Action) {
 		if s.relay == nil {
 			// Demoted by a concurrent session after our hello: run the
 			// contact as announced against a throwaway filter.
-			s.relay = tcbf.MustNewPartitioned(s.n.fcfg, s.n.cfg.partitions(), s.now)
+			s.relay = filter.MustNew(s.n.cfg.backend(), s.n.fcfg, s.n.cfg.partitions(), s.now)
 		}
 	}
 }
@@ -424,7 +426,7 @@ func (s *Session) ReceivesGenuine() bool { return s.selfBroker && !s.peerBroker 
 //bsub:hotpath
 func (s *Session) GenuineOut() ([]byte, error) {
 	s.ratchet()
-	g := s.scratchPartitioned(&s.genuineBuf)
+	g := s.scratchRelay(&s.genuineBuf)
 	g.Reset(s.now)
 	if err := g.InsertAllPre(s.n.preInterests, s.now); err != nil {
 		return nil, err
@@ -453,7 +455,7 @@ func (s *Session) AbsorbGenuine(data []byte) error {
 	// genuineBuf is safe to reuse as the decode target: a session either
 	// sends or receives genuine filters, never both (the roles are fixed
 	// by Apply), and the merge consumes the decoded state immediately.
-	g := s.scratchPartitioned(&s.genuineBuf)
+	g := s.scratchRelay(&s.genuineBuf)
 	if err := g.DecodeInto(data, s.now); err != nil {
 		return err
 	}
@@ -494,7 +496,7 @@ func (s *Session) SetPeerRelay(data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
-	pr := s.scratchPartitioned(&s.peerRelayBuf)
+	pr := s.scratchRelay(&s.peerRelayBuf)
 	if err := pr.DecodeInto(data, s.now); err != nil {
 		// The in-place decode may have left a partial mix of old and new
 		// state in the scratch filter; unpin it so later steps cannot act
@@ -522,7 +524,7 @@ func (s *Session) ForwardCandidates() ([]Forward, error) {
 	for _, e := range s.n.carried.live(s.now) {
 		best, ok := 0.0, false
 		for _, k := range e.pre {
-			pref, err := tcbf.PreferencePartitionedPre(k, s.peerRelay, s.relay, s.now)
+			pref, err := s.relay.PreferencePre(k, s.peerRelay, s.now)
 			if err != nil {
 				return nil, err
 			}
@@ -679,7 +681,7 @@ func (s *Session) ReplicationMatches(data []byte) ([]Transfer, error) {
 	if len(data) == 0 {
 		return nil, nil
 	}
-	adv := s.scratchPartitioned(&s.advertBuf)
+	adv := s.scratchRelay(&s.advertBuf)
 	if err := adv.DecodeInto(data, s.now); err != nil {
 		return nil, err
 	}

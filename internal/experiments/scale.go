@@ -52,7 +52,10 @@ type ScalePoint struct {
 	Delivery float64 `json:"delivery"`
 	FwdPerD  float64 `json:"fwd_per_delivered"`
 	FPR      float64 `json:"fpr"`
-	WallSec  float64 `json:"wall_seconds"`
+	// ControlBytes is the total filter bytes exchanged during contacts —
+	// the wire cost of interest dissemination at this scale.
+	ControlBytes int64   `json:"control_bytes"`
+	WallSec      float64 `json:"wall_seconds"`
 	// ContactsPerSec is contacts executed per wall-clock second — the
 	// instrument's throughput, protocol work included.
 	ContactsPerSec float64 `json:"contacts_per_sec"`
@@ -97,12 +100,19 @@ func ScaleStreams(nodes int, seed int64) (*tracegen.Stream, []workload.Key, *wor
 // one ScalePoint. Workers and the epoch width follow sim defaults when
 // zero; output is byte-identical at any worker count (see DESIGN.md §11).
 func ScaleRun(nodes, workers int, seed int64) (ScalePoint, error) {
+	return scaleRun(nodes, workers, seed, core.DefaultConfig(0.1))
+}
+
+// scaleRun is ScaleRun with the protocol configuration exposed, so the
+// backend ablation can swap the relay filter under an otherwise
+// identical streamed population.
+func scaleRun(nodes, workers int, seed int64, cfg core.Config) (ScalePoint, error) {
 	ts, interests, msgs, err := ScaleStreams(nodes, seed)
 	if err != nil {
 		return ScalePoint{}, err
 	}
 
-	proto := core.New(core.DefaultConfig(0.1))
+	proto := core.New(cfg)
 	start := time.Now()
 	rep, err := sim.Run(sim.Config{
 		Source:    ts,
@@ -118,16 +128,17 @@ func ScaleRun(nodes, workers int, seed int64) (ScalePoint, error) {
 	wall := time.Since(start).Seconds()
 
 	p := ScalePoint{
-		Nodes:    nodes,
-		Workers:  workers,
-		Links:    ts.Links(),
-		Contacts: rep.Contacts,
-		Messages: rep.Created,
-		Delivery: rep.DeliveryRatio(),
-		FwdPerD:  rep.ForwardingsPerDelivered(),
-		FPR:      rep.FPR(),
-		WallSec:  wall,
-		PeakRSS:  peakRSS(),
+		Nodes:        nodes,
+		Workers:      workers,
+		Links:        ts.Links(),
+		Contacts:     rep.Contacts,
+		Messages:     rep.Created,
+		Delivery:     rep.DeliveryRatio(),
+		FwdPerD:      rep.ForwardingsPerDelivered(),
+		FPR:          rep.FPR(),
+		ControlBytes: rep.ControlBytes,
+		WallSec:      wall,
+		PeakRSS:      peakRSS(),
 	}
 	if wall > 0 {
 		p.ContactsPerSec = float64(rep.Contacts) / wall
@@ -202,7 +213,7 @@ func WriteScaleCSV(w io.Writer, points []ScalePoint) error {
 	cw := csv.NewWriter(w)
 	header := []string{
 		"nodes", "workers", "links", "contacts", "messages",
-		"delivery", "fwd_per_delivered", "fpr",
+		"delivery", "fwd_per_delivered", "fpr", "control_bytes",
 		"wall_seconds", "contacts_per_sec", "peak_rss_bytes", "rss_bytes_per_node",
 	}
 	if err := cw.Write(header); err != nil {
@@ -213,6 +224,7 @@ func WriteScaleCSV(w io.Writer, points []ScalePoint) error {
 			strconv.Itoa(p.Nodes), strconv.Itoa(p.Workers),
 			strconv.Itoa(p.Links), strconv.Itoa(p.Contacts), strconv.Itoa(p.Messages),
 			ftoa(p.Delivery), ftoa(p.FwdPerD), ftoa(p.FPR),
+			strconv.FormatInt(p.ControlBytes, 10),
 			ftoa(p.WallSec), ftoa(p.ContactsPerSec),
 			strconv.FormatInt(p.PeakRSS, 10), ftoa(p.RSSPerNode),
 		}

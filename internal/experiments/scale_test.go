@@ -79,7 +79,7 @@ func TestScaleRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if one.Contacts != eight.Contacts || one.Messages != eight.Messages ||
 		one.Delivery != eight.Delivery || one.FwdPerD != eight.FwdPerD ||
-		one.FPR != eight.FPR {
+		one.FPR != eight.FPR || one.ControlBytes != eight.ControlBytes {
 		t.Errorf("workers=1 and workers=8 diverged:\n1: %+v\n8: %+v", one, eight)
 	}
 }

@@ -1,0 +1,460 @@
+package filter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"bsub/internal/tcbf"
+)
+
+// Autoscale defaults, used when the corresponding field is zero.
+const (
+	// DefaultGrowAt is the fill ratio at which a fresh layer is added.
+	DefaultGrowAt = 0.5
+	// DefaultMaxLayers bounds the layer stack; with geometry doubling
+	// per layer, 8 layers give 255x the base capacity.
+	DefaultMaxLayers = 8
+)
+
+// Autoscale is a scalable-Bloom-filter backend in the spirit of Almeida
+// et al.: instead of hand-tuning Config.M to the expected load, the
+// filter starts at the configured base geometry and, whenever the newest
+// layer's fill ratio crosses GrowAt, adds a fresh layer with twice the
+// previous bit-vector length. Inserts go to the newest layer (keys
+// already present anywhere are left to their existing counters), queries
+// OR across layers, and the preferential query uses the best counter any
+// layer holds. Nothing is ever rehashed: the double-hashing digests are
+// geometry-independent, so each layer derives its own positions from the
+// same precomputed key.
+type Autoscale struct {
+	// GrowAt is the newest layer's fill-ratio growth trigger; zero means
+	// DefaultGrowAt. Must be in (0, 1).
+	GrowAt float64
+	// MaxLayers bounds the stack; zero means DefaultMaxLayers. Must be
+	// in [1, 16].
+	MaxLayers int
+}
+
+// Name implements Backend.
+func (Autoscale) Name() string { return "autoscale" }
+
+// Laws implements Backend: layers only add bits, so there are no false
+// negatives, and layer-wise merges commute; but a key's counters live in
+// whichever layer it entered, so MinCounter does not track the additive
+// reference (merging two filters that learned a key in different layers
+// yields the max of the two counters, not the sum).
+func (Autoscale) Laws() Laws {
+	return Laws{
+		NoFalseNegatives: true,
+		MergeCommutative: true,
+		RoundTripExact:   true,
+	}
+}
+
+func (a Autoscale) growAt() float64 {
+	if a.GrowAt == 0 {
+		return DefaultGrowAt
+	}
+	return a.GrowAt
+}
+
+func (a Autoscale) maxLayers() int {
+	if a.MaxLayers == 0 {
+		return DefaultMaxLayers
+	}
+	return a.MaxLayers
+}
+
+// Validate implements Backend. Every layer geometry up to the cap must
+// be constructible, not just the base one.
+func (a Autoscale) Validate(cfg tcbf.Config, partitions int) error {
+	if g := a.growAt(); g <= 0 || g >= 1 {
+		return fmt.Errorf("filter: autoscale growth trigger %g outside (0,1)", g)
+	}
+	if l := a.maxLayers(); l < 1 || l > 16 {
+		return fmt.Errorf("filter: autoscale layer cap %d outside [1,16]", l)
+	}
+	if err := validatePartitions(partitions); err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	top := cfg
+	top.M = cfg.M << (a.maxLayers() - 1)
+	if err := top.Validate(); err != nil {
+		return fmt.Errorf("filter: autoscale top layer: %w", err)
+	}
+	return nil
+}
+
+// New implements Backend.
+func (a Autoscale) New(cfg tcbf.Config, partitions int, now time.Duration) (Filter, error) {
+	if err := a.Validate(cfg, partitions); err != nil {
+		return nil, err
+	}
+	f := &autoscaleFilter{
+		cfg:       cfg,
+		growAt:    a.growAt(),
+		maxLayers: a.maxLayers(),
+	}
+	if err := f.ensureLayers(1, now); err != nil {
+		return nil, err
+	}
+	f.active = 1
+	return f, nil
+}
+
+// autoscaleWireMagic tags the layered wire format; it is distinct from
+// both tcbf magic bytes so a misrouted buffer fails loudly.
+const autoscaleWireMagic = 0xA5
+
+// autoscaleFilter is a stack of TCBF layers with doubling geometry.
+// layers[:active] are live; deactivated layers (after Reset) are kept
+// and recycled on regrowth.
+type autoscaleFilter struct {
+	cfg       tcbf.Config // base geometry; DecayPerMinute tracks retunes
+	growAt    float64
+	maxLayers int
+	layers    []*tcbf.Filter
+	active    int
+	merged    bool
+}
+
+// layerConfig returns layer i's geometry: base M doubled per level.
+func (f *autoscaleFilter) layerConfig(i int) tcbf.Config {
+	cfg := f.cfg
+	cfg.M = f.cfg.M << i
+	return cfg
+}
+
+// ensureLayers makes at least n layers exist (allocating or recycling),
+// all carrying the current decay factor.
+func (f *autoscaleFilter) ensureLayers(n int, now time.Duration) error {
+	for len(f.layers) < n {
+		l, err := tcbf.New(f.layerConfig(len(f.layers)), now)
+		if err != nil {
+			return err
+		}
+		f.layers = append(f.layers, l)
+	}
+	for i := f.active; i < n; i++ {
+		f.layers[i].Reset(now)
+		if err := f.layers[i].SetDecayFactor(f.cfg.DecayPerMinute, now); err != nil {
+			return err
+		}
+	}
+	if n > f.active {
+		f.active = n
+	}
+	return nil
+}
+
+// live returns the active layer slice.
+func (f *autoscaleFilter) live() []*tcbf.Filter { return f.layers[:f.active] }
+
+// Config implements Filter (base geometry; layers above it double M).
+func (f *autoscaleFilter) Config() tcbf.Config { return f.cfg }
+
+// Partitions implements Filter: layering replaces partitioning, so the
+// stack always reports a single partition.
+func (f *autoscaleFilter) Partitions() int { return 1 }
+
+// Reset implements Filter, collapsing back to the base layer.
+func (f *autoscaleFilter) Reset(now time.Duration) {
+	for _, l := range f.live() {
+		l.Reset(now)
+	}
+	f.active = 1
+	f.merged = false
+}
+
+// Advance implements Filter.
+func (f *autoscaleFilter) Advance(now time.Duration) error {
+	for _, l := range f.live() {
+		if err := l.Advance(now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetDecayFactor implements Filter.
+func (f *autoscaleFilter) SetDecayFactor(perMinute float64, now time.Duration) error {
+	for _, l := range f.live() {
+		if err := l.SetDecayFactor(perMinute, now); err != nil {
+			return err
+		}
+	}
+	f.cfg.DecayPerMinute = perMinute
+	return nil
+}
+
+// maybeGrow adds a layer when the newest one crosses the growth trigger
+// and the cap allows it.
+func (f *autoscaleFilter) maybeGrow(now time.Duration) error {
+	if f.active >= f.maxLayers {
+		return nil
+	}
+	if f.layers[f.active-1].FillRatio() <= f.growAt {
+		return nil
+	}
+	return f.ensureLayers(f.active+1, now)
+}
+
+// Insert implements Filter.
+func (f *autoscaleFilter) Insert(key string, now time.Duration) error {
+	return f.InsertPre(tcbf.Precompute(key), now)
+}
+
+// InsertAll implements Filter.
+func (f *autoscaleFilter) InsertAll(keys []string, now time.Duration) error {
+	for _, k := range keys {
+		if err := f.Insert(k, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertPre implements Filter. A key already present in any layer keeps
+// its existing counters (the TCBF's "already-set counters are left
+// unchanged" rule, lifted to the stack); otherwise it enters the newest
+// layer, growing the stack first if that layer is past the trigger.
+func (f *autoscaleFilter) InsertPre(k tcbf.PreKey, now time.Duration) error {
+	if f.merged {
+		return fmt.Errorf("filter: autoscale insert %q: %w", k.Key, tcbf.ErrMerged)
+	}
+	if err := f.Advance(now); err != nil {
+		return err
+	}
+	for _, l := range f.live() {
+		ok, err := l.ContainsPre(k, now)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+	if err := f.maybeGrow(now); err != nil {
+		return err
+	}
+	return f.layers[f.active-1].InsertPre(k, now)
+}
+
+// InsertAllPre implements Filter.
+func (f *autoscaleFilter) InsertAllPre(keys []tcbf.PreKey, now time.Duration) error {
+	for i := range keys {
+		if err := f.InsertPre(keys[i], now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Contains implements Filter.
+func (f *autoscaleFilter) Contains(key string, now time.Duration) (bool, error) {
+	return f.ContainsPre(tcbf.Precompute(key), now)
+}
+
+// ContainsPre implements Filter: present in the stack means present in
+// at least one layer.
+func (f *autoscaleFilter) ContainsPre(k tcbf.PreKey, now time.Duration) (bool, error) {
+	for _, l := range f.live() {
+		ok, err := l.ContainsPre(k, now)
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// ContainsAnyPre implements Filter.
+func (f *autoscaleFilter) ContainsAnyPre(keys []tcbf.PreKey, now time.Duration) (bool, error) {
+	for i := range keys {
+		ok, err := f.ContainsPre(keys[i], now)
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// MinCounterPre implements Filter: the key's strength is the best
+// minimum counter any layer gives it (its true layer, or a stronger
+// cross-layer collision).
+func (f *autoscaleFilter) MinCounterPre(k tcbf.PreKey, now time.Duration) (float64, error) {
+	best := 0.0
+	for _, l := range f.live() {
+		c, err := l.MinCounterPre(k, now)
+		if err != nil {
+			return 0, err
+		}
+		if c > best {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// PreferencePre implements Filter with the receiver as self, mirroring
+// the Section IV-A formula over the stacked counters.
+func (f *autoscaleFilter) PreferencePre(k tcbf.PreKey, peer Filter, now time.Duration) (float64, error) {
+	o, ok := peer.(*autoscaleFilter)
+	if !ok {
+		return 0, errPeerBackend("autoscale", peer)
+	}
+	pf, err := o.MinCounterPre(k, now)
+	if err != nil {
+		return 0, fmt.Errorf("peer: %w", err)
+	}
+	g, err := f.MinCounterPre(k, now)
+	if err != nil {
+		return 0, fmt.Errorf("self: %w", err)
+	}
+	if g == 0 {
+		return pf, nil
+	}
+	return pf - g, nil
+}
+
+// merge aligns the two stacks and combines them layer-wise.
+func (f *autoscaleFilter) merge(other Filter, now time.Duration, additive bool) error {
+	o, ok := other.(*autoscaleFilter)
+	if !ok {
+		return errPeerBackend("autoscale", other)
+	}
+	if f.cfg.M != o.cfg.M || f.cfg.K != o.cfg.K || f.cfg.Initial != o.cfg.Initial {
+		return fmt.Errorf("%w: autoscale base (%d,%d,C=%g) vs (%d,%d,C=%g)", tcbf.ErrGeometry,
+			f.cfg.M, f.cfg.K, f.cfg.Initial, o.cfg.M, o.cfg.K, o.cfg.Initial)
+	}
+	if err := f.ensureLayers(o.active, now); err != nil {
+		return err
+	}
+	for i := 0; i < o.active; i++ {
+		var err error
+		if additive {
+			err = f.layers[i].AMerge(o.layers[i], now)
+		} else {
+			err = f.layers[i].MMerge(o.layers[i], now)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Layers above o.active only need their clocks advanced.
+	if err := f.Advance(now); err != nil {
+		return err
+	}
+	f.merged = true
+	return nil
+}
+
+// AMerge implements Filter.
+func (f *autoscaleFilter) AMerge(other Filter, now time.Duration) error {
+	return f.merge(other, now, true)
+}
+
+// MMerge implements Filter.
+func (f *autoscaleFilter) MMerge(other Filter, now time.Duration) error {
+	return f.merge(other, now, false)
+}
+
+// Encode implements Filter.
+func (f *autoscaleFilter) Encode(mode tcbf.CounterMode) ([]byte, error) {
+	return f.EncodeTo(nil, mode)
+}
+
+// EncodeTo implements Filter: a 2-byte header (magic, layer count)
+// followed by length-prefixed per-layer TCBF encodings, empty layers
+// compressed to a zero length — the partitioned format's shape with its
+// own magic, since the receiver must rebuild doubling geometry rather
+// than equal partitions.
+func (f *autoscaleFilter) EncodeTo(dst []byte, mode tcbf.CounterMode) ([]byte, error) {
+	dst = append(dst, autoscaleWireMagic, byte(f.active))
+	for _, l := range f.live() {
+		if l.SetBits() == 0 {
+			dst = binary.BigEndian.AppendUint32(dst, 0)
+			continue
+		}
+		lenAt := len(dst)
+		dst = append(dst, 0, 0, 0, 0)
+		var err error
+		dst, err = l.EncodeTo(dst, mode)
+		if err != nil {
+			return nil, err
+		}
+		binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	}
+	return dst, nil
+}
+
+// DecodeInto implements Filter, reusing the layer stack in place. The
+// wire layer count must fit the cap and every layer's geometry must
+// match the doubling schedule.
+func (f *autoscaleFilter) DecodeInto(data []byte, now time.Duration) error {
+	if len(data) < 2 {
+		return fmt.Errorf("filter: autoscale decode: truncated header")
+	}
+	if data[0] != autoscaleWireMagic {
+		return fmt.Errorf("filter: autoscale decode: bad magic 0x%02x", data[0])
+	}
+	n := int(data[1])
+	if n < 1 || n > f.maxLayers {
+		return fmt.Errorf("filter: autoscale decode: wire has %d layers, cap is %d", n, f.maxLayers)
+	}
+	// Deactivate first so ensureLayers resets recycled layers; then grow
+	// to the wire's count.
+	f.active = 0
+	if err := f.ensureLayers(n, now); err != nil {
+		return err
+	}
+	rest := data[2:]
+	for _, l := range f.live() {
+		if len(rest) < 4 {
+			return fmt.Errorf("filter: autoscale decode: truncated layer length")
+		}
+		ln := int(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		if ln == 0 {
+			l.Reset(now)
+			if err := l.SetDecayFactor(f.cfg.DecayPerMinute, now); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(rest) < ln {
+			return fmt.Errorf("filter: autoscale decode: truncated layer body")
+		}
+		if err := l.DecodeInto(rest[:ln], now); err != nil {
+			return err
+		}
+		rest = rest[ln:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("filter: autoscale decode: %d trailing bytes", len(rest))
+	}
+	f.merged = true
+	return nil
+}
+
+// SetBits implements Filter.
+func (f *autoscaleFilter) SetBits() int {
+	total := 0
+	for _, l := range f.live() {
+		total += l.SetBits()
+	}
+	return total
+}
+
+// EstimatedFPR implements Filter: a stacked query is a false positive
+// when any layer fires, so the joint rate is 1 - prod(1 - fpr_i).
+func (f *autoscaleFilter) EstimatedFPR() float64 {
+	miss := 1.0
+	for _, l := range f.live() {
+		miss *= 1 - l.EstimatedFPR()
+	}
+	return 1 - miss
+}

@@ -1,0 +1,110 @@
+package filter_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bsub/internal/bloofi"
+	"bsub/internal/filter"
+	"bsub/internal/tcbf"
+)
+
+var validCfg = tcbf.Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+
+// TestBackendValidateBrokenConfigs is the per-backend broken-config
+// regression suite: every backend must reject its own bad tuning and the
+// shared bad geometry at the Validate boundary, before any filter
+// exists, and New must refuse the same configurations. Failure messages
+// name the backend and the offending parameter.
+func TestBackendValidateBrokenConfigs(t *testing.T) {
+	cases := []struct {
+		name       string
+		backend    filter.Backend
+		cfg        tcbf.Config
+		partitions int
+		wantErr    string // substring the error must carry
+	}{
+		// Shared geometry checks, enforced through every backend.
+		{"tcbf-zero-m", filter.Packed{}, tcbf.Config{M: 0, K: 4, Initial: 10}, 1, "bit-vector length"},
+		{"tcbf-zero-k", filter.Packed{}, tcbf.Config{M: 256, K: 0, Initial: 10}, 1, "hash count"},
+		{"tcbf-zero-initial", filter.Packed{}, tcbf.Config{M: 256, K: 4}, 1, "initial counter"},
+		{"tcbf-negative-decay", filter.Packed{}, tcbf.Config{M: 256, K: 4, Initial: 10, DecayPerMinute: -1}, 1, "decay factor"},
+		{"tcbf-zero-partitions", filter.Packed{}, validCfg, 0, "partition count"},
+		{"tcbf-too-many-partitions", filter.Packed{}, validCfg, 256, "partition count"},
+
+		// Retouched: the fill bound must be a usable ratio.
+		{"retouched-fill-negative", filter.Retouched{MaxFill: -0.5}, validCfg, 1, "fill bound"},
+		{"retouched-fill-above-one", filter.Retouched{MaxFill: 1.5}, validCfg, 1, "fill bound"},
+		{"retouched-bad-partitions", filter.Retouched{}, validCfg, 300, "partition count"},
+		{"retouched-bad-geometry", filter.Retouched{}, tcbf.Config{M: -8, K: 4, Initial: 10}, 1, "bit-vector length"},
+
+		// Autoscale: growth trigger in (0,1), layer cap in [1,16], and the
+		// top layer's doubled geometry must still be constructible.
+		{"autoscale-trigger-negative", filter.Autoscale{GrowAt: -0.1}, validCfg, 1, "growth trigger"},
+		{"autoscale-trigger-one", filter.Autoscale{GrowAt: 1}, validCfg, 1, "growth trigger"},
+		{"autoscale-layer-cap-negative", filter.Autoscale{MaxLayers: -2}, validCfg, 1, "layer cap"},
+		{"autoscale-layer-cap-huge", filter.Autoscale{MaxLayers: 17}, validCfg, 1, "layer cap"},
+		{"autoscale-bad-geometry", filter.Autoscale{}, tcbf.Config{M: 256, K: 100, Initial: 10}, 1, "hash count"},
+
+		// Bloofi: fan-out in [2,16] and the leaf cap must hold one full
+		// inner node.
+		{"bloofi-branching-one", bloofi.Backend{Branching: 1}, validCfg, 1, "branching"},
+		{"bloofi-branching-huge", bloofi.Backend{Branching: 17}, validCfg, 1, "branching"},
+		{"bloofi-leaves-below-branching", bloofi.Backend{Branching: 4, MaxLeaves: 2}, validCfg, 1, "leaf cap"},
+		{"bloofi-bad-geometry", bloofi.Backend{}, tcbf.Config{M: 256, K: 4, Initial: -3}, 1, "initial counter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.backend.Validate(tc.cfg, tc.partitions)
+			if err == nil {
+				t.Fatalf("%s.Validate accepted broken config %+v partitions=%d",
+					tc.backend.Name(), tc.cfg, tc.partitions)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("%s.Validate error %q does not name the problem (want %q)",
+					tc.backend.Name(), err, tc.wantErr)
+			}
+			if _, err := tc.backend.New(tc.cfg, tc.partitions, time.Hour); err == nil {
+				t.Errorf("%s.New built a filter Validate rejects", tc.backend.Name())
+			}
+		})
+	}
+}
+
+// TestBackendValidateAcceptsDefaults is the positive control: every
+// backend at zero-value tuning accepts the evaluation geometry, and its
+// New yields an empty filter.
+func TestBackendValidateAcceptsDefaults(t *testing.T) {
+	backends := []filter.Backend{
+		filter.Packed{}, filter.Retouched{}, filter.Autoscale{}, bloofi.Backend{},
+	}
+	for _, b := range backends {
+		t.Run(b.Name(), func(t *testing.T) {
+			if err := b.Validate(validCfg, 1); err != nil {
+				t.Fatalf("%s.Validate rejected the evaluation geometry: %v", b.Name(), err)
+			}
+			f, err := b.New(validCfg, 1, time.Hour)
+			if err != nil {
+				t.Fatalf("%s.New: %v", b.Name(), err)
+			}
+			if f.SetBits() != 0 {
+				t.Errorf("%s.New returned a non-empty filter (%d set bits)", b.Name(), f.SetBits())
+			}
+		})
+	}
+}
+
+// TestBackendValidateTopLayerGeometry pins the autoscale-specific check:
+// a base geometry whose doubled top layer overflows the hasher's 32-bit
+// position space must be rejected even though the base layer alone is
+// fine.
+func TestBackendValidateTopLayerGeometry(t *testing.T) {
+	base := tcbf.Config{M: 1 << 28, K: 4, Initial: 10}
+	if err := (filter.Packed{}).Validate(base, 1); err != nil {
+		t.Fatalf("base geometry must be valid on its own: %v", err)
+	}
+	if err := (filter.Autoscale{MaxLayers: 16}).Validate(base, 1); err == nil {
+		t.Error("autoscale accepted a base geometry whose top layer cannot be built")
+	}
+}

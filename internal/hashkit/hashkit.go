@@ -12,6 +12,7 @@ package hashkit
 
 import (
 	"fmt"
+	"math"
 )
 
 // MaxK bounds the number of hash functions a Hasher will derive. The paper
@@ -31,6 +32,11 @@ type Hasher struct {
 func New(m, k int) (Hasher, error) {
 	if m <= 0 {
 		return Hasher{}, fmt.Errorf("hashkit: bit-vector length must be positive, got %d", m)
+	}
+	if m > math.MaxUint32 {
+		// Positions are computed mod a 32-bit m; a longer vector would be
+		// silently truncated, not used.
+		return Hasher{}, fmt.Errorf("hashkit: bit-vector length %d exceeds the 32-bit position space", m)
 	}
 	if k <= 0 || k > MaxK {
 		return Hasher{}, fmt.Errorf("hashkit: hash count must be in [1, %d], got %d", MaxK, k)

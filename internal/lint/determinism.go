@@ -8,8 +8,9 @@ import (
 )
 
 // Determinism keeps the replayable core replayable: internal/engine,
-// internal/tcbf, internal/core, internal/trace* (the tracegen pair
-// streams included), internal/workload, internal/sim, internal/metrics,
+// internal/tcbf, internal/filter, internal/bloofi, internal/core,
+// internal/trace* (the tracegen pair streams included),
+// internal/workload, internal/sim, internal/metrics,
 // and internal/xrand must not read wall clocks (time.Now and friends —
 // time is threaded explicitly as a parameter everywhere), must not draw
 // from the global math/rand state (seeded *rand.Rand generators are
@@ -28,6 +29,7 @@ var Determinism = &Analyzer{
 		for _, scoped := range []string{
 			"internal/engine", "internal/tcbf", "internal/core",
 			"internal/sim", "internal/workload", "internal/metrics", "internal/xrand",
+			"internal/filter", "internal/bloofi",
 		} {
 			if rel == scoped || strings.HasPrefix(rel, scoped+"/") {
 				return true

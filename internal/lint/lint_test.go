@@ -125,6 +125,7 @@ func TestDeterminismSimFixture(t *testing.T) {
 	for _, rel := range []string{
 		"internal/sim", "internal/workload", "internal/metrics",
 		"internal/xrand", "internal/tracegen",
+		"internal/filter", "internal/bloofi",
 	} {
 		if !Determinism.Applies(rel) {
 			t.Errorf("determinism must apply to %s", rel)

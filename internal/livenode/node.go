@@ -92,6 +92,13 @@ type Config struct {
 	// fresh copy onward to its broker peers. Called from session
 	// goroutines with no node locks held; it must not block for long.
 	OnStored func(msg workload.Message)
+	// OnPeerGenuine, when set, receives each peer's wire-encoded genuine
+	// (interest) filter as this node absorbs it during a contact
+	// session's genuine phase — the hook a broker-tier mesh layer uses to
+	// aggregate downstream subscriber interests (see internal/mesh). The
+	// bytes are the peer's filter-backend encoding; the callee owns them.
+	// Called from session goroutines with no node locks held.
+	OnPeerGenuine func(peer uint32, encoded []byte)
 	// GossipHandler, when set, answers inbound gossip frames: it receives
 	// the dialer's payload and returns the reply payload. The byte
 	// contents are opaque to this package. Called from connection

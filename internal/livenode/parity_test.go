@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bsub/internal/core"
+	"bsub/internal/filter"
 	"bsub/internal/sim"
 	"bsub/internal/tcbf"
 	"bsub/internal/trace"
@@ -217,7 +218,7 @@ func liveSnapDelivered(n *Node) []int {
 func snapshotEngine(t *testing.T, simSide *core.BSub, liveNode *Node, fromSim bool) engineSnapshot {
 	t.Helper()
 	var snap engineSnapshot
-	var relay *tcbf.Partitioned
+	var relay filter.Filter
 	if fromSim {
 		id := trace.NodeID(liveNode.cfg.ID)
 		snap.Broker = simSide.IsBroker(id)

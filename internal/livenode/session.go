@@ -260,6 +260,9 @@ func (s *session) run(now time.Duration) error {
 		if err != nil {
 			return err
 		}
+		if n.cfg.OnPeerGenuine != nil {
+			n.cfg.OnPeerGenuine(peer.ID, body)
+		}
 	}
 	s.stats.Phase = PhaseGenuine
 

@@ -1,0 +1,119 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+
+	"bsub/internal/tcbf"
+	"bsub/internal/workload"
+)
+
+// encodeInterest builds a peer's interest-filter encoding holding keys.
+func encodeInterest(t *testing.T, cfg tcbf.Config, parts int, keys []string, now time.Duration) []byte {
+	t.Helper()
+	f, err := tcbf.NewPartitioned(cfg, parts, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := f.Insert(k, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := f.Encode(tcbf.CountersNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestInterestIndexMatch(t *testing.T) {
+	cfg := tcbf.Config{M: 256, K: 4, Initial: 10}
+	now := time.Hour
+	ix := newInterestIndex(cfg, 1)
+
+	ix.observe(7, encodeInterest(t, cfg, 1, []string{"news"}, now), now)
+	ix.observe(9, encodeInterest(t, cfg, 1, []string{"sports"}, now), now)
+	if ix.size() != 2 {
+		t.Fatalf("size = %d, want 2", ix.size())
+	}
+
+	if got := ix.match([]workload.Key{"news"}, now); len(got) != 1 || got[0] != 7 {
+		t.Errorf("match(news) = %v, want [7]", got)
+	}
+	if got := ix.match([]workload.Key{"sports"}, now); len(got) != 1 || got[0] != 9 {
+		t.Errorf("match(sports) = %v, want [9]", got)
+	}
+	// The aggregate tree rules the whole tier out in one descent.
+	if got := ix.match([]workload.Key{"opera"}, now); len(got) != 0 {
+		t.Errorf("match(opera) = %v, want none", got)
+	}
+	if got := ix.match(nil, now); got != nil {
+		t.Errorf("match(no keys) = %v, want nil", got)
+	}
+}
+
+func TestInterestIndexOpaquePeer(t *testing.T) {
+	cfg := tcbf.Config{M: 256, K: 4, Initial: 10}
+	now := time.Hour
+	ix := newInterestIndex(cfg, 1)
+
+	// A peer running a different filter backend hands over bytes this
+	// index cannot decode; it must be kept and always flooded.
+	ix.observe(3, []byte{0xDE, 0xAD}, now)
+	ix.observe(7, encodeInterest(t, cfg, 1, []string{"news"}, now), now)
+
+	if got := ix.match([]workload.Key{"opera"}, now); len(got) != 1 || got[0] != 3 {
+		t.Errorf("match(opera) = %v, want the opaque peer [3]", got)
+	}
+	got := ix.match([]workload.Key{"news"}, now)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("match(news) = %v, want [3 7] sorted", got)
+	}
+}
+
+func TestInterestIndexForgetRebuilds(t *testing.T) {
+	cfg := tcbf.Config{M: 256, K: 4, Initial: 10}
+	now := time.Hour
+	ix := newInterestIndex(cfg, 1)
+
+	ix.observe(7, encodeInterest(t, cfg, 1, []string{"news"}, now), now)
+	if got := ix.match([]workload.Key{"news"}, now); len(got) != 1 {
+		t.Fatalf("match(news) = %v before forget", got)
+	}
+	ix.forget(7)
+	if ix.size() != 0 {
+		t.Errorf("size = %d after forget, want 0", ix.size())
+	}
+	// The stale tree must be rebuilt, not answer from the dead peer.
+	if got := ix.match([]workload.Key{"news"}, now); len(got) != 0 {
+		t.Errorf("match(news) = %v after forget, want none", got)
+	}
+	// Forgetting an unknown peer is a no-op.
+	ix.forget(42)
+}
+
+func TestInterestIndexClockClamp(t *testing.T) {
+	cfg := tcbf.Config{M: 256, K: 4, Initial: 10, DecayPerMinute: 1}
+	now := time.Hour
+	ix := newInterestIndex(cfg, 1)
+
+	ix.observe(7, encodeInterest(t, cfg, 1, []string{"news"}, now), now)
+	// Hook and flood goroutines can observe the mesh clock out of order;
+	// an earlier timestamp must not panic or corrupt the filters.
+	if got := ix.match([]workload.Key{"news"}, now-30*time.Minute); len(got) != 1 {
+		t.Errorf("match with stale clock = %v, want [7]", got)
+	}
+}
+
+func TestInterestIndexNilTolerant(t *testing.T) {
+	var ix *interestIndex
+	ix.observe(1, nil, 0)
+	ix.forget(1)
+	if got := ix.match([]workload.Key{"news"}, time.Hour); got != nil {
+		t.Errorf("nil index match = %v, want nil", got)
+	}
+	if ix.size() != 0 {
+		t.Errorf("nil index size = %d, want 0", ix.size())
+	}
+}

@@ -186,6 +186,11 @@ type Mesh struct {
 	rng           *rand.Rand
 	lastDeadProbe time.Duration
 
+	// interests aggregates downstream subscriber interest filters into a
+	// Bloofi tree for flood targeting (see interests.go). It has its own
+	// lock and is never touched while mu is held.
+	interests *interestIndex
+
 	// statsMu guards the counters (see stats.go).
 	statsMu  sync.Mutex
 	counters Counters
@@ -197,12 +202,17 @@ type Mesh struct {
 // gossiping with cfg.Seeds.
 func Start(addr string, nodeCfg livenode.Config, cfg Config) (*Mesh, error) {
 	cfg = cfg.withDefaults()
+	parts := nodeCfg.Protocol.RelayPartitions
+	if parts < 1 {
+		parts = 1
+	}
 	m := &Mesh{
-		cfg:     cfg,
-		selfID:  nodeCfg.ID,
-		closed:  make(chan struct{}),
-		members: map[uint32]*member{},
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		selfID:    nodeCfg.ID,
+		closed:    make(chan struct{}),
+		members:   map[uint32]*member{},
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		interests: newInterestIndex(nodeCfg.Protocol.FilterConfig(), parts),
 	}
 
 	clock := nodeCfg.Clock
@@ -223,9 +233,17 @@ func Start(addr string, nodeCfg livenode.Config, cfg Config) (*Mesh, error) {
 	}
 	userStored := nodeCfg.OnStored
 	nodeCfg.OnStored = func(msg workload.Message) {
-		m.flood()
+		m.flood(msg.MatchKeys()...)
 		if userStored != nil {
 			userStored(msg)
+		}
+	}
+	userGenuine := nodeCfg.OnPeerGenuine
+	nodeCfg.OnPeerGenuine = func(peer uint32, encoded []byte) {
+		m.interests.observe(peer, encoded, clock())
+		m.bump(&m.counters.InterestFilters)
+		if userGenuine != nil {
+			userGenuine(peer, encoded)
 		}
 	}
 
@@ -263,7 +281,7 @@ func (m *Mesh) Subscribe(keys ...workload.Key) { m.node.Subscribe(keys...) }
 func (m *Mesh) Publish(payload []byte, keys ...workload.Key) (int, error) {
 	id, err := m.node.Publish(payload, keys...)
 	if err == nil {
-		m.flood()
+		m.flood(keys...)
 	}
 	return id, err
 }
@@ -500,6 +518,7 @@ func (m *Mesh) fire(events []PeerEvent) {
 	for _, e := range events {
 		if e.To == StateDead {
 			m.node.ForgetDeliveries(e.Peer.ID)
+			m.interests.forget(e.Peer.ID)
 		}
 		if m.cfg.OnPeerChange != nil {
 			m.cfg.OnPeerChange(e)
@@ -683,26 +702,45 @@ func (m *Mesh) contactPeer(id uint32, addr string) error {
 	return nil
 }
 
-// flood eagerly schedules contacts with live broker peers so a fresh
-// copy starts moving now instead of at the next periodic tick. The
-// actual transfer still runs through ordinary contact sessions — claims
-// commit on ACK and abort on sever — so churn mid-hand-off refunds the
-// copy instead of losing it.
-func (m *Mesh) flood() {
+// flood eagerly schedules contacts so a fresh copy carrying the given
+// keys starts moving now instead of at the next periodic tick. Live
+// broker peers are always targeted (they relay on behalf of subscribers
+// this node cannot see); live consumer peers are targeted when the
+// interest index — one Bloofi-tree descent, then a per-peer filter check
+// only on a hit — says their subscriptions match. The actual transfer
+// still runs through ordinary contact sessions — claims commit on ACK
+// and abort on sever — so churn mid-hand-off refunds the copy instead of
+// losing it, and the periodic scheduler still visits every live peer, so
+// an interest miss delays nothing but the eager contact.
+func (m *Mesh) flood(keys ...workload.Key) {
 	if m.cfg.NoFlood {
 		return
 	}
+	wanted := m.interests.match(keys, m.clock())
 	var targets []*peerWorker
+	var direct int
 	m.mu.Lock()
 	for _, mb := range m.members {
-		if mb.state == StateAlive && mb.broker && mb.worker != nil {
+		if mb.state != StateAlive || mb.worker == nil {
+			continue
+		}
+		interested := false
+		if !mb.broker {
+			i := sort.Search(len(wanted), func(i int) bool { return wanted[i] >= mb.id })
+			interested = i < len(wanted) && wanted[i] == mb.id
+		}
+		if mb.broker || interested {
 			// Deliberately leave lastContact alone: a flood job the worker
 			// drops (peer busy) must not suppress the periodic scheduler for
 			// a whole ContactInterval.
 			targets = append(targets, mb.worker)
+			if interested {
+				direct++
+			}
 		}
 	}
 	m.mu.Unlock()
+	m.bumpN(&m.counters.FloodDirect, direct)
 	for _, w := range targets {
 		m.bump(&m.counters.FloodTokens)
 		w.enqueue(jobContact)

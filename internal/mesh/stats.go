@@ -36,8 +36,15 @@ type Counters struct {
 	QueueCoalesced uint64
 
 	// FloodTokens counts eager contact tokens issued by the
-	// dissemination path (Publish or a newly stored copy).
+	// dissemination path (Publish or a newly stored copy). FloodDirect
+	// is the subset aimed at non-broker peers whose interest filters —
+	// aggregated in the Bloofi tree — matched the fresh message's keys.
 	FloodTokens uint64
+	FloodDirect uint64
+
+	// InterestFilters counts downstream genuine (interest) filters
+	// absorbed into the Bloofi interest index via contact sessions.
+	InterestFilters uint64
 
 	// DeadProbes counts anti-entropy gossip probes sent to dead members
 	// (the partition-heal escape hatch; see Config.DeadProbeInterval).
@@ -79,6 +86,16 @@ func (m *Mesh) Stats() Counters {
 func (m *Mesh) bump(field *uint64) {
 	m.statsMu.Lock()
 	*field++
+	m.statsMu.Unlock()
+}
+
+// bumpN adds n to one cumulative counter under statsMu; a no-op for n<=0.
+func (m *Mesh) bumpN(field *uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	m.statsMu.Lock()
+	*field += uint64(n)
 	m.statsMu.Unlock()
 }
 

@@ -180,6 +180,13 @@ func (p *Partitioned) MinCounter(key string, now time.Duration) (float64, error)
 	return p.parts[p.route(key)].MinCounter(key, now)
 }
 
+// MinCounterPre is MinCounter for a precomputed key.
+//
+//bsub:hotpath
+func (p *Partitioned) MinCounterPre(k PreKey, now time.Duration) (float64, error) {
+	return p.parts[p.routePre(k)].MinCounterPre(k, now)
+}
+
 // Advance settles decay on every partition.
 //
 //bsub:hotpath
@@ -266,6 +273,23 @@ func PreferencePartitionedPre(k PreKey, peer, self *Partitioned, now time.Durati
 	}
 	i := self.routePre(k)
 	return PreferencePre(k, peer.parts[i], self.parts[i], now)
+}
+
+// Retouch applies Filter.Retouch to every partition with the same fill
+// bound and returns the largest counter value cleared anywhere — the
+// joint false-negative cutoff across partitions.
+func (p *Partitioned) Retouch(maxFill float64, now time.Duration) (float64, error) {
+	cutoff := 0.0
+	for _, f := range p.parts {
+		c, err := f.Retouch(maxFill, now)
+		if err != nil {
+			return cutoff, err
+		}
+		if c > cutoff {
+			cutoff = c
+		}
+	}
+	return cutoff, nil
 }
 
 // Reset clears every partition to the state NewPartitioned would produce,
@@ -384,7 +408,7 @@ func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned
 		n := int(binary.BigEndian.Uint32(rest))
 		rest = rest[4:]
 		if n == 0 {
-			continue // empty partition; filled in below once geometry is known
+			continue // empty partition; built below once geometry is known
 		}
 		if len(rest) < n {
 			return nil, fmt.Errorf("%w: truncated partition body", ErrCorrupt)
@@ -415,6 +439,10 @@ func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned
 		if err != nil {
 			return nil, err
 		}
+		// Empty partitions carry the same unknown provenance as decoded
+		// ones: the whole filter refuses genuine inserts uniformly, no
+		// matter which partition a key routes to.
+		nf.merged = true
 		parts[i] = nf
 	}
 	return &Partitioned{parts: parts, cfg: cfg}, nil
@@ -425,9 +453,10 @@ func DecodePartitioned(data []byte, cfg Config, now time.Duration) (*Partitioned
 // scratch filter reused across contacts. The wire partition count and
 // per-partition geometry must match p's (the protocol fixes them
 // globally); on any error p is left in an unspecified state and must be
-// Reset before reuse. As with DecodePartitioned, empty partitions come
-// back as fresh unmerged filters and decoded ones are marked merged, all
-// with clocks at now.
+// Reset before reuse. As with DecodePartitioned, every partition —
+// empty ones included — comes back marked merged with its clock at now:
+// the wire copy's provenance is unknown, so the filter refuses genuine
+// inserts uniformly regardless of which partition a key routes to.
 //
 //bsub:hotpath
 func (p *Partitioned) DecodeInto(data []byte, now time.Duration) error {
@@ -449,6 +478,7 @@ func (p *Partitioned) DecodeInto(data []byte, now time.Duration) error {
 		rest = rest[4:]
 		if n == 0 {
 			f.Reset(now)
+			f.merged = true
 			continue
 		}
 		if len(rest) < n {
