@@ -6,7 +6,16 @@
 //
 // Usage:
 //
-//	bsublint [-analyzers name,name] [-list] [packages ...]
+//	bsublint [-analyzers name,name] [-format text|json] [-cache dir] [-list] [packages ...]
+//
+// -format json emits the findings as a JSON array of
+// {file, line, analyzer, message} objects on stdout (an empty run emits
+// []); exit codes are unchanged. -cache dir enables the incremental
+// findings cache: a warm run whose package contents are byte-identical
+// to the cached run replays the stored findings without loading or
+// type-checking anything, and any change falls back to a full run that
+// refreshes the cache. The cache only engages for the default ./...
+// package pattern — an explicit pattern always runs cold.
 //
 // Findings can be suppressed at the site with
 // //lint:ignore bsub/<analyzer> reason — the directive covers its own
@@ -14,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,14 +36,30 @@ func main() {
 	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the -format json element schema. It is flat on purpose:
+// CI consumers match on file/line/analyzer without knowing about
+// go/token positions.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // run is the testable driver body: 0 clean, 1 findings, 2 usage or
 // load failure.
 func run(dir string, args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("bsublint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	names := flags.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	format := flags.String("format", "text", "output format: text or json")
+	cacheDir := flags.String("cache", "", "findings cache directory (empty: no caching)")
 	list := flags.Bool("list", false, "list analyzers and exit")
 	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "bsublint: unknown -format %q (want text or json)\n", *format)
 		return 2
 	}
 	if *list {
@@ -51,15 +77,62 @@ func run(dir string, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	prog, err := lint.LoadModule(dir, flags.Args()...)
-	if err != nil {
-		fmt.Fprintln(stderr, "bsublint:", err)
-		return 2
+
+	// The cache stores whole-module results, so it only applies to the
+	// default ./... run (spelled out or implied); narrower package
+	// patterns bypass it.
+	wholeModule := len(flags.Args()) == 0 ||
+		(len(flags.Args()) == 1 && flags.Args()[0] == "./...")
+	var findings []lint.Diagnostic
+	var suppressed int
+	cached := false
+	if *cacheDir != "" && wholeModule {
+		if run, ok := lint.TryCache(dir, *cacheDir, analyzers); ok {
+			findings, suppressed = run.Findings, run.Suppressed
+			cached = true
+		}
 	}
-	findings, suppressed := prog.Run(analyzers...)
-	lint.Relativize(dir, findings)
-	for _, d := range findings {
-		fmt.Fprintln(stdout, d.String())
+	if !cached {
+		prog, err := lint.LoadModule(dir, flags.Args()...)
+		if err != nil {
+			fmt.Fprintln(stderr, "bsublint:", err)
+			return 2
+		}
+		results := prog.RunPackages(prog.Module, analyzers...)
+		for _, r := range results {
+			findings = append(findings, r.Findings...)
+			suppressed += r.Suppressed
+		}
+		if *cacheDir != "" && wholeModule {
+			if err := lint.WriteCache(dir, *cacheDir, prog, results, analyzers); err != nil {
+				fmt.Fprintln(stderr, "bsublint: cache write:", err)
+			}
+		}
+		lint.Relativize(dir, findings)
+		lint.SortDiagnostics(findings)
+	}
+
+	switch *format {
+	case "json":
+		out := make([]jsonFinding, 0, len(findings))
+		for _, d := range findings {
+			out = append(out, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Analyzer: "bsub/" + d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "bsublint:", err)
+			return 2
+		}
+	default:
+		for _, d := range findings {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(stderr, "bsublint: %d finding(s)", n)

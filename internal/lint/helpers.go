@@ -125,3 +125,60 @@ func returnsError(info *types.Info, call *ast.CallExpr) bool {
 func hasSuffixElem(rel, elem string) bool {
 	return rel == elem || strings.HasSuffix(rel, "/"+elem)
 }
+
+// underAny reports whether rel is one of the listed package paths or
+// lives underneath one of them ("internal/mesh/worker" is under
+// "internal/mesh"; "internal/meshier" is not). The suffix form keeps
+// fixture trees that mirror the layout under another root in scope.
+func underAny(rel string, pkgs ...string) bool {
+	for _, p := range pkgs {
+		if rel == p || strings.HasPrefix(rel, p+"/") ||
+			strings.HasSuffix(rel, "/"+p) || strings.Contains(rel+"/", "/"+p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveObj resolves the object an identifier or field selector refers
+// to: the local variable for `wg`, the field for `n.wg` or `w.m.wg`.
+// Returns nil for anything else (calls, index expressions, ...).
+func resolveObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// syncCallee reports whether call is method `name` on the named sync
+// type (Mutex, RWMutex, WaitGroup, ...), returning the receiver
+// expression for identity resolution.
+func syncCallee(info *types.Info, call *ast.CallExpr, typeName ...string) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || pkgPathOf(fn) != "sync" {
+		return nil, "", false
+	}
+	named := recvNamed(fn)
+	if named == nil {
+		return nil, "", false
+	}
+	for _, tn := range typeName {
+		if named.Obj().Name() == tn {
+			return sel.X, fn.Name(), true
+		}
+	}
+	return nil, "", false
+}

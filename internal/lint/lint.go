@@ -2,13 +2,19 @@
 // repo-specific analyzers that mechanically enforce the engine's
 // invariants: claims settled exactly once (claimsettle), an
 // allocation-free contact hot path (hotpathalloc), deterministic replay
-// (determinism), no blocking I/O under locks (lockio), and no silently
-// dropped wire errors (wireerr).
+// (determinism), no blocking I/O under locks (lockio), mutex
+// acquisition in //bsub:lockrank order (lockorder), every goroutine
+// tied to a shutdown path (lifecycle), no silently dropped wire errors
+// (wireerr), and wire-derived lengths validated before use (wiretaint).
 //
 // The package is deliberately stdlib-only: packages are listed with
 // `go list -json -deps`, parsed with go/parser, and type-checked with
-// go/types in dependency order. No golang.org/x/tools machinery is
-// used, so the linter builds anywhere the repo builds.
+// go/types in dependency order — in parallel waves, one wave per
+// dependency depth. No golang.org/x/tools machinery is used, so the
+// linter builds anywhere the repo builds. Findings can be cached per
+// package keyed by a content hash of the package's files and transitive
+// dependencies (see TryCache and WriteCache), which is what
+// `make lint-fast` uses.
 package lint
 
 import (
@@ -17,8 +23,11 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, located at a position inside a module file.
@@ -72,6 +81,7 @@ type Package struct {
 	InModule  bool // belongs to the module under analysis
 	Files     []*ast.File
 	Filenames []string
+	Imports   []string // import paths, as listed (cache keying)
 	Types     *types.Package
 	Info      *types.Info
 }
@@ -98,37 +108,129 @@ type Program struct {
 	// within one type-checker universe.
 	Hotpath  map[types.Object]bool
 	Coldpath map[types.Object]bool
+
+	// LockRanks records mutex fields annotated //bsub:lockrank N, the
+	// declared acquisition order the lockorder analyzer enforces
+	// (lower ranks are taken first). BadLockRanks holds malformed or
+	// misplaced annotations, reported by lockorder in the owning
+	// package.
+	LockRanks    map[types.Object]LockRank
+	BadLockRanks []badLockRank
+}
+
+// LockRank is one declared lock-order position.
+type LockRank struct {
+	Rank int
+	Name string // display name, e.g. "Mesh.mu"
+}
+
+type badLockRank struct {
+	pos token.Pos
+	msg string
 }
 
 // collectAnnotations scans every module package for //bsub:hotpath and
-// //bsub:coldpath directives attached to function declarations.
+// //bsub:coldpath directives attached to function declarations, and
+// //bsub:lockrank directives attached to mutex fields.
 func (prog *Program) collectAnnotations() {
 	prog.Hotpath = map[types.Object]bool{}
 	prog.Coldpath = map[types.Object]bool{}
+	prog.LockRanks = map[types.Object]LockRank{}
 	for _, pkg := range prog.Module {
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Doc == nil {
-					continue
-				}
-				obj := pkg.Info.Defs[fd.Name]
-				if obj == nil {
-					continue
-				}
-				// Directives are stripped by CommentGroup.Text, so scan
-				// the raw comment list.
-				for _, c := range fd.Doc.List {
-					switch strings.TrimSpace(c.Text) {
-					case "//bsub:hotpath":
-						prog.Hotpath[obj] = true
-					case "//bsub:coldpath":
-						prog.Coldpath[obj] = true
+				switch decl := decl.(type) {
+				case *ast.FuncDecl:
+					if decl.Doc == nil {
+						continue
 					}
+					obj := pkg.Info.Defs[decl.Name]
+					if obj == nil {
+						continue
+					}
+					// Directives are stripped by CommentGroup.Text, so
+					// scan the raw comment list.
+					for _, c := range decl.Doc.List {
+						switch strings.TrimSpace(c.Text) {
+						case "//bsub:hotpath":
+							prog.Hotpath[obj] = true
+						case "//bsub:coldpath":
+							prog.Coldpath[obj] = true
+						}
+					}
+				case *ast.GenDecl:
+					prog.collectLockRanks(pkg, decl)
 				}
 			}
 		}
 	}
+}
+
+// collectLockRanks pulls //bsub:lockrank N directives off struct fields
+// in one type declaration. The directive may sit in the field's doc
+// comment or its trailing line comment; the field must be a sync.Mutex
+// or sync.RWMutex and N a decimal integer, or the annotation is
+// recorded as malformed.
+func (prog *Program) collectLockRanks(pkg *Package, decl *ast.GenDecl) {
+	if decl.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			arg, found := lockRankDirective(field)
+			if !found {
+				continue
+			}
+			rank, err := strconv.Atoi(arg)
+			if err != nil {
+				prog.BadLockRanks = append(prog.BadLockRanks, badLockRank{
+					pos: field.Pos(),
+					msg: fmt.Sprintf("malformed //bsub:lockrank %q: rank must be a decimal integer", arg),
+				})
+				continue
+			}
+			for _, name := range field.Names {
+				obj := pkg.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if !isNamedType(obj.Type(), "sync", "Mutex") && !isNamedType(obj.Type(), "sync", "RWMutex") {
+					prog.BadLockRanks = append(prog.BadLockRanks, badLockRank{
+						pos: name.Pos(),
+						msg: fmt.Sprintf("//bsub:lockrank on %s.%s, which is not a sync.Mutex or sync.RWMutex", ts.Name.Name, name.Name),
+					})
+					continue
+				}
+				prog.LockRanks[obj] = LockRank{Rank: rank, Name: ts.Name.Name + "." + name.Name}
+			}
+		}
+	}
+}
+
+// lockRankDirective extracts the argument of a //bsub:lockrank
+// directive from a struct field's comments.
+func lockRankDirective(field *ast.Field) (arg string, found bool) {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, "//bsub:lockrank") {
+				continue
+			}
+			return strings.TrimSpace(strings.TrimPrefix(text, "//bsub:lockrank")), true
+		}
+	}
+	return "", false
 }
 
 // suppression is one //lint:ignore bsub/<name> reason directive. It
@@ -171,21 +273,64 @@ func collectSuppressions(fset *token.FileSet, pkgs []*Package) []suppression {
 	return out
 }
 
+// PackageResult is one package's findings after suppression filtering,
+// sorted by position. It is the unit the findings cache stores.
+type PackageResult struct {
+	Pkg        *Package
+	Findings   []Diagnostic
+	Suppressed int
+}
+
 // Run executes the analyzers over every module package each applies to
 // and returns the surviving findings sorted by position, plus the count
-// of findings silenced by //lint:ignore directives.
+// of findings silenced by //lint:ignore directives. Analysis fans out
+// over a worker pool: packages are independent once the wave-ordered
+// type-check in the loader has finished.
 func (prog *Program) Run(analyzers ...*Analyzer) (findings []Diagnostic, suppressed int) {
-	var all []Diagnostic
-	for _, a := range analyzers {
-		for _, pkg := range prog.Module {
-			if a.Applies != nil && !a.Applies(pkg.Rel(prog.ModulePath)) {
-				continue
-			}
-			pass := &Pass{Prog: prog, Pkg: pkg, analyzer: a, diags: &all}
-			a.Run(pass)
-		}
+	results := prog.RunPackages(prog.Module, analyzers...)
+	for _, r := range results {
+		findings = append(findings, r.Findings...)
+		suppressed += r.Suppressed
 	}
-	sups := collectSuppressions(prog.Fset, prog.Module)
+	sortDiagnostics(findings)
+	return findings, suppressed
+}
+
+// RunPackages analyzes the given module packages concurrently, one
+// worker per package up to GOMAXPROCS.
+func (prog *Program) RunPackages(pkgs []*Package, analyzers ...*Analyzer) []*PackageResult {
+	results := make([]*PackageResult, len(pkgs))
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = prog.runPackage(pkg, analyzers)
+		}(i, pkg)
+	}
+	wg.Wait()
+	return results
+}
+
+// runPackage runs every applicable analyzer over one package and
+// filters the findings through that package's //lint:ignore directives.
+// Suppression matching is per-file, so filtering per package is exactly
+// equivalent to the whole-module pass — which is what makes per-package
+// finding caching sound.
+func (prog *Program) runPackage(pkg *Package, analyzers []*Analyzer) *PackageResult {
+	var all []Diagnostic
+	rel := pkg.Rel(prog.ModulePath)
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(rel) {
+			continue
+		}
+		a.Run(&Pass{Prog: prog, Pkg: pkg, analyzer: a, diags: &all})
+	}
+	res := &PackageResult{Pkg: pkg}
+	sups := collectSuppressions(prog.Fset, []*Package{pkg})
 	covered := func(d Diagnostic) bool {
 		for _, s := range sups {
 			if s.analyzer == d.Analyzer && s.file == d.Pos.Filename &&
@@ -197,13 +342,26 @@ func (prog *Program) Run(analyzers ...*Analyzer) (findings []Diagnostic, suppres
 	}
 	for _, d := range all {
 		if covered(d) {
-			suppressed++
+			res.Suppressed++
 			continue
 		}
-		findings = append(findings, d)
+		res.Findings = append(res.Findings, d)
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
+	sortDiagnostics(res.Findings)
+	return res
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer — the
+// driver's stable output order. Callers that assemble findings from
+// RunPackages or relativize paths re-sort before printing so text and
+// cached output stay byte-identical.
+func SortDiagnostics(ds []Diagnostic) { sortDiagnostics(ds) }
+
+// sortDiagnostics orders findings by file, line, column, analyzer — the
+// driver's stable output order.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -215,7 +373,6 @@ func (prog *Program) Run(analyzers ...*Analyzer) (findings []Diagnostic, suppres
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, suppressed
 }
 
 // All returns the full analyzer suite in stable order.
@@ -225,7 +382,10 @@ func All() []*Analyzer {
 		HotpathAlloc,
 		Determinism,
 		LockIO,
+		LockOrder,
+		Lifecycle,
 		WireErr,
+		WireTaint,
 	}
 }
 

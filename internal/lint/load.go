@@ -14,7 +14,9 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 )
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -84,14 +86,21 @@ func LoadModule(dir string, patterns ...string) (*Program, error) {
 	return typecheck(listed, modulePath)
 }
 
-// typecheck builds the Program from a deps-first package list.
+// typecheck builds the Program from a deps-first package list: files
+// are parsed on a worker pool, then packages type-check in
+// dependency-parallel waves — every package whose imports finished in
+// earlier waves checks concurrently with the rest of its wave. The
+// waves give the driver its cold-start speed; per-package analysis
+// fans out separately in RunPackages.
 func typecheck(listed []*listPackage, modulePath string) (*Program, error) {
 	prog := &Program{
 		Fset:       token.NewFileSet(),
 		ModulePath: modulePath,
 		Packages:   map[string]*Package{},
 	}
+	var mu sync.Mutex // guards loadErrs and the fallback importer
 	var loadErrs []string
+	work := make([]*listPackage, 0, len(listed))
 	for _, lp := range listed {
 		if lp.ImportPath == "unsafe" {
 			prog.Packages["unsafe"] = &Package{
@@ -105,60 +114,167 @@ func typecheck(listed []*listPackage, modulePath string) (*Program, error) {
 			loadErrs = append(loadErrs, fmt.Sprintf("%s: %s", lp.ImportPath, lp.Error.Err))
 			continue
 		}
+		work = append(work, lp)
+	}
+
+	// Parse every file of every package concurrently; token.FileSet is
+	// safe for concurrent AddFile.
+	pkgs := make(map[string]*Package, len(work))
+	for _, lp := range work {
 		inModule := lp.Module != nil && lp.Module.Main
-		pkg := &Package{
+		pkgs[lp.ImportPath] = &Package{
 			Path:     lp.ImportPath,
 			Dir:      lp.Dir,
 			Standard: lp.Standard,
 			InModule: inModule,
+			Files:    make([]*ast.File, len(lp.GoFiles)),
+			Imports:  lp.Imports,
 		}
-		for _, name := range lp.GoFiles {
-			filename := filepath.Join(lp.Dir, name)
-			file, err := parser.ParseFile(prog.Fset, filename, nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				if inModule {
+	}
+	workers := max(1, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, lp := range work {
+		pkg := pkgs[lp.ImportPath]
+		for i, name := range lp.GoFiles {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, filename string, inModule bool) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				file, err := parser.ParseFile(prog.Fset, filename, nil, parser.ParseComments|parser.SkipObjectResolution)
+				if err != nil && inModule {
+					mu.Lock()
 					loadErrs = append(loadErrs, err.Error())
+					mu.Unlock()
 				}
+				pkg.Files[i] = file // nil on parse error, compacted below
+			}(i, filepath.Join(lp.Dir, name), pkg.InModule)
+		}
+	}
+	wg.Wait()
+	for _, lp := range work {
+		pkg := pkgs[lp.ImportPath]
+		files, names := pkg.Files, make([]string, 0, len(lp.GoFiles))
+		pkg.Files = pkg.Files[:0]
+		for i, f := range files {
+			if f != nil {
+				pkg.Files = append(pkg.Files, f)
+				names = append(names, filepath.Join(lp.Dir, lp.GoFiles[i]))
+			}
+		}
+		pkg.Filenames = names
+	}
+
+	// Wave-order the packages: a package's wave is one past its deepest
+	// dependency, so every import is fully type-checked before the
+	// package starts.
+	depth := map[string]int{}
+	var depthOf func(lp *listPackage) int
+	byPath := map[string]*listPackage{}
+	for _, lp := range work {
+		byPath[lp.ImportPath] = lp
+	}
+	depthOf = func(lp *listPackage) int {
+		if d, ok := depth[lp.ImportPath]; ok {
+			return d
+		}
+		depth[lp.ImportPath] = 0 // cycle guard; go list output is acyclic
+		d := 0
+		for _, imp := range lp.Imports {
+			if mapped, ok := lp.ImportMap[imp]; ok {
+				imp = mapped
+			}
+			if dep, ok := byPath[imp]; ok {
+				if dd := depthOf(dep) + 1; dd > d {
+					d = dd
+				}
+			}
+		}
+		depth[lp.ImportPath] = d
+		return d
+	}
+	maxDepth := 0
+	for _, lp := range work {
+		if d := depthOf(lp); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	waves := make([][]*listPackage, maxDepth+1)
+	for _, lp := range work {
+		d := depth[lp.ImportPath]
+		waves[d] = append(waves[d], lp)
+	}
+
+	fallback := importer.Default()
+	for _, wave := range waves {
+		var wwg sync.WaitGroup
+		results := make([]*Package, len(wave))
+		for i, lp := range wave {
+			wwg.Add(1)
+			sem <- struct{}{}
+			go func(i int, lp *listPackage) {
+				defer wwg.Done()
+				defer func() { <-sem }()
+				pkg := pkgs[lp.ImportPath]
+				var typeErrs []string
+				conf := types.Config{
+					IgnoreFuncBodies: !pkg.InModule,
+					FakeImportC:      true,
+					Sizes:            types.SizesFor("gc", runtime.GOARCH),
+					Importer: mapImporter{
+						prog:       prog,
+						importMap:  lp.ImportMap,
+						fallback:   fallback,
+						fallbackMu: &mu,
+					},
+					Error: func(err error) {
+						typeErrs = append(typeErrs, err.Error())
+					},
+				}
+				if pkg.InModule {
+					pkg.Info = &types.Info{
+						Types:      map[ast.Expr]types.TypeAndValue{},
+						Defs:       map[*ast.Ident]types.Object{},
+						Uses:       map[*ast.Ident]types.Object{},
+						Selections: map[*ast.SelectorExpr]*types.Selection{},
+						Implicits:  map[ast.Node]types.Object{},
+						Scopes:     map[ast.Node]*types.Scope{},
+					}
+				}
+				tpkg, _ := conf.Check(lp.ImportPath, prog.Fset, pkg.Files, pkg.Info)
+				pkg.Types = tpkg
+				// Type errors in dependencies (vendored or GOROOT
+				// quirks) are tolerated as long as the package's shape
+				// loads; errors in the module itself are fatal —
+				// analyzing a miscompiled tree would produce nonsense
+				// findings.
+				if pkg.InModule && len(typeErrs) > 0 {
+					mu.Lock()
+					loadErrs = append(loadErrs, typeErrs...)
+					mu.Unlock()
+				}
+				results[i] = pkg
+			}(i, lp)
+		}
+		wwg.Wait()
+		// Publish the wave's results only after the barrier, so the map
+		// is never written while a concurrent checker reads it.
+		for _, pkg := range results {
+			if pkg == nil {
 				continue
 			}
-			pkg.Files = append(pkg.Files, file)
-			pkg.Filenames = append(pkg.Filenames, filename)
+			prog.Packages[pkg.Path] = pkg
 		}
-		var typeErrs []string
-		conf := types.Config{
-			IgnoreFuncBodies: !inModule,
-			FakeImportC:      true,
-			Sizes:            types.SizesFor("gc", runtime.GOARCH),
-			Importer:         mapImporter{prog: prog, importMap: lp.ImportMap},
-			Error: func(err error) {
-				typeErrs = append(typeErrs, err.Error())
-			},
-		}
-		if inModule {
-			pkg.Info = &types.Info{
-				Types:      map[ast.Expr]types.TypeAndValue{},
-				Defs:       map[*ast.Ident]types.Object{},
-				Uses:       map[*ast.Ident]types.Object{},
-				Selections: map[*ast.SelectorExpr]*types.Selection{},
-				Implicits:  map[ast.Node]types.Object{},
-				Scopes:     map[ast.Node]*types.Scope{},
-			}
-		}
-		tpkg, _ := conf.Check(lp.ImportPath, prog.Fset, pkg.Files, pkg.Info)
-		pkg.Types = tpkg
-		// Type errors in dependencies (vendored or GOROOT quirks) are
-		// tolerated as long as the package's shape loads; errors in the
-		// module itself are fatal — analyzing a miscompiled tree would
-		// produce nonsense findings.
-		if inModule && len(typeErrs) > 0 {
-			loadErrs = append(loadErrs, typeErrs...)
-		}
-		prog.Packages[lp.ImportPath] = pkg
-		if inModule {
+	}
+	// Module packages in the stable deps-first listing order.
+	for _, lp := range work {
+		if pkg := prog.Packages[lp.ImportPath]; pkg != nil && pkg.InModule {
 			prog.Module = append(prog.Module, pkg)
 		}
 	}
 	if len(loadErrs) > 0 {
+		sort.Strings(loadErrs)
 		const max = 10
 		if len(loadErrs) > max {
 			loadErrs = append(loadErrs[:max], fmt.Sprintf("... and %d more", len(loadErrs)-max))
@@ -171,10 +287,14 @@ func typecheck(listed []*listPackage, modulePath string) (*Program, error) {
 
 // mapImporter resolves imports against the already-type-checked closure,
 // honoring the package's ImportMap (vendored or otherwise rewritten
-// import paths).
+// import paths). Reads of prog.Packages are safe without locking: waves
+// publish results only at their barrier, and a checker only imports
+// packages from earlier waves.
 type mapImporter struct {
-	prog      *Program
-	importMap map[string]string
+	prog       *Program
+	importMap  map[string]string
+	fallback   types.Importer
+	fallbackMu *sync.Mutex
 }
 
 func (m mapImporter) Import(path string) (*types.Package, error) {
@@ -190,6 +310,12 @@ func (m mapImporter) Import(path string) (*types.Package, error) {
 	// go list -deps is a deps-first traversal, so a miss here means the
 	// import did not appear in the closure (e.g. implicit test deps).
 	// Fall back to the compiler's export data rather than failing the
-	// whole load.
-	return importer.Default().Import(path)
+	// whole load; the shared fallback importer is not concurrency-safe,
+	// hence the lock.
+	if m.fallback == nil {
+		return importer.Default().Import(path)
+	}
+	m.fallbackMu.Lock()
+	defer m.fallbackMu.Unlock()
+	return m.fallback.Import(path)
 }

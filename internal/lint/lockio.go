@@ -114,26 +114,13 @@ func runLockIO(pass *Pass) {
 // mutexMethod returns the lock expression and method name if call is
 // m.Lock/RLock/Unlock/RUnlock on a sync mutex.
 func (c *lockChecker) mutexMethod(call *ast.CallExpr) (lockExpr string, method string, ok bool) {
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
+	recv, method, isMutex := syncCallee(c.info, call, "Mutex", "RWMutex")
+	if !isMutex {
 		return "", "", false
 	}
-	fn := calleeOf(c.info, call)
-	if fn == nil || pkgPathOf(fn) != "sync" {
-		return "", "", false
-	}
-	named := recvNamed(fn)
-	if named == nil {
-		return "", "", false
-	}
-	switch named.Obj().Name() {
-	case "Mutex", "RWMutex":
-	default:
-		return "", "", false
-	}
-	switch fn.Name() {
+	switch method {
 	case "Lock", "RLock", "Unlock", "RUnlock":
-		return types.ExprString(sel.X), fn.Name(), true
+		return types.ExprString(recv), method, true
 	}
 	return "", "", false
 }

@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder enforces the canonical mutex-acquisition order declared by
+// //bsub:lockrank N annotations on mutex fields: while a ranked lock is
+// held, only strictly higher-ranked locks may be acquired, directly or
+// through any package-local call chain (the same source-order walk and
+// call-graph propagation lockio uses for blocking-ness). Rank
+// inversions are the static form of the deadlocks the chaos and
+// chaos-mesh suites would otherwise have to stumble into: two goroutines
+// taking `mu` and `statsMu` in opposite orders hang forever, but only
+// under the right interleaving — the rank graph catches the pair on any
+// path.
+//
+// Acquiring a mutex that is already held (same expression) is a
+// self-deadlock and always flagged. Nesting that involves a ranked lock
+// on either side requires both sides to be ranked, so the annotation
+// set stays closed over everything that actually nests; two unranked
+// mutexes may nest freely (the analyzer has no declared order to check
+// them against).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisition must follow //bsub:lockrank order in internal/livenode and internal/mesh",
+	Applies: func(rel string) bool {
+		return underAny(rel, "internal/livenode", "internal/mesh")
+	},
+	Run: runLockOrder,
+}
+
+// heldLock is one currently held mutex during the source-order walk.
+type heldLock struct {
+	expr  string // rendered lock expression, e.g. "m.mu"
+	obj   types.Object
+	write bool // Lock as opposed to RLock
+}
+
+type loChecker struct {
+	pass *Pass
+	info *types.Info
+	// acquires maps package-local functions to the mutex objects they
+	// may lock, directly or transitively.
+	acquires map[*types.Func]map[types.Object]bool
+}
+
+func runLockOrder(pass *Pass) {
+	c := &loChecker{pass: pass, info: pass.Pkg.Info, acquires: map[*types.Func]map[types.Object]bool{}}
+
+	// Malformed or misplaced annotations found during collection are
+	// reported in the package that owns them.
+	inPkg := map[string]bool{}
+	for _, f := range pass.Pkg.Filenames {
+		inPkg[f] = true
+	}
+	for _, bad := range pass.Prog.BadLockRanks {
+		if inPkg[pass.Prog.Fset.Position(bad.pos).Filename] {
+			pass.Reportf(bad.pos, "%s", bad.msg)
+		}
+	}
+
+	type fnDecl struct {
+		obj  *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []fnDecl
+	funcBodies(pass.Pkg, func(fd *ast.FuncDecl) {
+		if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+			decls = append(decls, fnDecl{obj, fd})
+		}
+	})
+
+	// Phase 1+2: per-function "may acquire" summaries, propagated
+	// through same-package calls to a fixpoint. Closure bodies are
+	// excluded — a goroutine's acquisitions happen on its own stack.
+	for _, d := range decls {
+		set := map[types.Object]bool{}
+		inspectSkippingFuncLits(d.decl.Body, func(n ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if obj, _, isAcq := c.lockAcquire(call); isAcq && obj != nil {
+					set[obj] = true
+				}
+			}
+		})
+		c.acquires[d.obj] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			set := c.acquires[d.obj]
+			inspectSkippingFuncLits(d.decl.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				fn := calleeOf(c.info, call)
+				if fn == nil || fn.Pkg() != pass.Pkg.Types {
+					return
+				}
+				for obj := range c.acquires[fn] {
+					if !set[obj] {
+						set[obj] = true
+						changed = true
+					}
+				}
+			})
+		}
+	}
+
+	// Phase 3: walk each function and closure tracking held locks.
+	for _, d := range decls {
+		c.walkStmts(d.decl.Body.List, map[string]heldLock{})
+	}
+	for _, d := range decls {
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.walkStmts(lit.Body.List, map[string]heldLock{})
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// lockAcquire classifies call as a Lock/RLock on a sync mutex,
+// resolving the receiver to its object.
+func (c *loChecker) lockAcquire(call *ast.CallExpr) (obj types.Object, write bool, ok bool) {
+	recv, method, isMutex := syncCallee(c.info, call, "Mutex", "RWMutex")
+	if !isMutex || (method != "Lock" && method != "RLock") {
+		return nil, false, false
+	}
+	return resolveObj(c.info, recv), method == "Lock", true
+}
+
+// rankOf looks up the declared rank of a mutex object.
+func (c *loChecker) rankOf(obj types.Object) (LockRank, bool) {
+	r, ok := c.pass.Prog.LockRanks[obj]
+	return r, ok
+}
+
+// lockName renders a lock for messages: the declared Type.field name
+// when ranked, the walk's expression otherwise.
+func (c *loChecker) lockName(obj types.Object, expr string) string {
+	if r, ok := c.rankOf(obj); ok {
+		return r.Name
+	}
+	return expr
+}
+
+// sortedHeld returns the held set in deterministic order.
+func sortedHeld(held map[string]heldLock) []heldLock {
+	out := make([]heldLock, 0, len(held))
+	for _, h := range held {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].expr < out[j].expr })
+	return out
+}
+
+// checkAcquire reports order violations for acquiring (obj, expr)
+// while held locks are outstanding, then records the new lock.
+func (c *loChecker) checkAcquire(pos token.Pos, obj types.Object, expr string, write bool, held map[string]heldLock) {
+	for _, h := range sortedHeld(held) {
+		if h.expr == expr && (write || h.write) {
+			c.pass.Reportf(pos, "%s is reacquired while already held: self-deadlock", expr)
+			continue
+		}
+		c.checkPair(pos, "", obj, h)
+	}
+	held[expr] = heldLock{expr: expr, obj: obj, write: write}
+}
+
+// checkPair applies the rank rules to one (acquired, held) pair. via
+// names the callee when the acquisition happens inside a called
+// function.
+func (c *loChecker) checkPair(pos token.Pos, via string, acq types.Object, h heldLock) {
+	ra, aRanked := c.rankOf(acq)
+	rh, hRanked := c.rankOf(h.obj)
+	prefix := ""
+	if via != "" {
+		prefix = "call to " + via + " acquires "
+	} else {
+		prefix = "acquiring "
+	}
+	switch {
+	case aRanked && hRanked:
+		if rh.Rank >= ra.Rank {
+			c.pass.Reportf(pos, "%s%s (lockrank %d) while %s (lockrank %d) is held inverts the declared lock order",
+				prefix, ra.Name, ra.Rank, rh.Name, rh.Rank)
+		}
+	case aRanked && !hRanked:
+		c.pass.Reportf(pos, "%s%s (lockrank %d) while unranked mutex %s is held; annotate %s with //bsub:lockrank",
+			prefix, ra.Name, ra.Rank, h.expr, h.expr)
+	case !aRanked && hRanked:
+		name := acqName(acq)
+		c.pass.Reportf(pos, "%san unranked mutex%s while %s (lockrank %d) is held; annotate it with //bsub:lockrank",
+			prefix, name, rh.Name, rh.Rank)
+	}
+}
+
+func acqName(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	return " (" + obj.Name() + ")"
+}
+
+// checkCallSite applies the rank rules to every mutex a package-local
+// callee may acquire while the caller holds locks.
+func (c *loChecker) checkCallSite(call *ast.CallExpr, held map[string]heldLock) {
+	if len(held) == 0 {
+		return
+	}
+	fn := calleeOf(c.info, call)
+	if fn == nil || fn.Pkg() != c.pass.Pkg.Types {
+		return
+	}
+	set := c.acquires[fn]
+	if len(set) == 0 {
+		return
+	}
+	// Deterministic order over the callee's acquisition set.
+	objs := make([]types.Object, 0, len(set))
+	for obj := range set {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		return c.lockName(objs[i], objs[i].Name()) < c.lockName(objs[j], objs[j].Name())
+	})
+	for _, obj := range objs {
+		for _, h := range sortedHeld(held) {
+			c.checkPair(call.Pos(), fn.Name(), obj, h)
+		}
+	}
+}
+
+func copyHeldLocks(held map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *loChecker) walkStmts(list []ast.Stmt, held map[string]heldLock) {
+	for _, s := range list {
+		c.walkStmt(s, held)
+	}
+}
+
+func (c *loChecker) walkStmt(s ast.Stmt, held map[string]heldLock) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if recv, method, isMutex := syncCallee(c.info, call, "Mutex", "RWMutex"); isMutex {
+				expr := types.ExprString(recv)
+				switch method {
+				case "Lock", "RLock":
+					c.checkAcquire(call.Pos(), resolveObj(c.info, recv), expr, method == "Lock", held)
+				case "Unlock", "RUnlock":
+					delete(held, expr)
+				}
+				return
+			}
+		}
+		c.scanCalls(s.X, held)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held for the rest of the
+		// body; other deferred calls run at exit. Arguments are
+		// evaluated now.
+		for _, a := range s.Call.Args {
+			c.scanCalls(a, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs on its own stack without the
+		// spawner's locks; its FuncLit is walked with a clean slate.
+		for _, a := range s.Call.Args {
+			c.scanCalls(a, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanCalls(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.scanCalls(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanCalls(e, held)
+		}
+	case *ast.IncDecStmt:
+		c.scanCalls(s.X, held)
+	case *ast.SendStmt:
+		c.scanCalls(s.Chan, held)
+		c.scanCalls(s.Value, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		c.scanCalls(s.Cond, held)
+		c.walkStmts(s.Body.List, copyHeldLocks(held))
+		if s.Else != nil {
+			c.walkStmt(s.Else, copyHeldLocks(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanCalls(s.Cond, held)
+		}
+		inner := copyHeldLocks(held)
+		c.walkStmts(s.Body.List, inner)
+		if s.Post != nil {
+			c.walkStmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.scanCalls(s.X, held)
+		c.walkStmts(s.Body.List, copyHeldLocks(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanCalls(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, copyHeldLocks(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, copyHeldLocks(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				inner := copyHeldLocks(held)
+				if cc.Comm != nil {
+					c.walkStmt(cc.Comm, inner)
+				}
+				c.walkStmts(cc.Body, inner)
+			}
+		}
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanCalls(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanCalls checks every package-local call in the expression against
+// the held set, skipping closure bodies.
+func (c *loChecker) scanCalls(e ast.Expr, held map[string]heldLock) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.checkCallSite(call, held)
+		}
+		return true
+	})
+}
+
+// inspectSkippingFuncLits is lockio's closure-skipping traversal, shared
+// by the summary builders.
+func inspectSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

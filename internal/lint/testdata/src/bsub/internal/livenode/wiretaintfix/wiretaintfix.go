@@ -1,0 +1,127 @@
+// Package wiretaintfix exercises the wiretaint analyzer: integers
+// extracted from the wire by multi-byte binary reads are tainted and
+// must pass a recognized validation — an explicit comparison, a switch,
+// or a Validate-style call — before sizing an allocation, indexing, or
+// bounding a loop.
+package wiretaintfix
+
+import "encoding/binary"
+
+const maxFrame = 1 << 20
+
+// unguardedMake sizes an allocation straight off the wire: the exact
+// shape of the historical frame-length bugs.
+func unguardedMake(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	return make([]byte, n) // want `wire-derived length n used as make size`
+}
+
+// guardedMake checks the bound first: the readFrame shape.
+func guardedMake(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// conversionPropagates: a widening conversion keeps the taint.
+func conversionPropagates(b []byte) []byte {
+	pl := int(binary.BigEndian.Uint32(b))
+	return make([]byte, pl) // want `wire-derived length pl used as make size`
+}
+
+// byteSized: single-byte loads are bounded by 255 and stay clean —
+// count bytes and version switches must not need ceremony.
+func byteSized(b []byte) []byte {
+	n := int(b[0])
+	return make([]byte, n)
+}
+
+// taintedIndex indexes the buffer with an unvalidated offset.
+func taintedIndex(b []byte) byte {
+	off := binary.BigEndian.Uint16(b)
+	return b[off] // want `wire-derived index off used without bounds validation`
+}
+
+// taintedSliceBound slices with an unvalidated length.
+func taintedSliceBound(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	return b[:n] // want `wire-derived slice bound n used without validation`
+}
+
+// lengthEqualityGuard: comparing against the remaining bytes is the
+// recognized validation (the decodeMessage shape).
+func lengthEqualityGuard(b []byte) []byte {
+	pl := int(binary.BigEndian.Uint32(b))
+	if len(b) != pl+4 {
+		return nil
+	}
+	return b[4 : 4+pl]
+}
+
+// taintedLoopBound bounds a loop off the wire.
+func taintedLoopBound(b []byte) int {
+	n := int(binary.BigEndian.Uint32(b))
+	sum := 0
+	for i := 0; i < n; i++ { // want `wire-derived value n used as loop bound`
+		sum += i
+	}
+	return sum
+}
+
+// taintedRangeBound: go1.22 range-over-int with a wire-derived bound.
+func taintedRangeBound(b []byte) int {
+	n := int(binary.BigEndian.Uint32(b))
+	sum := 0
+	for i := range n { // want `wire-derived value n used as loop bound`
+		sum += i
+	}
+	return sum
+}
+
+func validLen(n int) bool { return n >= 0 && n < maxFrame }
+
+// validateCallSanitizes: passing through a Validate-style call clears
+// the taint (the parseHeader shape).
+func validateCallSanitizes(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	if !validLen(n) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// switchSanitizes: switching on the value enumerates it.
+func switchSanitizes(b []byte) []byte {
+	n := binary.BigEndian.Uint16(b)
+	switch n {
+	case 1, 2, 4:
+		return make([]byte, n)
+	}
+	return nil
+}
+
+// arithmeticPropagates: taint survives arithmetic into derived values.
+func arithmeticPropagates(b []byte) []byte {
+	words := binary.BigEndian.Uint32(b)
+	total := words * 8
+	return make([]byte, total) // want `wire-derived length total used as make size`
+}
+
+// reassignmentClears: overwriting with a trusted value drops the taint.
+func reassignmentClears(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	n = len(b)
+	return make([]byte, n)
+}
+
+// minClampIsClean: comparing inside the guard sanitizes both operands,
+// so the min-style clamp written as an if is recognized validation.
+func minClampIsClean(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	if n > len(b) {
+		n = len(b)
+	}
+	return make([]byte, n)
+}

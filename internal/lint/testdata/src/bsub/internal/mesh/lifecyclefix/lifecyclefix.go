@@ -1,0 +1,114 @@
+// Package lifecyclefix exercises the lifecycle analyzer: every
+// goroutine must be tied to a shutdown path — a WaitGroup Add/Done
+// pairing or a receive from a shutdown channel — and the Add must pair
+// with the spawn on every path.
+package lifecyclefix
+
+import "sync"
+
+type node struct {
+	wg     sync.WaitGroup
+	closed chan struct{}
+	jobs   chan int
+}
+
+// spawnTracked is the blessed shape: Add, then spawn, Done inside.
+func (n *node) spawnTracked() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+	}()
+}
+
+// spawnSelectShutdown is tied through the shutdown-channel receive.
+func (n *node) spawnSelectShutdown() {
+	go func() {
+		select {
+		case <-n.closed:
+		case j := <-n.jobs:
+			_ = j
+		}
+	}()
+}
+
+func (n *node) work() {}
+
+// spawnFireAndForget has neither a Done nor a shutdown receive: the
+// goroutine outlives Close unobserved.
+func (n *node) spawnFireAndForget() {
+	go func() { // want `fire-and-forget`
+		n.work()
+	}()
+}
+
+// spawnNamedUntracked is the same leak through a named callee.
+func (n *node) spawnNamedUntracked() {
+	go n.work() // want `fire-and-forget`
+}
+
+// spawnDoneWithoutAdd signals Done with no Add anywhere before the
+// spawn: Wait's counter goes negative.
+func (n *node) spawnDoneWithoutAdd() {
+	go func() { // want `no wg\.Add precedes`
+		defer n.wg.Done()
+	}()
+}
+
+// spawnConditionally leaks the Add on the skipped branch: the Add is
+// unconditional but the spawn is not, so a false cond deadlocks Wait.
+func (n *node) spawnConditionally(cond bool) {
+	n.wg.Add(1)
+	if cond {
+		go func() { // want `split across a conditional`
+			defer n.wg.Done()
+		}()
+	}
+}
+
+// drain signals Done and consumes the queue; loop selects on the
+// shutdown channel. Both make their spawners clean transitively.
+func (n *node) drain() {
+	defer n.wg.Done()
+	for range n.jobs {
+	}
+}
+
+func (n *node) loop() {
+	for {
+		select {
+		case <-n.closed:
+			return
+		case j := <-n.jobs:
+			_ = j
+		}
+	}
+}
+
+// spawnNamed ties through the named callee's Done.
+func (n *node) spawnNamed() {
+	n.wg.Add(1)
+	go n.drain()
+}
+
+// spawnLoop ties through the named callee's shutdown receive.
+func (n *node) spawnLoop() {
+	go n.loop()
+}
+
+// spawnWorkerIdiom is the mesh worker-pool shape: Add inside the "arm
+// the drainer" branch, spawn after it behind the matching flag. The
+// sites sit in sibling branches — neither encloses the other — so the
+// pairing is legal even though both are conditional.
+func (n *node) spawnWorkerIdiom(running *bool) {
+	spawn := false
+	if !*running {
+		*running = true
+		n.wg.Add(1)
+		spawn = true
+	}
+	if spawn {
+		go func() {
+			n.drain()
+		}()
+	}
+}

@@ -1,0 +1,19 @@
+// Package binary is a hermetic stand-in for encoding/binary: just the
+// byte-order readers and writers the wire codecs (and the wiretaint
+// analyzer) care about.
+package binary
+
+type byteOrder struct{}
+
+var (
+	BigEndian    byteOrder
+	LittleEndian byteOrder
+)
+
+func (byteOrder) Uint16(b []byte) uint16 { return 0 }
+func (byteOrder) Uint32(b []byte) uint32 { return 0 }
+func (byteOrder) Uint64(b []byte) uint64 { return 0 }
+
+func (byteOrder) PutUint16(b []byte, v uint16) {}
+func (byteOrder) PutUint32(b []byte, v uint32) {}
+func (byteOrder) PutUint64(b []byte, v uint64) {}

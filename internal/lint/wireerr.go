@@ -6,17 +6,19 @@ import (
 )
 
 // WireErr forbids silently dropped errors in the wire-facing packages:
-// in internal/livenode and internal/tcbf, any call whose result set
-// includes an error must have that error checked or explicitly
-// discarded with `_ =`. A frame write that fails and goes unnoticed is
-// how a severed contact turns into a lost copy; the explicit-discard
-// form documents that the drop is intentional (e.g. the best-effort
-// BUSY frame).
+// in internal/livenode, internal/tcbf, internal/mesh, internal/filter,
+// and internal/bloofi, any call whose result set includes an error must
+// have that error checked or explicitly discarded with `_ =`. A frame
+// write that fails and goes unnoticed is how a severed contact turns
+// into a lost copy; the explicit-discard form documents that the drop
+// is intentional (e.g. the best-effort BUSY frame, the advisory flood
+// contact).
 var WireErr = &Analyzer{
 	Name: "wireerr",
 	Doc:  "errors from frame/codec writes must be checked or explicitly discarded",
 	Applies: func(rel string) bool {
-		return hasSuffixElem(rel, "internal/livenode") || hasSuffixElem(rel, "internal/tcbf")
+		return underAny(rel, "internal/livenode", "internal/tcbf",
+			"internal/mesh", "internal/filter", "internal/bloofi")
 	},
 	Run: runWireErr,
 }

@@ -29,6 +29,10 @@ import (
 // interestIndex has its own mutex; nothing blocking runs under it, and it
 // is never held together with Mesh.mu.
 type interestIndex struct {
+	// mu is ranked after every Mesh lock: flood targeting reads the
+	// index from code paths that already released mu, and the rank
+	// guarantees no path ever reverses that.
+	//bsub:lockrank 40
 	mu    sync.Mutex
 	cfg   tcbf.Config
 	parts int

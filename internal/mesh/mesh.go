@@ -180,7 +180,10 @@ type Mesh struct {
 
 	// mu guards the membership table and the scheduler rng. Nothing
 	// blocking — dials, channel ops, hook calls — runs while it is held
-	// (enforced by bsublint's lockio analyzer).
+	// (enforced by bsublint's lockio analyzer), and it is always the
+	// first lock taken: mu, then a worker's mu, then statsMu (enforced
+	// by bsublint's lockorder analyzer via the rank below).
+	//bsub:lockrank 10
 	mu            sync.Mutex
 	members       map[uint32]*member
 	rng           *rand.Rand
@@ -191,7 +194,9 @@ type Mesh struct {
 	// lock and is never touched while mu is held.
 	interests *interestIndex
 
-	// statsMu guards the counters (see stats.go).
+	// statsMu guards the counters (see stats.go). Callers may hold mu
+	// and a worker's mu; statsMu is always innermost.
+	//bsub:lockrank 30
 	statsMu  sync.Mutex
 	counters Counters
 }
